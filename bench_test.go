@@ -1,0 +1,269 @@
+package sprinkler
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§5). Each bench runs the corresponding experiment at
+// a reduced-but-faithful scale (every scheduler, workload and code path is
+// exercised; only instruction counts and sweep densities shrink).
+// Regenerate the full-scale numbers with:
+//
+//	go run ./cmd/experiments -fig all
+//
+// The per-iteration metric reported by each bench (ns/op) is simulator
+// wall time, not simulated SSD performance; the simulated results are what
+// cmd/experiments prints.
+
+import (
+	"testing"
+
+	"sprinkler/internal/experiments"
+)
+
+// benchOpts is the scale used by the benches.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.05, Chips: 16}
+}
+
+// BenchmarkTable1Traces regenerates the Table 1 workload catalogue and
+// synthesizes each trace.
+func BenchmarkTable1Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table1Report(); len(out) == 0 {
+			b.Fatal("empty report")
+		}
+		cfg := DefaultConfig()
+		for _, name := range Workloads() {
+			if _, err := cfg.GenerateWorkload(name, 200, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig1Stagnation reruns the die-count sensitivity sweep behind
+// Figures 1a and 1b.
+func BenchmarkFig1Stagnation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunFig1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// evalOnce runs the shared 5-scheduler × 16-workload sweep (Figures 6,
+// 10a–d, 11a/b, 13, 14) once per benchmark run and caches it.
+var cachedEval *experiments.Evaluation
+
+func evalOnce(b *testing.B) *experiments.Evaluation {
+	b.Helper()
+	if cachedEval == nil {
+		ev, err := experiments.RunEvaluation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cachedEval = ev
+	}
+	return cachedEval
+}
+
+// BenchmarkFig6Potential regenerates the Figure 6 utilization-potential
+// table.
+func BenchmarkFig6Potential(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ev.Fig6()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig10Bandwidth regenerates Figure 10a.
+func BenchmarkFig10Bandwidth(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ev.Fig10a()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig10IOPS regenerates Figure 10b.
+func BenchmarkFig10IOPS(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ev.Fig10b()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig10Latency regenerates Figure 10c.
+func BenchmarkFig10Latency(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ev.Fig10c()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig10QueueStall regenerates Figure 10d.
+func BenchmarkFig10QueueStall(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ev.Fig10d()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig11Idleness regenerates Figures 11a and 11b.
+func BenchmarkFig11Idleness(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ev.Fig11a())+len(ev.Fig11b()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig12TimeSeries reruns the msnfs1 latency time series (§5.4).
+func BenchmarkFig12TimeSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunFig12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig13Breakdown regenerates the execution-time breakdown (§5.5).
+func BenchmarkFig13Breakdown(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig13(ev)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig14FLP regenerates the FLP breakdown (§5.6).
+func BenchmarkFig14FLP(b *testing.B) {
+	ev := evalOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig14(ev)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig15Utilization reruns the transfer-size × chip-count chip
+// utilization sweep (§5.7); the same points carry Figure 16's counts.
+func BenchmarkFig15Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunFig15(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.FormatFig15(pts)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig16Transactions formats the transaction-reduction tables
+// (§5.8) from a fresh sweep.
+func BenchmarkFig16Transactions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunFig15(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.FormatFig16(pts)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFig17GC reruns the garbage-collection / readdressing-callback
+// bandwidth study (§5.9).
+func BenchmarkFig17GC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunFig17(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.FormatFig17(pts)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkAblation reruns the design-choice ablation study (over-commit
+// depth, FARO priority, decision window, allocation scheme).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.FormatAblation(rows)) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkDeviceSPK3 measures raw simulator throughput: one 64-chip SSD
+// serving sequential reads under SPK3 (events per wall-second is the
+// simulator's own figure of merit).
+func BenchmarkDeviceSPK3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.BlocksPerPlane = 128
+		dev, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dev.Run(SequentialReads(500, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulers measures per-scheduler simulation cost on the same
+// workload (scheduler algorithmic overhead shows up here).
+func BenchmarkSchedulers(b *testing.B) {
+	for _, kind := range Schedulers() {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.Channels = 4
+				cfg.ChipsPerChan = 4
+				cfg.BlocksPerPlane = 128
+				cfg.Scheduler = kind
+				dev, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dev.Run(SequentialReads(300, 8)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§5).
+//
+// Usage:
+//
+//	experiments -fig all            # everything (minutes at full scale)
+//	experiments -fig 10a -scale 0.2 # one figure, scaled down
+//	experiments -fig table1
+//
+// Figures sharing the 5-scheduler × 16-workload sweep (6, 10a-d, 11a/b,
+// 13, 14, summary) run it once and slice it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sprinkler/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: table1, 1, 6, 10a, 10b, 10c, 10d, 11, 12, 13, 14, 15, 16, 17, ablation, summary, all")
+	scale := flag.Float64("scale", 1.0, "experiment scale in (0,1]; smaller = faster")
+	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
+	seed := flag.Uint64("seed", 0, "synthetic trace seed")
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed}
+	want := strings.ToLower(*fig)
+	has := func(names ...string) bool {
+		if want == "all" {
+			return true
+		}
+		for _, n := range names {
+			if want == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if has("table1") {
+		fmt.Println(experiments.Table1Report())
+	}
+	if has("1", "1a", "1b") {
+		pts, err := experiments.RunFig1(opts)
+		fail(err)
+		fmt.Println(experiments.FormatFig1(pts))
+	}
+
+	needEval := has("6", "10a", "10b", "10c", "10d", "11", "11a", "11b", "13", "14", "summary")
+	if needEval {
+		ev, err := experiments.RunEvaluation(opts)
+		fail(err)
+		if has("6") {
+			fmt.Println(ev.Fig6())
+		}
+		if has("10a") {
+			fmt.Println(ev.Fig10a())
+		}
+		if has("10b") {
+			fmt.Println(ev.Fig10b())
+		}
+		if has("10c") {
+			fmt.Println(ev.Fig10c())
+		}
+		if has("10d") {
+			fmt.Println(ev.Fig10d())
+		}
+		if has("11", "11a", "11b") {
+			fmt.Println(ev.Fig11a())
+			fmt.Println(ev.Fig11b())
+		}
+		if has("13") {
+			fmt.Println(experiments.Fig13(ev))
+		}
+		if has("14") {
+			fmt.Println(experiments.Fig14(ev))
+		}
+		if has("summary") {
+			fmt.Println(ev.Summary())
+		}
+	}
+
+	if has("12") {
+		out, err := experiments.RunFig12(opts)
+		fail(err)
+		fmt.Println(out)
+	}
+	if has("15", "16") {
+		pts, err := experiments.RunFig15(opts)
+		fail(err)
+		if has("15") {
+			fmt.Println(experiments.FormatFig15(pts))
+		}
+		if has("16") {
+			fmt.Println(experiments.FormatFig16(pts))
+		}
+	}
+	if has("17") {
+		pts, err := experiments.RunFig17(opts)
+		fail(err)
+		fmt.Println(experiments.FormatFig17(pts))
+	}
+	if has("ablation") {
+		rows, err := experiments.RunAblation(opts)
+		fail(err)
+		fmt.Println(experiments.FormatAblation(rows))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

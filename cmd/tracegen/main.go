@@ -1,0 +1,73 @@
+// Command tracegen emits synthetic workload traces from the Table 1
+// catalogue in the repository's CSV format (arrival_ns,op,lpn,pages).
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -workload msnfs1 -n 3000 > msnfs1.csv
+//	tracegen -workload cfs3 -n 1000 -seed 7 -o cfs3.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprinkler/internal/flash"
+	"sprinkler/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list catalogue workloads and exit")
+	name := flag.String("workload", "", "Table 1 workload name (see -list)")
+	n := flag.Int("n", 2000, "number of I/O instructions")
+	seed := flag.Uint64("seed", 0, "generator seed (0 = derived from the name)")
+	out := flag.String("o", "", "output file (default stdout)")
+	chips := flag.Int("chips", 64, "target platform chip count (sizes the address space)")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %9s %9s %8s %8s %9s\n", "name", "readMB", "writeMB", "avgR(KB)", "avgW(KB)", "locality")
+		for _, w := range trace.Table1() {
+			fmt.Printf("%-8s %9d %9d %8.1f %8.1f %9s\n",
+				w.Name, w.ReadMB, w.WriteMB, w.AvgReadKB(), w.AvgWriteKB(), w.TxnLocality)
+		}
+		return
+	}
+	w, ok := trace.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+	geo := flash.DefaultGeometry()
+	geo.ChipsPerChan = *chips / geo.Channels
+	if geo.ChipsPerChan < 1 {
+		geo.ChipsPerChan = 1
+	}
+	ios, err := trace.Generate(w, trace.GenConfig{
+		Instructions: *n,
+		LogicalPages: geo.TotalPages() * 9 / 10,
+		PageSize:     geo.PageSize,
+		AlignStride:  int64(geo.NumChips()),
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.Write(dst, trace.FromIOs(ios)); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Scaling: the paper's motivating observation (Figure 1) — adding flash
+// chips to a conventionally-scheduled SSD stops paying off, while
+// Sprinkler keeps the added resources busy. The program sweeps the chip
+// count and prints read bandwidth and chip utilization for VAS and SPK3.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sprinkler"
+)
+
+func main() {
+	fmt.Printf("%6s %6s | %12s %12s | %8s %8s\n",
+		"chips", "dies", "VAS MB/s", "SPK3 MB/s", "VAS ut%", "SPK3 ut%")
+
+	for _, chips := range []int{8, 16, 32, 64, 128, 256} {
+		vas := measure(chips, sprinkler.VAS)
+		spk := measure(chips, sprinkler.SPK3)
+		fmt.Printf("%6d %6d | %12.1f %12.1f | %8.1f %8.1f\n",
+			chips, chips*2,
+			vas.BandwidthKBps/1024, spk.BandwidthKBps/1024,
+			100*vas.ChipUtilization, 100*spk.ChipUtilization)
+	}
+}
+
+func measure(chips int, kind sprinkler.SchedulerKind) *sprinkler.Result {
+	cfg := sprinkler.DefaultConfig()
+	// Spread chips over channels roughly square, like the paper's
+	// platforms (64 chips = 8x8, 256 = 16x16).
+	ch := 1
+	for ch*ch < chips {
+		ch *= 2
+	}
+	if ch > 32 {
+		ch = 32
+	}
+	cfg.Channels = ch
+	cfg.ChipsPerChan = chips / ch
+	cfg.BlocksPerPlane = 128
+	cfg.Scheduler = kind
+
+	dev, err := sprinkler.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fixed amount of random 32 KB read work: if added chips were
+	// perfectly utilized, bandwidth would scale linearly.
+	rng := rand.New(rand.NewSource(3))
+	logical := int64(chips) * 2 * 4 * 128 * 128 * 9 / 10
+	reqs := make([]sprinkler.Request, 1500)
+	for i := range reqs {
+		reqs[i] = sprinkler.Request{LPN: rng.Int63n(logical - 16), Pages: 16}
+	}
+	res, err := dev.Run(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

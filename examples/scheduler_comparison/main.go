@@ -1,0 +1,68 @@
+// Scheduler comparison: replay one of the paper's data-center workloads
+// (Table 1) under all five device-level schedulers and reproduce the
+// Figure 10 comparison — bandwidth, IOPS, latency, queue stall — plus the
+// idleness and parallelism metrics of Figures 11 and 14.
+//
+// Usage: scheduler_comparison [workload] (default msnfs1)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sprinkler"
+)
+
+func main() {
+	workload := "msnfs1"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	cfg := sprinkler.DefaultConfig()
+	reqs, err := cfg.GenerateWorkload(workload, 2000, 1)
+	if err != nil {
+		log.Fatalf("%v\navailable workloads: %v", err, sprinkler.Workloads())
+	}
+
+	fmt.Printf("workload %s: %d I/Os on a %d-chip SSD\n\n", workload, len(reqs), 64)
+	fmt.Printf("%-6s %10s %8s %10s %8s %8s %8s %8s\n",
+		"sched", "MB/s", "IOPS", "lat(ms)", "stall%", "util%", "intra%", "degree")
+
+	var vasBW, vasLat float64
+	for _, kind := range sprinkler.Schedulers() {
+		cfg.Scheduler = kind
+		dev, err := sprinkler.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dev.Run(append([]sprinkler.Request(nil), reqs...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := res.BandwidthKBps / 1024
+		lat := float64(res.AvgLatencyNS) / 1e6
+		if kind == sprinkler.VAS {
+			vasBW, vasLat = bw, lat
+		}
+		fmt.Printf("%-6s %10.1f %8.0f %10.3f %8.1f %8.1f %8.1f %8.2f\n",
+			kind, bw, res.IOPS, lat,
+			100*res.QueueStallFraction, 100*res.ChipUtilization,
+			100*res.IntraChipIdleness, res.AvgFLPDegree)
+	}
+
+	fmt.Println()
+	cfg.Scheduler = sprinkler.SPK3
+	dev, err := sprinkler.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dev.Run(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SPK3 vs VAS: %.2fx bandwidth, %.0f%% lower latency\n",
+		(res.BandwidthKBps/1024)/vasBW,
+		100*(1-(float64(res.AvgLatencyNS)/1e6)/vasLat))
+}

@@ -1,0 +1,86 @@
+// Package bus models the shared per-channel data path of a many-chip SSD.
+// All chips on a channel multiplex their command, address, data and status
+// cycles onto one bus; the arbiter grants it FIFO. Bus contention is one of
+// the execution-time components the paper breaks down in §5.5.
+package bus
+
+import (
+	"sprinkler/internal/sim"
+)
+
+// Channel is a FIFO-arbitrated shared bus. It satisfies flash.Bus.
+type Channel struct {
+	eng  *sim.Engine
+	id   int
+	busy bool
+	q    []pending
+
+	// Accounting.
+	busyTime sim.TimedCounter
+	waitTime sim.Time // total time grants spent queued
+	grants   int64
+}
+
+type pending struct {
+	dur     sim.Time
+	granted func(start sim.Time)
+	asked   sim.Time
+}
+
+// New returns an idle channel bus bound to eng.
+func New(eng *sim.Engine, id int) *Channel {
+	return &Channel{eng: eng, id: id}
+}
+
+// ID returns the channel index.
+func (c *Channel) ID() int { return c.id }
+
+// Acquire requests the bus for dur. When granted, granted(start) runs at
+// the grant instant; the bus frees itself at start+dur. Grants are FIFO in
+// request order, which keeps the simulation deterministic.
+func (c *Channel) Acquire(dur sim.Time, granted func(start sim.Time)) {
+	if dur < 0 {
+		panic("bus: negative duration")
+	}
+	now := c.eng.Now()
+	if !c.busy && len(c.q) == 0 {
+		c.grant(now, pending{dur: dur, granted: granted, asked: now})
+		return
+	}
+	c.q = append(c.q, pending{dur: dur, granted: granted, asked: now})
+}
+
+func (c *Channel) grant(now sim.Time, p pending) {
+	c.busy = true
+	c.busyTime.Set(now, true)
+	c.waitTime += now - p.asked
+	c.grants++
+	p.granted(now)
+	c.eng.At(now+p.dur, c.release)
+}
+
+func (c *Channel) release(now sim.Time) {
+	c.busy = false
+	c.busyTime.Set(now, false)
+	if len(c.q) > 0 {
+		next := c.q[0]
+		copy(c.q, c.q[1:])
+		c.q = c.q[:len(c.q)-1]
+		c.grant(now, next)
+	}
+}
+
+// Busy reports whether the bus is currently held.
+func (c *Channel) Busy() bool { return c.busy }
+
+// QueueLen reports how many acquisitions are waiting.
+func (c *Channel) QueueLen() int { return len(c.q) }
+
+// BusyTime returns the cumulative time the bus was held, through now.
+func (c *Channel) BusyTime(now sim.Time) sim.Time { return c.busyTime.Total(now) }
+
+// WaitTime returns the cumulative time acquisitions spent queued.
+func (c *Channel) WaitTime() sim.Time { return c.waitTime }
+
+// Grants returns the number of grants issued.
+func (c *Channel) Grants() int64 { return c.grants }

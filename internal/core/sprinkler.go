@@ -1,0 +1,250 @@
+// Package core implements the paper's contribution: Sprinkler, a
+// device-level I/O scheduler that maximizes many-chip SSD resource
+// utilization (§4).
+//
+// Sprinkler combines two mechanisms:
+//
+//   - RIOS (resource-driven I/O scheduling, §4.1): memory requests are
+//     composed and committed per physical flash chip — traversing chips in
+//     channel-offset order — instead of per host I/O request, which relaxes
+//     the parallelism dependency on I/O sizes, offsets and arrival order.
+//
+//   - FARO (flash-level-parallelism aware request over-commitment, §4.2):
+//     many memory requests are committed to each chip ahead of need,
+//     prioritized by overlap depth (how many can fuse into one high-FLP
+//     transaction) and connectivity (how many belong to the same I/O), so
+//     the flash controller can coalesce them into single die-interleaved,
+//     plane-shared transactions.
+//
+// The three evaluated variants are constructed with NewSPK1 (FARO only),
+// NewSPK2 (RIOS only) and NewSPK3 (both).
+package core
+
+import (
+	"sprinkler/internal/flash"
+	"sprinkler/internal/nvmhc"
+	"sprinkler/internal/req"
+	"sprinkler/internal/sched"
+	"sprinkler/internal/sim"
+)
+
+// Sprinkler implements sched.Scheduler. The zero value is not useful; use
+// one of the constructors.
+type Sprinkler struct {
+	// UseRIOS composes and commits per chip across the whole queue, in the
+	// channel-offset traversal order. When false, composition stays within
+	// the Window oldest I/Os, in arrival order (parallelism dependency).
+	UseRIOS bool
+	// UseFARO over-commits up to Slots requests per chip, ordered by
+	// overlap depth then connectivity. When false, requests commit in
+	// arrival order.
+	UseFARO bool
+	// Window bounds how many queue entries a non-RIOS Sprinkler may
+	// compose from (SPK1's remaining parallelism dependency). Ignored when
+	// UseRIOS is set.
+	Window int
+	// Slots is the per-chip commitment budget: the over-commitment depth
+	// with FARO, or a small pipeline depth without it.
+	Slots int
+	// GroupCap bounds how many per-chip candidates the FARO grouping
+	// examines per Select call; it only limits scheduler work per
+	// invocation, not eventual service.
+	GroupCap int
+
+	variant string
+}
+
+// NewSPK1 returns Sprinkler using only FARO (§5.1). Composition remains
+// I/O-arrival-driven within a small window, so it cannot always secure
+// enough requests — the weakness §5.2 observes for SPK1 on small-request
+// workloads.
+func NewSPK1() *Sprinkler {
+	return &Sprinkler{UseFARO: true, Window: 8, Slots: 16, GroupCap: 48, variant: "SPK1"}
+}
+
+// NewSPK2 returns Sprinkler using only RIOS: full-queue, per-chip,
+// fine-grain out-of-order composition with a shallow per-chip pipeline and
+// no FLP-aware prioritization.
+func NewSPK2() *Sprinkler {
+	return &Sprinkler{UseRIOS: true, Slots: 2, GroupCap: 48, variant: "SPK2"}
+}
+
+// NewSPK3 returns the full Sprinkler: RIOS traversal plus FARO
+// over-commitment.
+func NewSPK3() *Sprinkler {
+	return &Sprinkler{UseRIOS: true, UseFARO: true, Slots: 16, GroupCap: 48, variant: "SPK3"}
+}
+
+// Name implements sched.Scheduler.
+func (s *Sprinkler) Name() string {
+	if s.variant != "" {
+		return s.variant
+	}
+	return "SPK"
+}
+
+// NeedsReaddressing implements sched.Scheduler: Sprinkler exploits the
+// internal resource layout, so it subscribes to the readdressing callback
+// (§4.3) and always sees post-migration physical addresses.
+func (s *Sprinkler) NeedsReaddressing() bool { return true }
+
+// Select implements sched.Scheduler.
+func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*req.Mem {
+	window := 0
+	if !s.UseRIOS {
+		window = s.Window
+	}
+	cands := sched.CandidateWindow(q, window)
+	if len(cands) == 0 {
+		return nil
+	}
+	g := fab.Geo()
+
+	// Categorize per physical chip (Algorithm 1: phy_layout[chip].insert).
+	byChip := make(map[flash.ChipID][]*req.Mem)
+	var chips []flash.ChipID
+	for _, m := range cands {
+		c := m.Addr.Chip
+		if _, seen := byChip[c]; !seen {
+			chips = append(chips, c)
+		}
+		byChip[c] = append(byChip[c], m)
+	}
+
+	// Traversal order: RIOS visits equal chip offsets across channels
+	// first (§4.1); without RIOS the chip order follows first-candidate
+	// arrival, i.e. the I/O order already present in `chips`.
+	if s.UseRIOS {
+		sched.SortChipsByOffset(g, chips)
+	}
+
+	var out []*req.Mem
+	for _, c := range chips {
+		free := s.Slots - fab.Outstanding(c)
+		if free <= 0 {
+			continue
+		}
+		list := byChip[c]
+		if len(list) > s.GroupCap {
+			list = list[:s.GroupCap]
+		}
+		if s.UseFARO {
+			list = faroOrder(g, list)
+		}
+		if len(list) > free {
+			list = list[:free]
+		}
+		out = append(out, list...)
+	}
+	return out
+}
+
+// faroOrder orders one chip's candidates by FARO priority: requests are
+// grouped into maximal legal transactions; groups with the highest overlap
+// depth go first, ties broken by connectivity (§4.2), then by arrival
+// order for determinism. Within the final order, a §4.4 write-after-read
+// hazard (read and write to the same logical page) keeps the read first.
+func faroOrder(g flash.Geometry, cands []*req.Mem) []*req.Mem {
+	remaining := append([]*req.Mem(nil), cands...)
+	out := make([]*req.Mem, 0, len(cands))
+	for len(remaining) > 0 {
+		gi := bestGroup(g, remaining)
+		out = append(out, gi.members...)
+		// Remove the chosen members, preserving order.
+		keep := remaining[:0]
+		inGroup := make(map[*req.Mem]bool, len(gi.members))
+		for _, m := range gi.members {
+			inGroup[m] = true
+		}
+		for _, m := range remaining {
+			if !inGroup[m] {
+				keep = append(keep, m)
+			}
+		}
+		remaining = keep
+	}
+	enforceReadFirst(out)
+	return out
+}
+
+// group is a candidate transaction with its FARO metrics.
+type group struct {
+	members      []*req.Mem
+	depth        int // overlap depth: members on distinct (die, plane)
+	connectivity int // max members sharing one parent I/O
+}
+
+// bestGroup greedily builds a group seeded at every candidate and returns
+// the best by (depth, connectivity, earliest seed).
+func bestGroup(g flash.Geometry, remaining []*req.Mem) group {
+	var best group
+	for seed := range remaining {
+		gr := buildGroup(g, remaining, seed)
+		if gr.depth > best.depth ||
+			(gr.depth == best.depth && gr.connectivity > best.connectivity) {
+			best = gr
+		}
+		if best.depth >= g.MaxFLP() {
+			break // cannot do better
+		}
+	}
+	return best
+}
+
+// buildGroup coalesces remaining[seed] with every later-compatible
+// candidate, mirroring what the flash controller's transaction builder
+// will do with the committed queue.
+func buildGroup(g flash.Geometry, remaining []*req.Mem, seed int) group {
+	var txn flash.Transaction
+	gr := group{}
+	add := func(m *req.Mem) bool {
+		if err := txn.Add(g, flash.Request{Op: m.Op(), Addr: m.Addr}); err != nil {
+			return false
+		}
+		gr.members = append(gr.members, m)
+		return true
+	}
+	add(remaining[seed])
+	for i, m := range remaining {
+		if i == seed {
+			continue
+		}
+		if txn.Len() >= g.MaxFLP() {
+			break
+		}
+		add(m)
+	}
+	gr.depth = txn.Len()
+	perIO := make(map[int64]int)
+	for _, m := range gr.members {
+		perIO[m.IO.ID]++
+		if perIO[m.IO.ID] > gr.connectivity {
+			gr.connectivity = perIO[m.IO.ID]
+		}
+	}
+	return gr
+}
+
+// enforceReadFirst stable-reorders so that a read of an LPN issued by an
+// older I/O precedes any newer write of the same LPN (§4.4 hazard control:
+// serve the read memory requests first in the write-after-read case). The
+// pass is quadratic but bounded by GroupCap.
+func enforceReadFirst(ms []*req.Mem) {
+	for i := 0; i < len(ms); i++ {
+		w := ms[i]
+		if w.IO.Kind != req.Write {
+			continue
+		}
+		for j := i + 1; j < len(ms); j++ {
+			r := ms[j]
+			if r.IO.Kind != req.Read || r.LPN != w.LPN || r.IO.ID >= w.IO.ID {
+				continue
+			}
+			// The older read is ordered after the newer write: rotate the
+			// read to sit just before the write, shifting the rest right.
+			copy(ms[i+1:j+1], ms[i:j])
+			ms[i] = r
+			break
+		}
+	}
+}

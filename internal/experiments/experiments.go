@@ -1,0 +1,173 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5). Each runner builds the platform of §5.1, drives the
+// workloads through the five schedulers (VAS, PAS, SPK1, SPK2, SPK3) and
+// formats the same rows/series the paper reports.
+//
+// Runners accept an Options scale so the full evaluation can be shrunk for
+// tests and benchmarks while keeping every code path exercised.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sprinkler/internal/core"
+	"sprinkler/internal/metrics"
+	"sprinkler/internal/req"
+	"sprinkler/internal/sched"
+	"sprinkler/internal/ssd"
+	"sprinkler/internal/trace"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Scale in (0, 1] multiplies instruction counts and sweep densities.
+	// 1.0 reproduces the full evaluation; tests use ~0.05.
+	Scale float64
+	// Chips overrides the platform size for the per-workload evaluation
+	// (default 64, the smallest platform of §5.1).
+	Chips int
+	// Seed perturbs the synthetic traces.
+	Seed uint64
+}
+
+// Defaults fills unset options.
+func (o Options) Defaults() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Chips <= 0 {
+		o.Chips = 64
+	}
+	return o
+}
+
+// scaled returns max(min, round(n*scale)).
+func (o Options) scaled(n int, min int) int {
+	v := int(math.Round(float64(n) * o.Scale))
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// SchedulerNames lists the evaluated schedulers in the paper's order.
+var SchedulerNames = []string{"VAS", "PAS", "SPK1", "SPK2", "SPK3"}
+
+// NewScheduler builds a fresh scheduler by evaluation name.
+func NewScheduler(name string) (sched.Scheduler, error) {
+	switch name {
+	case "VAS":
+		return sched.NewVAS(), nil
+	case "PAS":
+		return sched.NewPAS(), nil
+	case "SPK1":
+		return core.NewSPK1(), nil
+	case "SPK2":
+		return core.NewSPK2(), nil
+	case "SPK3":
+		return core.NewSPK3(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	}
+}
+
+// Platform builds the §5.1 SSD configuration for a total chip count,
+// spreading chips over channels the way the paper's platforms do
+// (64 chips = 8 channels × 8; 1024 chips = 32 × 32).
+func Platform(chips int) ssd.Config {
+	cfg := ssd.DefaultConfig()
+	channels := int(math.Round(math.Sqrt(float64(chips))))
+	if channels < 1 {
+		channels = 1
+	}
+	if channels > 32 {
+		channels = 32
+	}
+	for chips%channels != 0 {
+		channels--
+	}
+	cfg.Geo.Channels = channels
+	cfg.Geo.ChipsPerChan = chips / channels
+	// Keep per-plane block counts modest so very large platforms stay
+	// within memory; capacity is irrelevant to the scheduling behaviour.
+	cfg.Geo.BlocksPerPlane = 256
+	cfg.Geo.PagesPerBlock = 128
+	return cfg
+}
+
+// runTrace drives one workload trace through a named scheduler on cfg.
+func runTrace(cfg ssd.Config, schedName, workload string, ios []*req.IO) (*metrics.Result, error) {
+	s, err := NewScheduler(schedName)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := ssd.New(cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dev.Run(&ssd.SliceSource{IOs: ios})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", schedName, workload, err)
+	}
+	res.Workload = workload
+	return res, nil
+}
+
+// cloneIOs regenerates request objects (IOs carry mutable state and cannot
+// be replayed across devices).
+func cloneIOs(ios []*req.IO) []*req.IO {
+	out := make([]*req.IO, len(ios))
+	for i, io := range ios {
+		c := req.NewIO(io.ID, io.Kind, io.Start, io.Pages, io.Arrival)
+		c.FUA = io.FUA
+		out[i] = c
+	}
+	return out
+}
+
+// Evaluation holds the 5-scheduler × 16-workload sweep behind Figures 6,
+// 10, 11, 13 and 14.
+type Evaluation struct {
+	Workloads []string
+	// Results[scheduler][workload]
+	Results map[string]map[string]*metrics.Result
+}
+
+// RunEvaluation executes the sweep once; the per-figure formatters slice it.
+func RunEvaluation(opts Options) (*Evaluation, error) {
+	opts = opts.Defaults()
+	cfg := Platform(opts.Chips)
+	logical := cfg.Geo.TotalPages() * 9 / 10
+	instructions := opts.scaled(3000, 120)
+
+	ev := &Evaluation{Results: make(map[string]map[string]*metrics.Result)}
+	for _, name := range SchedulerNames {
+		ev.Results[name] = make(map[string]*metrics.Result)
+	}
+	for _, w := range trace.Table1() {
+		ev.Workloads = append(ev.Workloads, w.Name)
+		ios, err := trace.Generate(w, trace.GenConfig{
+			Instructions: instructions,
+			LogicalPages: logical,
+			PageSize:     cfg.Geo.PageSize,
+			MaxPages:     256, // cap at 512 KB per request, §2.1's "several bytes to MB"
+			AlignStride:  int64(cfg.Geo.NumChips()),
+			Seed:         opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range SchedulerNames {
+			res, err := runTrace(cfg, name, w.Name, cloneIOs(ios))
+			if err != nil {
+				return nil, err
+			}
+			ev.Results[name][w.Name] = res
+		}
+	}
+	return ev, nil
+}
+
+// fmtF renders a float with the given decimals.
+func fmtF(v float64, dec int) string { return fmt.Sprintf("%.*f", dec, v) }

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sprinkler/internal/metrics"
+	"sprinkler/internal/trace"
+)
+
+// Table1Report prints the workload characteristics table (Table 1).
+func Table1Report() string {
+	header := []string{"trace", "readMB", "writeMB", "readKinsn", "writeKinsn", "rand-R%", "rand-W%", "avgR(KB)", "avgW(KB)", "locality"}
+	var rows [][]string
+	for _, w := range trace.Table1() {
+		rows = append(rows, []string{
+			w.Name,
+			fmt.Sprint(w.ReadMB), fmt.Sprint(w.WriteMB),
+			fmt.Sprint(w.ReadInsns), fmt.Sprint(w.WriteInsns),
+			fmtF(w.ReadRandom, 2), fmtF(w.WriteRandom, 2),
+			fmtF(w.AvgReadKB(), 1), fmtF(w.AvgWriteKB(), 1),
+			w.TxnLocality.String(),
+		})
+	}
+	return "Table 1: workload characteristics\n" + metrics.Table(header, rows)
+}
+
+// row builds one per-workload metric row across schedulers.
+func (ev *Evaluation) row(workload string, cell func(*metrics.Result) string) []string {
+	row := []string{workload}
+	for _, s := range SchedulerNames {
+		row = append(row, cell(ev.Results[s][workload]))
+	}
+	return row
+}
+
+func (ev *Evaluation) table(title string, cell func(*metrics.Result) string) string {
+	header := append([]string{"workload"}, SchedulerNames...)
+	var rows [][]string
+	for _, w := range ev.Workloads {
+		rows = append(rows, ev.row(w, cell))
+	}
+	return title + "\n" + metrics.Table(header, rows)
+}
+
+// Fig10a formats I/O bandwidth (KB/s) per scheduler and workload.
+func (ev *Evaluation) Fig10a() string {
+	return ev.table("Figure 10a: I/O bandwidth (KB/s)", func(r *metrics.Result) string {
+		return fmtF(r.BandwidthKBps(), 0)
+	})
+}
+
+// Fig10b formats IOPS.
+func (ev *Evaluation) Fig10b() string {
+	return ev.table("Figure 10b: IOPS", func(r *metrics.Result) string {
+		return fmtF(r.IOPS(), 0)
+	})
+}
+
+// Fig10c formats average device-level latency in ns.
+func (ev *Evaluation) Fig10c() string {
+	return ev.table("Figure 10c: average I/O latency (ns)", func(r *metrics.Result) string {
+		return fmt.Sprint(int64(r.AvgLatency()))
+	})
+}
+
+// Fig10d formats queue stall time normalized to VAS.
+func (ev *Evaluation) Fig10d() string {
+	header := append([]string{"workload"}, SchedulerNames...)
+	var rows [][]string
+	for _, w := range ev.Workloads {
+		base := float64(ev.Results["VAS"][w].QueueFullTime)
+		row := []string{w}
+		for _, s := range SchedulerNames {
+			v := float64(ev.Results[s][w].QueueFullTime)
+			if base > 0 {
+				row = append(row, fmtF(v/base, 3))
+			} else {
+				row = append(row, "0.000")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 10d: queue stall time (normalized to VAS)\n" + metrics.Table(header, rows)
+}
+
+// Fig6 formats chip utilization for VAS, PAS, and the full-potential
+// scenario (parallelism dependency relaxed + high transactional locality,
+// i.e. SPK3).
+func (ev *Evaluation) Fig6() string {
+	header := []string{"workload", "VAS(typical)", "PAS(improved)", "potential(SPK3)"}
+	var rows [][]string
+	for _, w := range ev.Workloads {
+		rows = append(rows, []string{
+			w,
+			fmtF(100*ev.Results["VAS"][w].ChipUtilization, 1),
+			fmtF(100*ev.Results["PAS"][w].ChipUtilization, 1),
+			fmtF(100*ev.Results["SPK3"][w].ChipUtilization, 1),
+		})
+	}
+	return "Figure 6: chip utilization and improvement potential (%)\n" + metrics.Table(header, rows)
+}
+
+// Fig11a formats inter-chip idleness (%).
+func (ev *Evaluation) Fig11a() string {
+	return ev.table("Figure 11a: inter-chip idleness (%)", func(r *metrics.Result) string {
+		return fmtF(100*r.InterChipIdleness, 1)
+	})
+}
+
+// Fig11b formats intra-chip idleness (%).
+func (ev *Evaluation) Fig11b() string {
+	return ev.table("Figure 11b: intra-chip idleness (%)", func(r *metrics.Result) string {
+		return fmtF(100*r.IntraChipIdleness, 1)
+	})
+}
+
+// Fig13 formats the execution-time breakdown for PAS and SPK3 (§5.5).
+func Fig13(ev *Evaluation) string {
+	var b strings.Builder
+	for _, s := range []string{"PAS", "SPK3"} {
+		header := []string{"workload", "bus-op%", "bus-contention%", "memory-op%", "idle%"}
+		var rows [][]string
+		for _, w := range ev.Workloads {
+			e := ev.Results[s][w].Exec
+			rows = append(rows, []string{
+				w,
+				fmtF(100*e.BusOp, 1), fmtF(100*e.BusContention, 1),
+				fmtF(100*e.CellOp, 1), fmtF(100*e.Idle, 1),
+			})
+		}
+		fmt.Fprintf(&b, "Figure 13 (%s): execution time breakdown\n%s\n", s, metrics.Table(header, rows))
+	}
+	return b.String()
+}
+
+// Fig14 formats the FLP breakdown for PAS, SPK1, SPK2 and SPK3 (§5.6).
+func Fig14(ev *Evaluation) string {
+	var b strings.Builder
+	for _, s := range []string{"PAS", "SPK1", "SPK2", "SPK3"} {
+		header := []string{"workload", "NON-PAL%", "PAL1%", "PAL2%", "PAL3%"}
+		var rows [][]string
+		for _, w := range ev.Workloads {
+			f := ev.Results[s][w].FLP
+			rows = append(rows, []string{
+				w,
+				fmtF(100*f.Share[0], 1), fmtF(100*f.Share[1], 1),
+				fmtF(100*f.Share[2], 1), fmtF(100*f.Share[3], 1),
+			})
+		}
+		fmt.Fprintf(&b, "Figure 14 (%s): FLP breakdown\n%s\n", s, metrics.Table(header, rows))
+	}
+	return b.String()
+}
+
+// Summary condenses the headline claims: SPK3 vs VAS/PAS ratios averaged
+// over the sixteen workloads (EXPERIMENTS.md tracks these against §1).
+func (ev *Evaluation) Summary() string {
+	var bwVsVAS, bwVsPAS, latVsVAS, stallVsVAS float64
+	var utilVAS, utilPAS, utilSPK3 float64
+	var interVAS, interSPK3, intraVAS, intraSPK3 float64
+	var txnVAS, txnSPK3 float64
+	var degPAS, degSPK3 float64
+	n := float64(len(ev.Workloads))
+	for _, w := range ev.Workloads {
+		vas, pas, spk3 := ev.Results["VAS"][w], ev.Results["PAS"][w], ev.Results["SPK3"][w]
+		bwVsVAS += spk3.BandwidthKBps() / vas.BandwidthKBps()
+		bwVsPAS += spk3.BandwidthKBps() / pas.BandwidthKBps()
+		latVsVAS += 1 - float64(spk3.AvgLatency())/float64(vas.AvgLatency())
+		if vas.QueueFullTime > 0 {
+			stallVsVAS += 1 - float64(spk3.QueueFullTime)/float64(vas.QueueFullTime)
+		} else {
+			stallVsVAS++
+		}
+		utilVAS += vas.ChipUtilization
+		utilPAS += pas.ChipUtilization
+		utilSPK3 += spk3.ChipUtilization
+		interVAS += vas.InterChipIdleness
+		interSPK3 += spk3.InterChipIdleness
+		intraVAS += vas.IntraChipIdleness
+		intraSPK3 += spk3.IntraChipIdleness
+		txnVAS += float64(vas.Transactions)
+		txnSPK3 += float64(spk3.Transactions)
+		degPAS += pas.AvgFLPDegree
+		degSPK3 += spk3.AvgFLPDegree
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline summary (means over %d workloads)\n", len(ev.Workloads))
+	fmt.Fprintf(&b, "  SPK3 bandwidth vs VAS:         %.2fx (paper: >= 2.2x)\n", bwVsVAS/n)
+	fmt.Fprintf(&b, "  SPK3 bandwidth vs PAS:         %.2fx (paper: >= 1.8x)\n", bwVsPAS/n)
+	fmt.Fprintf(&b, "  SPK3 latency reduction vs VAS: %.1f%% (paper: 59.1-92.3%%)\n", 100*latVsVAS/n)
+	fmt.Fprintf(&b, "  SPK3 queue stall cut vs VAS:   %.1f%% (paper: ~86%%)\n", 100*stallVsVAS/n)
+	fmt.Fprintf(&b, "  chip utilization VAS/PAS/SPK3: %.1f%% / %.1f%% / %.1f%% (paper: 17/24/55)\n",
+		100*utilVAS/n, 100*utilPAS/n, 100*utilSPK3/n)
+	fmt.Fprintf(&b, "  inter-chip idleness VAS->SPK3: %.1f%% -> %.1f%% (paper: -46.1%%)\n",
+		100*interVAS/n, 100*interSPK3/n)
+	fmt.Fprintf(&b, "  intra-chip idleness VAS->SPK3: %.1f%% -> %.1f%% (paper: -23.5%%)\n",
+		100*intraVAS/n, 100*intraSPK3/n)
+	fmt.Fprintf(&b, "  flash transactions SPK3/VAS:   %.2f (paper: ~0.50)\n", txnSPK3/txnVAS)
+	fmt.Fprintf(&b, "  FLP degree PAS -> SPK3:        %.2f -> %.2f (paper: +80.2%% FLP)\n", degPAS/n, degSPK3/n)
+	return b.String()
+}

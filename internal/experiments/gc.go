@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sprinkler/internal/metrics"
+	"sprinkler/internal/req"
+	"sprinkler/internal/ssd"
+	"sprinkler/internal/trace"
+)
+
+// Fig17Point is one (chips, transferKB, scheduler, gc?) bandwidth sample
+// of the garbage-collection and readdressing-callback study (§5.9).
+type Fig17Point struct {
+	Chips       int
+	TransferKB  int
+	Scheduler   string
+	GC          bool
+	BandwidthKB float64
+	GCRuns      int64
+}
+
+// fig17Platform keeps planes small so preconditioning to 95% is fast and
+// the measured writes quickly push planes to the GC threshold. Scaled-down
+// runs shrink the per-plane capacity further: preconditioning cost is
+// linear in physical pages and dominates the figure's runtime.
+func fig17Platform(chips int, scale float64) ssd.Config {
+	cfg := Platform(chips)
+	cfg.Geo.BlocksPerPlane = 24
+	cfg.Geo.PagesPerBlock = 64
+	if scale < 0.5 {
+		cfg.Geo.BlocksPerPlane = 12
+		cfg.Geo.PagesPerBlock = 32
+	}
+	cfg.GCFreeTarget = 3
+	cfg.LogicalPages = cfg.Geo.TotalPages() * 85 / 100
+	return cfg
+}
+
+// RunFig17 measures random-write bandwidth on pristine versus fragmented
+// (GC-heavy) devices for VAS, PAS and SPK3.
+func RunFig17(opts Options) ([]Fig17Point, error) {
+	opts = opts.Defaults()
+	chipCounts := []int{64, 256}
+	sizesKB := []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	if opts.Scale < 0.5 {
+		chipCounts = []int{64}
+		sizesKB = []int{4, 16, 64, 256, 1024}
+	}
+	schedulers := []string{"VAS", "PAS", "SPK3"}
+	totalKB := opts.scaled(32*1024, 2*1024)
+
+	var out []Fig17Point
+	for _, chips := range chipCounts {
+		cfg := fig17Platform(chips, opts.Scale)
+		for _, kb := range sizesKB {
+			pages := kb * 1024 / cfg.Geo.PageSize
+			if pages < 1 {
+				pages = 1
+			}
+			count := totalKB / kb
+			if count < 8 {
+				count = 8
+			}
+			mk := func() ([]*req.IO, error) {
+				return trace.GenerateFixed(trace.FixedConfig{
+					Count: count, Pages: pages, Kind: req.Write,
+					LogicalPages: cfg.LogicalPages, Seed: opts.Seed + uint64(kb),
+				})
+			}
+			for _, s := range schedulers {
+				for _, gc := range []bool{false, true} {
+					ios, err := mk()
+					if err != nil {
+						return nil, err
+					}
+					scheduler, err := NewScheduler(s)
+					if err != nil {
+						return nil, err
+					}
+					runCfg := cfg
+					runCfg.DisableGC = !gc
+					dev, err := ssd.New(runCfg, scheduler)
+					if err != nil {
+						return nil, err
+					}
+					if gc {
+						dev.Precondition(0.95, 0.5, opts.Seed)
+					}
+					res, err := dev.Run(&ssd.SliceSource{IOs: ios})
+					if err != nil {
+						return nil, fmt.Errorf("fig17 %s gc=%v: %w", s, gc, err)
+					}
+					out = append(out, Fig17Point{
+						Chips: chips, TransferKB: kb, Scheduler: s, GC: gc,
+						BandwidthKB: res.BandwidthKBps(),
+						GCRuns:      res.GC.GCRuns,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFig17 renders per-platform bandwidth tables with and without GC.
+func FormatFig17(points []Fig17Point) string {
+	type key struct {
+		chips, kb int
+	}
+	cells := map[key]map[string]Fig17Point{}
+	var chips, sizes []int
+	seenC, seenS := map[int]bool{}, map[int]bool{}
+	var cols []string
+	seenCol := map[string]bool{}
+	for _, p := range points {
+		k := key{p.Chips, p.TransferKB}
+		if cells[k] == nil {
+			cells[k] = map[string]Fig17Point{}
+		}
+		col := p.Scheduler
+		if p.GC {
+			col += "-GC"
+		}
+		cells[k][col] = p
+		if !seenC[p.Chips] {
+			seenC[p.Chips] = true
+			chips = append(chips, p.Chips)
+		}
+		if !seenS[p.TransferKB] {
+			seenS[p.TransferKB] = true
+			sizes = append(sizes, p.TransferKB)
+		}
+		if !seenCol[col] {
+			seenCol[col] = true
+			cols = append(cols, col)
+		}
+	}
+	var b strings.Builder
+	for _, c := range chips {
+		header := append([]string{"transferKB"}, cols...)
+		var rows [][]string
+		for _, kb := range sizes {
+			row := []string{fmt.Sprint(kb)}
+			for _, col := range cols {
+				row = append(row, fmtF(cells[key{c, kb}][col].BandwidthKB, 0))
+			}
+			rows = append(rows, row)
+		}
+		fmt.Fprintf(&b, "Figure 17: write bandwidth (KB/s) with and without GC — %d flash chips\n%s\n",
+			c, metrics.Table(header, rows))
+	}
+	return b.String()
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sprinkler/internal/metrics"
+	"sprinkler/internal/req"
+	"sprinkler/internal/ssd"
+	"sprinkler/internal/trace"
+)
+
+// Fig1Point is one (dies, transferKB) sample of the Figure 1 sensitivity
+// study: read bandwidth, chip utilization and memory-level idleness on a
+// conventional (VAS) controller.
+type Fig1Point struct {
+	Dies        int
+	TransferKB  int
+	BandwidthMB float64
+	Utilization float64 // 0..1
+	Idleness    float64 // 0..1 (memory-level: idle die/plane share)
+}
+
+// fig1Platform shrinks per-plane block counts as the platform grows so the
+// 32768-die point stays within memory; scheduling behaviour only depends
+// on the chip/die/plane topology.
+func fig1Platform(chips int) ssd.Config {
+	cfg := Platform(chips)
+	switch {
+	case chips >= 4096:
+		cfg.Geo.BlocksPerPlane = 8
+	case chips >= 512:
+		cfg.Geo.BlocksPerPlane = 32
+	default:
+		cfg.Geo.BlocksPerPlane = 128
+	}
+	return cfg
+}
+
+// RunFig1 sweeps the die count from 2 to 32768 for transfer sizes 4-128 KB,
+// reproducing the performance-stagnation observation (Figures 1a and 1b).
+func RunFig1(opts Options) ([]Fig1Point, error) {
+	opts = opts.Defaults()
+	dieCounts := []int{2, 8, 32, 128, 512, 2048, 8192, 32768}
+	if opts.Scale < 0.5 {
+		dieCounts = []int{2, 8, 32, 128, 512}
+	}
+	sizesKB := []int{4, 8, 16, 32, 64, 128}
+	count := opts.scaled(512, 64)
+
+	var out []Fig1Point
+	for _, dies := range dieCounts {
+		chips := dies / 2
+		if chips < 1 {
+			chips = 1
+		}
+		cfg := fig1Platform(chips)
+		logical := cfg.Geo.TotalPages() * 9 / 10
+		for _, kb := range sizesKB {
+			pages := kb * 1024 / cfg.Geo.PageSize
+			if pages < 1 {
+				pages = 1
+			}
+			ios, err := trace.GenerateFixed(trace.FixedConfig{
+				Count: count, Pages: pages, Kind: req.Read,
+				Sequential: true, LogicalPages: logical, Seed: opts.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := runTrace(cfg, "VAS", fmt.Sprintf("fixed%dKB", kb), ios)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig1Point{
+				Dies:        dies,
+				TransferKB:  kb,
+				BandwidthMB: res.BandwidthKBps() / 1024,
+				Utilization: res.ChipUtilization,
+				Idleness:    res.MemoryLevelIdleness,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig1 renders the sweep as the two panels of Figure 1.
+func FormatFig1(points []Fig1Point) string {
+	bySize := map[int]map[int]Fig1Point{}
+	var dies []int
+	seenDies := map[int]bool{}
+	var sizes []int
+	seenSizes := map[int]bool{}
+	for _, p := range points {
+		if bySize[p.TransferKB] == nil {
+			bySize[p.TransferKB] = map[int]Fig1Point{}
+		}
+		bySize[p.TransferKB][p.Dies] = p
+		if !seenDies[p.Dies] {
+			seenDies[p.Dies] = true
+			dies = append(dies, p.Dies)
+		}
+		if !seenSizes[p.TransferKB] {
+			seenSizes[p.TransferKB] = true
+			sizes = append(sizes, p.TransferKB)
+		}
+	}
+	var b strings.Builder
+	header := []string{"dies"}
+	for _, kb := range sizes {
+		header = append(header, fmt.Sprintf("%dKB", kb))
+	}
+	var bwRows, utilRows, idleRows [][]string
+	for _, d := range dies {
+		bw := []string{fmt.Sprint(d)}
+		ut := []string{fmt.Sprint(d)}
+		id := []string{fmt.Sprint(d)}
+		for _, kb := range sizes {
+			p := bySize[kb][d]
+			bw = append(bw, fmtF(p.BandwidthMB, 1))
+			ut = append(ut, fmtF(100*p.Utilization, 1))
+			id = append(id, fmtF(100*p.Idleness, 1))
+		}
+		bwRows = append(bwRows, bw)
+		utilRows = append(utilRows, ut)
+		idleRows = append(idleRows, id)
+	}
+	b.WriteString("Figure 1a: read bandwidth (MB/s) vs number of flash dies\n")
+	b.WriteString(metrics.Table(header, bwRows))
+	b.WriteString("\nFigure 1b: chip utilization (%) vs number of flash dies\n")
+	b.WriteString(metrics.Table(header, utilRows))
+	b.WriteString("\nFigure 1b: memory-level idleness (%) vs number of flash dies\n")
+	b.WriteString(metrics.Table(header, idleRows))
+	return b.String()
+}
+
+// RunFig12 replays the first part of msnfs1 with series collection and
+// renders the VAS vs PAS and VAS vs SPK3 latency time series (§5.4).
+func RunFig12(opts Options) (string, error) {
+	opts = opts.Defaults()
+	cfg := Platform(opts.Chips)
+	cfg.CollectSeries = true
+	logical := cfg.Geo.TotalPages() * 9 / 10
+	w, _ := trace.ByName("msnfs1")
+	n := opts.scaled(3000, 150)
+	ios, err := trace.Generate(w, trace.GenConfig{
+		Instructions: n, LogicalPages: logical, PageSize: cfg.Geo.PageSize,
+		AlignStride: int64(cfg.Geo.NumChips()), Seed: opts.Seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	series := map[string][]metrics.SeriesPoint{}
+	for _, s := range []string{"VAS", "PAS", "SPK3"} {
+		res, err := runTrace(cfg, s, "msnfs1", cloneIOs(ios))
+		if err != nil {
+			return "", err
+		}
+		series[s] = res.Series
+	}
+	// Sample every k-th I/O to keep the table readable.
+	k := len(series["VAS"]) / 30
+	if k < 1 {
+		k = 1
+	}
+	header := []string{"io#", "VAS(ms)", "PAS(ms)", "SPK3(ms)"}
+	var rows [][]string
+	var sumVAS, sumPAS, sumSPK3 float64
+	for i := 0; i < len(series["VAS"]); i++ {
+		v := float64(series["VAS"][i].Latency) / 1e6
+		p := float64(series["PAS"][i].Latency) / 1e6
+		s := float64(series["SPK3"][i].Latency) / 1e6
+		sumVAS += v
+		sumPAS += p
+		sumSPK3 += s
+		if i%k == 0 {
+			rows = append(rows, []string{
+				fmt.Sprint(i), fmtF(v, 3), fmtF(p, 3), fmtF(s, 3),
+			})
+		}
+	}
+	n64 := float64(len(series["VAS"]))
+	tail := fmt.Sprintf("\nmeans: VAS=%.3fms PAS=%.3fms SPK3=%.3fms (SPK3 %.0f%% below VAS, %.0f%% below PAS; paper: 80%% and 64%%)\n",
+		sumVAS/n64, sumPAS/n64, sumSPK3/n64,
+		100*(1-sumSPK3/sumVAS), 100*(1-sumSPK3/sumPAS))
+	return "Figure 12: msnfs1 latency time series\n" + metrics.Table(header, rows) + tail, nil
+}
+
+// Fig15Point is one (chips, transferKB, scheduler) utilization sample.
+type Fig15Point struct {
+	Chips       int
+	TransferKB  int
+	Scheduler   string
+	Utilization float64
+	Txns        int64
+	BandwidthKB float64
+}
+
+// RunFig15 sweeps transfer sizes 4 KB-4 MB on 64/256/1024-chip platforms
+// for VAS, SPK1, SPK2 and SPK3 (chip utilization, Figure 15; the same runs
+// yield the transaction counts of Figure 16 and feed Figure 17's pristine
+// baseline).
+func RunFig15(opts Options) ([]Fig15Point, error) {
+	opts = opts.Defaults()
+	chipCounts := []int{64, 256, 1024}
+	sizesKB := []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	if opts.Scale < 0.5 {
+		chipCounts = []int{64, 256}
+		sizesKB = []int{4, 16, 64, 256, 1024}
+	}
+	schedulers := []string{"VAS", "SPK1", "SPK2", "SPK3"}
+	// Fixed total data volume per point so the workload is comparable
+	// across transfer sizes.
+	totalKB := opts.scaled(64*1024, 4*1024)
+
+	var out []Fig15Point
+	for _, chips := range chipCounts {
+		cfg := Platform(chips)
+		logical := cfg.Geo.TotalPages() * 9 / 10
+		for _, kb := range sizesKB {
+			pages := kb * 1024 / cfg.Geo.PageSize
+			if pages < 1 {
+				pages = 1
+			}
+			count := totalKB / kb
+			if count < 8 {
+				count = 8
+			}
+			ios, err := trace.GenerateFixed(trace.FixedConfig{
+				Count: count, Pages: pages, Kind: req.Read,
+				LogicalPages: logical, Seed: opts.Seed + uint64(kb),
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range schedulers {
+				res, err := runTrace(cfg, s, fmt.Sprintf("rnd%dKB", kb), cloneIOs(ios))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Fig15Point{
+					Chips: chips, TransferKB: kb, Scheduler: s,
+					Utilization: res.ChipUtilization,
+					Txns:        res.Transactions,
+					BandwidthKB: res.BandwidthKBps(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFig15 renders per-platform utilization tables.
+func FormatFig15(points []Fig15Point) string {
+	return formatSweep(points, "Figure 15: chip utilization (%)", func(p Fig15Point) string {
+		return fmtF(100*p.Utilization, 1)
+	})
+}
+
+// FormatFig16 renders per-platform transaction-count tables (§5.8).
+func FormatFig16(points []Fig15Point) string {
+	var filtered []Fig15Point
+	for _, p := range points {
+		if p.Chips == 64 || p.Chips == 1024 {
+			filtered = append(filtered, p)
+		}
+	}
+	if len(filtered) == 0 {
+		filtered = points
+	}
+	return formatSweep(filtered, "Figure 16: number of flash transactions", func(p Fig15Point) string {
+		return fmt.Sprint(p.Txns)
+	})
+}
+
+func formatSweep(points []Fig15Point, title string, cell func(Fig15Point) string) string {
+	byChip := map[int]map[int]map[string]Fig15Point{}
+	var chips, sizes []int
+	var scheds []string
+	seenC, seenS, seenX := map[int]bool{}, map[int]bool{}, map[string]bool{}
+	for _, p := range points {
+		if byChip[p.Chips] == nil {
+			byChip[p.Chips] = map[int]map[string]Fig15Point{}
+		}
+		if byChip[p.Chips][p.TransferKB] == nil {
+			byChip[p.Chips][p.TransferKB] = map[string]Fig15Point{}
+		}
+		byChip[p.Chips][p.TransferKB][p.Scheduler] = p
+		if !seenC[p.Chips] {
+			seenC[p.Chips] = true
+			chips = append(chips, p.Chips)
+		}
+		if !seenS[p.TransferKB] {
+			seenS[p.TransferKB] = true
+			sizes = append(sizes, p.TransferKB)
+		}
+		if !seenX[p.Scheduler] {
+			seenX[p.Scheduler] = true
+			scheds = append(scheds, p.Scheduler)
+		}
+	}
+	var b strings.Builder
+	for _, c := range chips {
+		header := append([]string{"transferKB"}, scheds...)
+		var rows [][]string
+		for _, kb := range sizes {
+			row := []string{fmt.Sprint(kb)}
+			for _, s := range scheds {
+				row = append(row, cell(byChip[c][kb][s]))
+			}
+			rows = append(rows, row)
+		}
+		fmt.Fprintf(&b, "%s — %d flash chips\n%s\n", title, c, metrics.Table(header, rows))
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package flash
+
+import (
+	"fmt"
+
+	"sprinkler/internal/sim"
+)
+
+// Bus abstracts the shared channel data path a chip hangs off. The concrete
+// implementation lives in internal/bus; the indirection keeps this package
+// dependent only on the sim kernel.
+type Bus interface {
+	// Acquire requests the bus for dur and calls granted at the grant
+	// instant. The bus frees itself dur later.
+	Acquire(dur sim.Time, granted func(start sim.Time))
+}
+
+// Callbacks receives transaction progress notifications from a chip.
+type Callbacks struct {
+	// RequestDone fires when one member request's payload is fully served
+	// (for reads: data streamed out; for programs/erases: cell phase done).
+	RequestDone func(now sim.Time, r Request)
+	// TxnDone fires after the whole transaction retires and the chip has
+	// dropped R/B. The chip is ready for the next transaction.
+	TxnDone func(now sim.Time, t *Transaction)
+}
+
+// ChipStats aggregates per-chip occupancy accounting used by the metrics
+// layer: cell-active time, bus-active time, bus-wait (contention) time, and
+// the plane-use integral for intra-chip idleness.
+type ChipStats struct {
+	CellActive  sim.TimedCounter
+	BusActive   sim.TimedCounter
+	BusWait     sim.Time
+	PlaneUse    sim.WeightedSum // active (die,plane) pairs during cell phases
+	Txns        int64
+	TxnsByClass [4]int64 // indexed by FLPClass
+	ReqsByClass [4]int64 // member requests served per FLPClass
+	Requests    int64
+	BusyAll     sim.TimedCounter // R/B asserted (any phase)
+}
+
+// Chip models one NAND flash target: several dies behind a single
+// multiplexed interface with one R/B line. A chip executes one transaction
+// at a time; while R/B is asserted nothing else may be submitted (§2.2).
+//
+// The execution sequence mirrors the ONFI command flow:
+//
+//	program: per member [cmd+addr+data-in] on the bus, then one overlapped
+//	         cell phase (dies in parallel, planes shared), then status;
+//	read:    per member [cmd+addr] on the bus, then the cell phase, then
+//	         per member [data-out], then status;
+//	erase:   per member [cmd+addr], cell phase, status.
+type Chip struct {
+	ID    ChipID
+	Geo   Geometry
+	Tim   Timing
+	eng   *sim.Engine
+	bus   Bus
+	busy  bool
+	stats ChipStats
+}
+
+// NewChip returns an idle chip bound to eng and bus.
+func NewChip(eng *sim.Engine, bus Bus, id ChipID, g Geometry, t Timing) *Chip {
+	return &Chip{ID: id, Geo: g, Tim: t, eng: eng, bus: bus}
+}
+
+// Busy reports the R/B state: true while a transaction is in flight.
+func (c *Chip) Busy() bool { return c.busy }
+
+// Stats exposes the accounting counters (read-only use by metrics).
+func (c *Chip) Stats() *ChipStats { return &c.stats }
+
+// busInDur is the bus occupancy of submitting one member request.
+func (c *Chip) busInDur(r Request) sim.Time {
+	d := c.Tim.CommandOverhead(r.Op)
+	if r.Op == OpProgram {
+		d += c.Tim.DataTransferTime(c.Geo.PageSize)
+	}
+	return d
+}
+
+// cellDur is the overlapped cell-phase duration of t: dies operate in
+// parallel, so the phase lasts as long as the slowest involved die. Within
+// a die, plane sharing means one array operation covers all planes (they
+// share the wordline), so the per-die time is the maximum member time.
+func (c *Chip) cellDur(t *Transaction) sim.Time {
+	perDie := map[int]sim.Time{}
+	for _, r := range t.Requests {
+		ct := c.Tim.CellTime(r.Op, r.Addr)
+		if ct > perDie[r.Addr.Die] {
+			perDie[r.Addr.Die] = ct
+		}
+	}
+	var max sim.Time
+	for _, d := range perDie {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Execute runs transaction t to completion and reports progress through cb.
+// It panics if the chip is already busy — submitting to a busy chip is a
+// controller bug, the R/B line makes that state visible in hardware.
+func (c *Chip) Execute(t *Transaction, cb Callbacks) {
+	if c.busy {
+		panic(fmt.Sprintf("flash: chip %d busy, cannot execute %v", c.ID, t))
+	}
+	if t.Len() == 0 {
+		panic("flash: empty transaction")
+	}
+	now := c.eng.Now()
+	c.busy = true
+	c.stats.BusyAll.Set(now, true)
+	c.stats.Txns++
+	c.stats.TxnsByClass[t.Class()]++
+	c.stats.ReqsByClass[t.Class()] += int64(t.Len())
+	c.stats.Requests += int64(t.Len())
+	c.submitPhase(t, 0, cb)
+}
+
+// submitPhase streams member i's command/address(/data-in) cycles.
+func (c *Chip) submitPhase(t *Transaction, i int, cb Callbacks) {
+	if i >= t.Len() {
+		c.cellPhase(t, cb)
+		return
+	}
+	r := t.Requests[i]
+	dur := c.busInDur(r)
+	asked := c.eng.Now()
+	c.bus.Acquire(dur, func(start sim.Time) {
+		c.stats.BusWait += start - asked
+		c.stats.BusActive.Set(start, true)
+		c.eng.At(start+dur, func(now sim.Time) {
+			c.stats.BusActive.Set(now, false)
+			c.submitPhase(t, i+1, cb)
+		})
+	})
+}
+
+// cellPhase runs the overlapped array operation.
+func (c *Chip) cellPhase(t *Transaction, cb Callbacks) {
+	now := c.eng.Now()
+	dur := c.cellDur(t)
+	c.stats.CellActive.Set(now, true)
+	c.stats.PlaneUse.Set(now, float64(t.Degree()))
+	c.eng.At(now+dur, func(end sim.Time) {
+		c.stats.CellActive.Set(end, false)
+		c.stats.PlaneUse.Set(end, 0)
+		if t.Op == OpRead {
+			c.readOutPhase(t, 0, cb)
+			return
+		}
+		// Programs and erases complete at cell end.
+		for _, r := range t.Requests {
+			if cb.RequestDone != nil {
+				cb.RequestDone(end, r)
+			}
+		}
+		c.statusPhase(t, cb)
+	})
+}
+
+// readOutPhase streams member i's page out of the data register.
+func (c *Chip) readOutPhase(t *Transaction, i int, cb Callbacks) {
+	if i >= t.Len() {
+		c.statusPhase(t, cb)
+		return
+	}
+	r := t.Requests[i]
+	dur := c.Tim.DataTransferTime(c.Geo.PageSize)
+	asked := c.eng.Now()
+	c.bus.Acquire(dur, func(start sim.Time) {
+		c.stats.BusWait += start - asked
+		c.stats.BusActive.Set(start, true)
+		c.eng.At(start+dur, func(now sim.Time) {
+			c.stats.BusActive.Set(now, false)
+			if cb.RequestDone != nil {
+				cb.RequestDone(now, r)
+			}
+			c.readOutPhase(t, i+1, cb)
+		})
+	})
+}
+
+// statusPhase reads chip status and retires the transaction.
+func (c *Chip) statusPhase(t *Transaction, cb Callbacks) {
+	dur := c.Tim.StatusCycle
+	asked := c.eng.Now()
+	c.bus.Acquire(dur, func(start sim.Time) {
+		c.stats.BusWait += start - asked
+		c.stats.BusActive.Set(start, true)
+		c.eng.At(start+dur, func(now sim.Time) {
+			c.stats.BusActive.Set(now, false)
+			c.busy = false
+			c.stats.BusyAll.Set(now, false)
+			if cb.TxnDone != nil {
+				cb.TxnDone(now, t)
+			}
+		})
+	})
+}
+
+// ServiceTime estimates, without simulating, how long t would occupy the
+// chip on an uncontended bus. Useful for tests and admission heuristics.
+func (c *Chip) ServiceTime(t *Transaction) sim.Time {
+	var busIn sim.Time
+	for _, r := range t.Requests {
+		busIn += c.busInDur(r)
+	}
+	total := busIn + c.cellDur(t) + c.Tim.StatusCycle
+	if t.Op == OpRead {
+		total += sim.Time(t.Len()) * c.Tim.DataTransferTime(c.Geo.PageSize)
+	}
+	return total
+}

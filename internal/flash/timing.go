@@ -1,0 +1,168 @@
+package flash
+
+import (
+	"fmt"
+
+	"sprinkler/internal/sim"
+)
+
+// Op is a flash operation kind. Transactions may only coalesce memory
+// requests of the same kind.
+type Op int
+
+const (
+	// OpRead senses a page from the array into the data register and then
+	// streams it out over the channel bus.
+	OpRead Op = iota
+	// OpProgram streams a page over the bus into the data register and then
+	// programs the array.
+	OpProgram
+	// OpErase erases a whole block; it carries no page payload.
+	OpErase
+)
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Timing holds the NAND and interface timing parameters. Durations are in
+// simulated nanoseconds. Defaults model an ONFI 2.x MLC part as configured
+// in §5.1 of the paper.
+type Timing struct {
+	// BusBytePeriod is the time to move one byte over the channel bus.
+	// ONFI 2.x synchronous mode ≈ 133 MB/s → 7.5 ns/byte.
+	BusBytePeriod sim.Time
+
+	// CmdCycle is the bus occupancy of issuing one command byte plus its
+	// associated control signalling.
+	CmdCycle sim.Time
+
+	// AddrCycle is the bus occupancy of one address cycle; five are issued
+	// per page access, two per erase.
+	AddrCycle sim.Time
+
+	// DecisionWindow is how long the flash controller may hold a ready chip
+	// while it decides the transaction type (§2.2 "transaction type should
+	// be decided within a short period"). Requests committed after the
+	// window closes join the next transaction.
+	DecisionWindow sim.Time
+
+	// ReadArray is the cell sensing time tR (paper: 20 µs).
+	ReadArray sim.Time
+
+	// ProgramFast and ProgramSlow bound the MLC program time tPROG. The
+	// paper cites 200 µs (fast page) to 2200 µs (slow page) from the Micron
+	// MLC datasheet; which one applies depends on the page address (paired
+	// page programming), see PageProgramTime.
+	ProgramFast sim.Time
+	ProgramSlow sim.Time
+
+	// EraseBlock is the block erase time tBERS.
+	EraseBlock sim.Time
+
+	// StatusCycle is the bus occupancy of polling/reading chip status when
+	// a transaction completes.
+	StatusCycle sim.Time
+}
+
+// DefaultTiming returns the §5.1 configuration.
+func DefaultTiming() Timing {
+	return Timing{
+		BusBytePeriod:  8, // ~133 MB/s, ONFI 2.x
+		CmdCycle:       100,
+		AddrCycle:      100,
+		DecisionWindow: 2 * sim.Microsecond,
+		ReadArray:      20 * sim.Microsecond,
+		ProgramFast:    200 * sim.Microsecond,
+		ProgramSlow:    2200 * sim.Microsecond,
+		EraseBlock:     3 * sim.Millisecond,
+		StatusCycle:    200,
+	}
+}
+
+// Validate reports an error for non-positive timing parameters.
+func (t Timing) Validate() error {
+	type d struct {
+		name string
+		v    sim.Time
+	}
+	for _, x := range []d{
+		{"BusBytePeriod", t.BusBytePeriod},
+		{"CmdCycle", t.CmdCycle},
+		{"AddrCycle", t.AddrCycle},
+		{"ReadArray", t.ReadArray},
+		{"ProgramFast", t.ProgramFast},
+		{"ProgramSlow", t.ProgramSlow},
+		{"EraseBlock", t.EraseBlock},
+		{"StatusCycle", t.StatusCycle},
+	} {
+		if x.v <= 0 {
+			return fmt.Errorf("flash: timing %s = %d, must be positive", x.name, int64(x.v))
+		}
+	}
+	if t.DecisionWindow < 0 {
+		return fmt.Errorf("flash: timing DecisionWindow = %d, must be >= 0", int64(t.DecisionWindow))
+	}
+	if t.ProgramSlow < t.ProgramFast {
+		return fmt.Errorf("flash: ProgramSlow (%d) < ProgramFast (%d)", int64(t.ProgramSlow), int64(t.ProgramFast))
+	}
+	return nil
+}
+
+// PageProgramTime returns tPROG for a given page index within its block.
+// MLC parts pair pages on the same wordline: the LSB page programs fast and
+// the MSB page slow. ONFI-style shared pages interleave so that pages 0,1
+// are fast then fast/slow pairs alternate; we model the common layout where
+// even pages are fast and odd pages slow, which reproduces the paper's
+// "intrinsic write variation latency" between 200 and 2200 µs.
+func (t Timing) PageProgramTime(pageInBlock int) sim.Time {
+	if pageInBlock%2 == 0 {
+		return t.ProgramFast
+	}
+	return t.ProgramSlow
+}
+
+// CellTime returns the array (cell) occupancy of op at address a. For
+// programs this varies with the page address; reads and erases are fixed.
+func (t Timing) CellTime(op Op, a Addr) sim.Time {
+	switch op {
+	case OpRead:
+		return t.ReadArray
+	case OpProgram:
+		return t.PageProgramTime(a.Page)
+	case OpErase:
+		return t.EraseBlock
+	default:
+		panic("flash: unknown op in CellTime")
+	}
+}
+
+// DataTransferTime returns the bus occupancy of moving one page payload.
+func (t Timing) DataTransferTime(pageSize int) sim.Time {
+	return sim.Time(pageSize) * t.BusBytePeriod
+}
+
+// CommandOverhead returns the bus occupancy of the command+address phase
+// for one memory request of kind op (excluding payload transfer).
+// Page ops issue two command cycles (e.g. 00h...30h) and five address
+// cycles; erases issue two command cycles and three address cycles.
+func (t Timing) CommandOverhead(op Op) sim.Time {
+	switch op {
+	case OpRead, OpProgram:
+		return 2*t.CmdCycle + 5*t.AddrCycle
+	case OpErase:
+		return 2*t.CmdCycle + 3*t.AddrCycle
+	default:
+		panic("flash: unknown op in CommandOverhead")
+	}
+}

@@ -1,0 +1,91 @@
+package flash
+
+import (
+	"testing"
+
+	"sprinkler/internal/sim"
+)
+
+func TestPageProgramTimePairing(t *testing.T) {
+	tim := DefaultTiming()
+	for page := 0; page < 16; page++ {
+		got := tim.PageProgramTime(page)
+		if page%2 == 0 && got != tim.ProgramFast {
+			t.Fatalf("page %d: got %v, want fast %v", page, got, tim.ProgramFast)
+		}
+		if page%2 == 1 && got != tim.ProgramSlow {
+			t.Fatalf("page %d: got %v, want slow %v", page, got, tim.ProgramSlow)
+		}
+	}
+}
+
+func TestCellTimePerOp(t *testing.T) {
+	tim := DefaultTiming()
+	a := Addr{Page: 2} // fast page
+	if got := tim.CellTime(OpRead, a); got != tim.ReadArray {
+		t.Fatalf("read cell time %v", got)
+	}
+	if got := tim.CellTime(OpProgram, a); got != tim.ProgramFast {
+		t.Fatalf("program cell time %v", got)
+	}
+	if got := tim.CellTime(OpErase, a); got != tim.EraseBlock {
+		t.Fatalf("erase cell time %v", got)
+	}
+}
+
+func TestCellTimeUnknownOpPanics(t *testing.T) {
+	tim := DefaultTiming()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	tim.CellTime(Op(99), Addr{})
+}
+
+func TestCommandOverheadShapes(t *testing.T) {
+	tim := DefaultTiming()
+	pageOps := tim.CommandOverhead(OpRead)
+	if pageOps != tim.CommandOverhead(OpProgram) {
+		t.Fatal("read/program command overheads should match (2 cmd + 5 addr)")
+	}
+	if got, want := pageOps, 2*tim.CmdCycle+5*tim.AddrCycle; got != want {
+		t.Fatalf("page op overhead %v, want %v", got, want)
+	}
+	if got, want := tim.CommandOverhead(OpErase), 2*tim.CmdCycle+3*tim.AddrCycle; got != want {
+		t.Fatalf("erase overhead %v, want %v", got, want)
+	}
+}
+
+func TestCommandOverheadUnknownOpPanics(t *testing.T) {
+	tim := DefaultTiming()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	tim.CommandOverhead(Op(42))
+}
+
+func TestDataTransferTimeScalesWithPage(t *testing.T) {
+	tim := DefaultTiming()
+	if tim.DataTransferTime(4096) != 2*tim.DataTransferTime(2048) {
+		t.Fatal("transfer time not linear in page size")
+	}
+	// ONFI 2.x ballpark: a 2 KB page takes ~16 µs at 8 ns/B.
+	got := tim.DataTransferTime(2048)
+	if got < 10*sim.Microsecond || got > 30*sim.Microsecond {
+		t.Fatalf("2KB transfer = %v, outside ONFI 2.x ballpark", got)
+	}
+}
+
+func TestWriteDominatesRead(t *testing.T) {
+	// The paper's premise: programs are 10-100x slower than reads.
+	tim := DefaultTiming()
+	if tim.ProgramFast < 5*tim.ReadArray {
+		t.Fatal("program/read asymmetry lost")
+	}
+	if tim.ProgramSlow < 10*tim.ProgramFast {
+		t.Fatal("fast/slow page variation lost")
+	}
+}

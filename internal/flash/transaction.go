@@ -1,0 +1,214 @@
+package flash
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FLPClass labels the degree of flash-level parallelism a transaction
+// achieves, following §5.6 of the paper.
+type FLPClass int
+
+const (
+	// NonPAL: a single memory request; only system-level parallelism
+	// (channel striping/pipelining) applies.
+	NonPAL FLPClass = iota
+	// PAL1: plane sharing only — multiple planes of one die activated by a
+	// shared wordline access.
+	PAL1
+	// PAL2: die interleaving only — multiple dies, one plane each.
+	PAL2
+	// PAL3: die interleaving combined with plane sharing; the highest FLP.
+	PAL3
+)
+
+// String returns the paper's label for the class.
+func (c FLPClass) String() string {
+	switch c {
+	case NonPAL:
+		return "NON-PAL"
+	case PAL1:
+		return "PAL1"
+	case PAL2:
+		return "PAL2"
+	case PAL3:
+		return "PAL3"
+	default:
+		return fmt.Sprintf("PAL(%d)", int(c))
+	}
+}
+
+// Request is one page-sized flash memory request as seen by a flash
+// controller: an operation at a physical address. Token carries an opaque
+// caller cookie (the ssd layer stores its memory-request pointer there) so
+// completions can be routed without the flash package importing upper
+// layers.
+type Request struct {
+	Op    Op
+	Addr  Addr
+	Token interface{}
+}
+
+// Transaction is a set of same-kind requests to a single chip that the
+// flash controller executes as one unit: one command/address/data sequence
+// per member on the bus, then a single overlapped cell phase across the
+// involved dies (§2.2 "a flash transaction is a series of activities...").
+type Transaction struct {
+	Chip     ChipID
+	Op       Op
+	Requests []Request
+}
+
+// Len returns the number of member requests.
+func (t *Transaction) Len() int { return len(t.Requests) }
+
+// Dies returns the sorted distinct die indices the transaction touches.
+func (t *Transaction) Dies() []int {
+	seen := map[int]bool{}
+	for _, r := range t.Requests {
+		seen[r.Addr.Die] = true
+	}
+	dies := make([]int, 0, len(seen))
+	for d := range seen {
+		dies = append(dies, d)
+	}
+	sort.Ints(dies)
+	return dies
+}
+
+// planesOf returns the distinct planes used on die d.
+func (t *Transaction) planesOf(d int) int {
+	seen := map[int]bool{}
+	for _, r := range t.Requests {
+		if r.Addr.Die == d {
+			seen[r.Addr.Plane] = true
+		}
+	}
+	return len(seen)
+}
+
+// Class computes the FLP class from the member addresses.
+func (t *Transaction) Class() FLPClass {
+	dies := t.Dies()
+	multiPlane := false
+	for _, d := range dies {
+		if t.planesOf(d) > 1 {
+			multiPlane = true
+			break
+		}
+	}
+	switch {
+	case len(dies) > 1 && multiPlane:
+		return PAL3
+	case len(dies) > 1:
+		return PAL2
+	case multiPlane:
+		return PAL1
+	default:
+		return NonPAL
+	}
+}
+
+// Degree returns the number of member requests, i.e. how many page accesses
+// the single cell phase serves.
+func (t *Transaction) Degree() int { return len(t.Requests) }
+
+// CoalesceError explains why a request cannot join a transaction.
+type CoalesceError struct{ Reason string }
+
+func (e *CoalesceError) Error() string { return "flash: cannot coalesce: " + e.Reason }
+
+// CanJoin reports whether request r may legally be added to t under the
+// flash microarchitecture constraints of §2.2:
+//
+//   - same chip and same operation kind;
+//   - at most one request per (die, plane) — a plane holds one page in its
+//     data register;
+//   - plane sharing (two requests on the same die) requires the same page
+//     offset within the block and, for the shared-wordline access, the
+//     same block index across planes (the paper: "addresses ... should
+//     indicate the same page and die offset ... but different plane
+//     addresses");
+//   - the transaction degree cannot exceed dies × planes.
+//
+// Erases coalesce under the same die/plane rules (multi-plane erase needs
+// matching block offsets; the page offset rule is vacuous).
+func (t *Transaction) CanJoin(g Geometry, r Request) error {
+	if len(t.Requests) == 0 {
+		return nil
+	}
+	if r.Addr.Chip != t.Chip {
+		return &CoalesceError{"different chip"}
+	}
+	if r.Op != t.Op {
+		return &CoalesceError{fmt.Sprintf("op %v != transaction op %v", r.Op, t.Op)}
+	}
+	if len(t.Requests) >= g.MaxFLP() {
+		return &CoalesceError{"transaction already at max FLP"}
+	}
+	for _, m := range t.Requests {
+		if m.Addr.Die == r.Addr.Die && m.Addr.Plane == r.Addr.Plane {
+			return &CoalesceError{"die/plane already occupied"}
+		}
+		if m.Addr.Die == r.Addr.Die {
+			// Plane sharing on this die: shared wordline constraints.
+			if m.Addr.Page != r.Addr.Page {
+				return &CoalesceError{"plane sharing requires same page offset"}
+			}
+			if m.Addr.Block != r.Addr.Block {
+				return &CoalesceError{"plane sharing requires same block offset"}
+			}
+		}
+	}
+	return nil
+}
+
+// Add appends r after validating it with CanJoin. The first request fixes
+// the chip and operation kind.
+func (t *Transaction) Add(g Geometry, r Request) error {
+	if len(t.Requests) == 0 {
+		t.Chip = r.Addr.Chip
+		t.Op = r.Op
+		t.Requests = []Request{r}
+		return nil
+	}
+	if err := t.CanJoin(g, r); err != nil {
+		return err
+	}
+	t.Requests = append(t.Requests, r)
+	return nil
+}
+
+// String renders a compact diagnostic description.
+func (t *Transaction) String() string {
+	return fmt.Sprintf("txn{chip=%d op=%v n=%d class=%v}", t.Chip, t.Op, t.Len(), t.Class())
+}
+
+// BuildTransaction greedily coalesces as many of the pending requests as
+// legally possible into one transaction, starting from pending[0] (the
+// highest-priority request as ordered by the scheduler). It returns the
+// transaction and the indices of pending that were consumed.
+//
+// The greedy order respects the committed order: the flash controller scans
+// the per-chip queue once and takes every request that still fits. This is
+// exactly the opportunity window FARO widens by over-committing.
+func BuildTransaction(g Geometry, pending []Request) (*Transaction, []int) {
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	t := &Transaction{}
+	var taken []int
+	for i, r := range pending {
+		if err := t.Add(g, r); err == nil {
+			taken = append(taken, i)
+			if t.Len() >= g.MaxFLP() {
+				break
+			}
+		} else if i == 0 {
+			// First request must always be accepted; Add only fails for
+			// non-empty transactions, so this cannot happen.
+			panic("flash: BuildTransaction failed to seed transaction")
+		}
+	}
+	return t, taken
+}

@@ -1,0 +1,672 @@
+// Package ftl implements the flash translation layer running on the SSD's
+// embedded core (§2.1): a pure page-level address map (§5.1), a striped
+// dynamic page allocator that spreads consecutive logical pages across
+// channels, chips, dies and planes, and a greedy garbage collector whose
+// live-data migrations drive the §4.3 readdressing callback.
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"sprinkler/internal/flash"
+	"sprinkler/internal/req"
+	"sprinkler/internal/sim"
+)
+
+// Allocation selects the dynamic page-allocation (striping) scheme, i.e.
+// which resource dimension consecutive writes advance through first. The
+// paper's references [16, 36, 13] show these schemes fix the physical
+// layout — and hence the parallelism an I/O can reach — at design time;
+// the scheme is a knob here so that interaction can be studied.
+type Allocation int
+
+const (
+	// AllocChannelFirst stripes consecutive pages across channels, then
+	// chips within a channel, then planes, then dies — maximizing channel
+	// striping for sequential data (the paper's baseline and our default).
+	AllocChannelFirst Allocation = iota
+	// AllocWayFirst fills the chips of one channel (the "ways") before
+	// moving to the next channel: good channel pipelining, poor striping.
+	AllocWayFirst
+	// AllocPlaneFirst exhausts a chip's planes and dies before moving to
+	// the next chip: maximal flash-level locality, minimal system-level
+	// parallelism for sequential data.
+	AllocPlaneFirst
+)
+
+// String names the scheme.
+func (a Allocation) String() string {
+	switch a {
+	case AllocChannelFirst:
+		return "channel-first"
+	case AllocWayFirst:
+		return "way-first"
+	case AllocPlaneFirst:
+		return "plane-first"
+	default:
+		return fmt.Sprintf("alloc(%d)", int(a))
+	}
+}
+
+// Config parameterizes the FTL.
+type Config struct {
+	Geo flash.Geometry
+
+	// GCFreeTarget triggers garbage collection on a plane when its free
+	// (erased) block count drops to this value or below.
+	GCFreeTarget int
+
+	// MigrateCrossPlane lets the GC allocate migration destinations on a
+	// sibling plane (the one with the most free space) instead of the
+	// victim's plane. Cross-resource migration is what makes the
+	// readdressing callback matter (§4.3).
+	MigrateCrossPlane bool
+
+	// Allocation picks the write striping scheme.
+	Allocation Allocation
+
+	// EraseFailProb is the per-erase probability that a block wears out
+	// and is retired (bad-block replacement, §4.3 migration reason 3).
+	// Zero disables failure injection.
+	EraseFailProb float64
+
+	// WearDeltaMax enables static wear-leveling (§4.3 migration reason 2):
+	// when a plane's erase-count spread exceeds this delta, the next GC in
+	// that plane victimizes its coldest full block instead of the greedy
+	// min-valid choice, rotating cold data into circulation. Zero disables
+	// wear-leveling.
+	WearDeltaMax int
+
+	// Seed drives the failure-injection generator.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used by the evaluation: GC kicks
+// in at 4 free blocks per plane and may migrate across planes.
+func DefaultConfig(g flash.Geometry) Config {
+	return Config{Geo: g, GCFreeTarget: 4, MigrateCrossPlane: true}
+}
+
+// MigrationFunc observes one live-page migration: lpn moved from old to new.
+// The SSD layer forwards this to the scheduler's readdressing callback.
+type MigrationFunc func(lpn req.LPN, old, new flash.Addr)
+
+// blockMeta tracks one erase block.
+type blockMeta struct {
+	valid      req.Bitmap // live pages
+	validCount int
+	written    int  // next free page index (write pointer when active)
+	full       bool // no more free pages
+	erases     int  // wear counter
+	bad        bool // retired (erase failure)
+}
+
+// planeState is the per-plane allocation state.
+type planeState struct {
+	blocks []blockMeta
+	free   []int // erased block indices (LIFO)
+	active int   // current write block, -1 if none
+}
+
+// FTL is the translation layer. It is not safe for concurrent use; the
+// simulator is single-threaded by design.
+type FTL struct {
+	cfg    Config
+	geo    flash.Geometry
+	l2p    map[req.LPN]flash.PPN
+	p2l    map[flash.PPN]req.LPN
+	planes []*planeState
+
+	// cursor implements the channel-first stripe for write allocation:
+	// consecutive writes go to consecutive chips across channels, then
+	// advance die and plane round-robin within each chip.
+	cursor int64
+
+	onMigrate MigrationFunc
+	rng       *sim.Rand
+
+	// Counters.
+	hostWrites  int64
+	gcWrites    int64
+	gcReads     int64
+	gcErases    int64
+	gcRuns      int64
+	invalidated int64
+	badBlocks   int64
+	wlRuns      int64
+}
+
+// New builds an FTL with every block erased and the logical space unmapped.
+func New(cfg Config) (*FTL, error) {
+	if err := cfg.Geo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.GCFreeTarget < 1 {
+		return nil, fmt.Errorf("ftl: GCFreeTarget %d < 1", cfg.GCFreeTarget)
+	}
+	g := cfg.Geo
+	nPlanes := g.NumChips() * g.DiesPerChip * g.PlanesPerDie
+	f := &FTL{
+		cfg:    cfg,
+		geo:    g,
+		l2p:    make(map[req.LPN]flash.PPN),
+		p2l:    make(map[flash.PPN]req.LPN),
+		planes: make([]*planeState, nPlanes),
+	}
+	f.rng = sim.NewRand(cfg.Seed + 0x5EED)
+	for i := range f.planes {
+		ps := &planeState{
+			blocks: make([]blockMeta, g.BlocksPerPlane),
+			active: -1,
+		}
+		for b := range ps.blocks {
+			ps.blocks[b].valid = req.NewBitmap(g.PagesPerBlock)
+		}
+		// Free list in descending order so blocks are consumed 0,1,2,...
+		ps.free = make([]int, g.BlocksPerPlane)
+		for b := range ps.free {
+			ps.free[b] = g.BlocksPerPlane - 1 - b
+		}
+		f.planes[i] = ps
+	}
+	return f, nil
+}
+
+// Geometry returns the configured geometry.
+func (f *FTL) Geometry() flash.Geometry { return f.geo }
+
+// OnMigrate installs the migration observer (the readdressing callback
+// plumbing). Passing nil removes it.
+func (f *FTL) OnMigrate(fn MigrationFunc) { f.onMigrate = fn }
+
+// planeIndex linearizes (chip, die, plane).
+func (f *FTL) planeIndex(chip flash.ChipID, die, plane int) int {
+	return (int(chip)*f.geo.DiesPerChip+die)*f.geo.PlanesPerDie + plane
+}
+
+// planeAddr recovers (chip, die, plane) from a plane index.
+func (f *FTL) planeAddr(idx int) (flash.ChipID, int, int) {
+	plane := idx % f.geo.PlanesPerDie
+	idx /= f.geo.PlanesPerDie
+	die := idx % f.geo.DiesPerChip
+	chip := flash.ChipID(idx / f.geo.DiesPerChip)
+	return chip, die, plane
+}
+
+// stripeTarget returns the plane index the next write allocation should
+// use, following the configured allocation scheme. The default
+// (channel-first) walks chips across channels (chip offset 0 on every
+// channel, then offset 1, ...), maximizing channel striping, and advances
+// die/plane round-robin on each full sweep so planes fill in lockstep —
+// which keeps page offsets aligned for plane sharing.
+func (f *FTL) stripeTarget() int {
+	g := f.geo
+	n := f.cursor
+	f.cursor++
+	var chip flash.ChipID
+	var die, plane int
+	switch f.cfg.Allocation {
+	case AllocWayFirst:
+		// Chips within a channel first, then the next channel.
+		chipStep := n % int64(g.NumChips())
+		offset := int(chipStep) % g.ChipsPerChan
+		channel := int(chipStep) / g.ChipsPerChan
+		chip = g.ChipAt(channel, offset)
+		rest := n / int64(g.NumChips())
+		plane = int(rest) % g.PlanesPerDie
+		die = (int(rest) / g.PlanesPerDie) % g.DiesPerChip
+	case AllocPlaneFirst:
+		// Planes, then dies of one chip, then the next chip.
+		flp := int64(g.MaxFLP())
+		plane = int(n % int64(g.PlanesPerDie))
+		die = int((n / int64(g.PlanesPerDie)) % int64(g.DiesPerChip))
+		chipStep := (n / flp) % int64(g.NumChips())
+		channel := int(chipStep) % g.Channels
+		offset := int(chipStep) / g.Channels
+		chip = g.ChipAt(channel, offset)
+	default: // AllocChannelFirst
+		chipStep := n % int64(g.NumChips())
+		channel := int(chipStep) % g.Channels
+		offset := int(chipStep) / g.Channels
+		chip = g.ChipAt(channel, offset)
+		rest := n / int64(g.NumChips())
+		plane = int(rest) % g.PlanesPerDie
+		die = (int(rest) / g.PlanesPerDie) % g.DiesPerChip
+	}
+	return f.planeIndex(chip, die, plane)
+}
+
+// FreeBlocks returns the erased-block count of a plane (for tests and GC
+// policy probes).
+func (f *FTL) FreeBlocks(chip flash.ChipID, die, plane int) int {
+	return len(f.planes[f.planeIndex(chip, die, plane)].free)
+}
+
+// allocate takes the next free page in the plane's active block, refusing
+// to dip below reserve free blocks (host writes keep one block in reserve
+// so garbage collection always has somewhere to migrate; GC itself
+// allocates with reserve 0). It returns an error when the plane is out of
+// space (GC must run first).
+func (f *FTL) allocate(planeIdx, reserve int) (flash.Addr, error) {
+	ps := f.planes[planeIdx]
+	if ps.active < 0 || ps.blocks[ps.active].full {
+		if len(ps.free) <= reserve {
+			chip, die, plane := f.planeAddr(planeIdx)
+			return flash.Addr{}, fmt.Errorf("ftl: plane c%d/d%d/p%d out of free blocks", chip, die, plane)
+		}
+		ps.active = ps.free[len(ps.free)-1]
+		ps.free = ps.free[:len(ps.free)-1]
+	}
+	blk := &ps.blocks[ps.active]
+	chip, die, plane := f.planeAddr(planeIdx)
+	a := flash.Addr{Chip: chip, Die: die, Plane: plane, Block: ps.active, Page: blk.written}
+	blk.written++
+	if blk.written >= f.geo.PagesPerBlock {
+		blk.full = true
+	}
+	return a, nil
+}
+
+// markValid records that a holds live data for lpn.
+func (f *FTL) markValid(a flash.Addr, lpn req.LPN) {
+	ps := f.planes[f.planeIndex(a.Chip, a.Die, a.Plane)]
+	blk := &ps.blocks[a.Block]
+	if blk.valid.Get(a.Page) {
+		panic(fmt.Sprintf("ftl: page %v already valid", a))
+	}
+	blk.valid.Set(a.Page)
+	blk.validCount++
+	p := f.geo.ToPPN(a)
+	f.l2p[lpn] = p
+	f.p2l[p] = lpn
+}
+
+// invalidate drops the live mapping at a.
+func (f *FTL) invalidate(a flash.Addr) {
+	ps := f.planes[f.planeIndex(a.Chip, a.Die, a.Plane)]
+	blk := &ps.blocks[a.Block]
+	if !blk.valid.Get(a.Page) {
+		panic(fmt.Sprintf("ftl: invalidating non-valid page %v", a))
+	}
+	blk.valid.Clear(a.Page)
+	blk.validCount--
+	delete(f.p2l, f.geo.ToPPN(a))
+	f.invalidated++
+}
+
+// Lookup returns the physical address currently mapped for lpn.
+func (f *FTL) Lookup(lpn req.LPN) (flash.Addr, bool) {
+	p, ok := f.l2p[lpn]
+	if !ok {
+		return flash.Addr{}, false
+	}
+	return f.geo.FromPPN(p), true
+}
+
+// VirtualAddr is the deterministic physical placement of a logical page
+// that was written before the simulation started (the preloaded drive
+// image). Consecutive LPNs stripe channel-first over every (chip, die,
+// plane) unit; the row index becomes the block/page offset. Two LPNs in
+// the same stripe row therefore share a page offset — sequential data
+// keeps its plane-sharing potential — while logically distant pages land
+// on different rows, as they would on a long-lived drive.
+//
+// Virtual placements are read-only fictions: they are not tracked in the
+// block validity metadata and never interact with the allocator or GC.
+// The first write to such an LPN allocates a real page as usual.
+func (f *FTL) VirtualAddr(lpn req.LPN) flash.Addr {
+	g := f.geo
+	units := int64(g.NumChips()) * int64(g.DiesPerChip) * int64(g.PlanesPerDie)
+	u := int64(lpn) % units
+	row := int64(lpn) / units
+	chipStep := u % int64(g.NumChips())
+	channel := int(chipStep) % g.Channels
+	offset := int(chipStep) / g.Channels
+	rest := u / int64(g.NumChips())
+	plane := int(rest) % g.PlanesPerDie
+	die := (int(rest) / g.PlanesPerDie) % g.DiesPerChip
+	page := int(row) % g.PagesPerBlock
+	block := int(row/int64(g.PagesPerBlock)) % g.BlocksPerPlane
+	return flash.Addr{Chip: g.ChipAt(channel, offset), Die: die, Plane: plane, Block: block, Page: page}
+}
+
+// Preprocess resolves the physical layout of one memory request. This is
+// the core.preprocess(tag) step of Algorithm 1: it runs when the tag is
+// secured, before any data movement, so schedulers can group requests by
+// physical chip.
+//
+// Reads of never-written pages resolve through the VirtualAddr preloaded
+// image. Writes allocate a fresh page and invalidate the previous mapping
+// (out-of-place update).
+func (f *FTL) Preprocess(m *req.Mem) error {
+	switch m.IO.Kind {
+	case req.Read:
+		if a, ok := f.Lookup(m.LPN); ok {
+			m.Addr = a
+			return nil
+		}
+		m.Addr = f.VirtualAddr(m.LPN)
+		return nil
+	case req.Write:
+		// Allocate before invalidating so a failed allocation leaves the
+		// old mapping intact (the caller may GC and retry).
+		a, err := f.allocate(f.stripeTarget(), 1)
+		if err != nil {
+			return err
+		}
+		if old, ok := f.Lookup(m.LPN); ok {
+			f.invalidate(old)
+		}
+		f.markValid(a, m.LPN)
+		f.hostWrites++
+		m.Addr = a
+		return nil
+	default:
+		return fmt.Errorf("ftl: unknown kind %v", m.IO.Kind)
+	}
+}
+
+// NeedGC reports the plane indices whose free-block count is at or below
+// the GC threshold, most urgent first.
+func (f *FTL) NeedGC() []int {
+	var idx []int
+	for i, ps := range f.planes {
+		if len(ps.free) <= f.cfg.GCFreeTarget {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		fa, fb := len(f.planes[idx[a]].free), len(f.planes[idx[b]].free)
+		if fa != fb {
+			return fa < fb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// PlaneUnderPressure reports whether the given plane needs GC.
+func (f *FTL) PlaneUnderPressure(chip flash.ChipID, die, plane int) bool {
+	return len(f.planes[f.planeIndex(chip, die, plane)].free) <= f.cfg.GCFreeTarget
+}
+
+// Migration is one live-page move in a GC job.
+type Migration struct {
+	LPN req.LPN
+	Src flash.Addr
+	Dst flash.Addr
+}
+
+// GCJob is a planned collection of one victim block: read the live pages,
+// program them at Dst, erase the victim. The SSD layer simulates the
+// corresponding flash transactions and then calls Commit.
+type GCJob struct {
+	Victim     flash.Addr // Block field identifies the victim; Page is 0
+	Migrations []Migration
+	// WearLeveling marks a job whose victim was chosen by the static
+	// wear-leveler (coldest block) rather than the greedy policy.
+	WearLeveling bool
+	committed    bool
+}
+
+// PlanGC selects a victim in the plane (greedy: fewest valid pages among
+// full blocks) and pre-allocates migration destinations. It returns nil if
+// the plane has no collectable block — including when every candidate is
+// fully valid: erasing such a block reclaims nothing, and collecting it
+// anyway would turn GC into an endless migration storm.
+func (f *FTL) PlanGC(planeIdx int) (*GCJob, error) {
+	ps := f.planes[planeIdx]
+	chip, die, plane := f.planeAddr(planeIdx)
+	victim := -1
+	best := f.geo.PagesPerBlock + 1
+	wear := false
+	if f.cfg.WearDeltaMax > 0 {
+		// Static wear-leveling: when the erase-count spread is too wide,
+		// rotate the coldest full block back into circulation even if it
+		// is fully valid.
+		minE, maxE, cold := f.wearSpread(ps)
+		if maxE-minE > f.cfg.WearDeltaMax && cold >= 0 {
+			victim, best = cold, ps.blocks[cold].validCount
+			wear = true
+		}
+	}
+	if victim < 0 {
+		for b := range ps.blocks {
+			blk := &ps.blocks[b]
+			if !blk.full || b == ps.active || blk.bad {
+				continue
+			}
+			if blk.validCount < best {
+				best = blk.validCount
+				victim = b
+			}
+		}
+		if victim < 0 || best >= f.geo.PagesPerBlock {
+			return nil, nil
+		}
+	}
+	job := &GCJob{
+		Victim:       flash.Addr{Chip: chip, Die: die, Plane: plane, Block: victim},
+		WearLeveling: wear,
+	}
+	blk := &ps.blocks[victim]
+	for pg := 0; pg < f.geo.PagesPerBlock; pg++ {
+		if !blk.valid.Get(pg) {
+			continue
+		}
+		src := flash.Addr{Chip: chip, Die: die, Plane: plane, Block: victim, Page: pg}
+		lpn, ok := f.p2l[f.geo.ToPPN(src)]
+		if !ok {
+			panic(fmt.Sprintf("ftl: valid page %v with no reverse mapping", src))
+		}
+		dstPlane := planeIdx
+		if f.cfg.MigrateCrossPlane {
+			dstPlane = f.bestPlaneOnChip(chip, planeIdx)
+		}
+		dst, err := f.allocate(dstPlane, 0)
+		if err != nil {
+			return nil, fmt.Errorf("ftl: no room for GC migration: %w", err)
+		}
+		job.Migrations = append(job.Migrations, Migration{LPN: lpn, Src: src, Dst: dst})
+	}
+	return job, nil
+}
+
+// bestPlaneOnChip returns the plane index on chip with the most free
+// blocks, falling back to the victim's own plane. Only planes with at
+// least two free blocks are eligible: migrating into another plane's last
+// reserved block would deadlock that plane's own collection, so tight
+// chips degrade to in-plane migration (which always has the host-side
+// reserve to move into).
+func (f *FTL) bestPlaneOnChip(chip flash.ChipID, fallback int) int {
+	best, bestFree := fallback, -1
+	for die := 0; die < f.geo.DiesPerChip; die++ {
+		for plane := 0; plane < f.geo.PlanesPerDie; plane++ {
+			i := f.planeIndex(chip, die, plane)
+			free := len(f.planes[i].free)
+			if i != fallback && free < 2 {
+				continue
+			}
+			if i == fallback {
+				free-- // mild penalty: prefer moving away from the victim plane
+			}
+			if free > bestFree {
+				best, bestFree = i, free
+			}
+		}
+	}
+	return best
+}
+
+// CommitGC applies the mapping changes of a finished job: live pages are
+// remapped to their destinations (skipping any the host overwrote while
+// the job was in flight), the victim is erased and returned to the free
+// list, and the migration observer fires once per applied move.
+//
+// It returns the migrations actually applied.
+func (f *FTL) CommitGC(job *GCJob) []Migration {
+	if job.committed {
+		panic("ftl: GC job committed twice")
+	}
+	job.committed = true
+	f.gcRuns++
+	var applied []Migration
+	for _, mg := range job.Migrations {
+		cur, ok := f.l2p[mg.LPN]
+		if !ok || cur != f.geo.ToPPN(mg.Src) {
+			// The host overwrote this LPN mid-GC; its new location wins and
+			// the pre-allocated destination page is simply wasted (it will
+			// be reclaimed as invalid later) — matching real FTL behaviour.
+			continue
+		}
+		f.invalidate(mg.Src)
+		f.markValid(mg.Dst, mg.LPN)
+		f.gcReads++
+		f.gcWrites++
+		applied = append(applied, mg)
+		if f.onMigrate != nil {
+			f.onMigrate(mg.LPN, mg.Src, mg.Dst)
+		}
+	}
+	// Erase the victim. An injected erase failure retires the block (bad
+	// block replacement: the plane's remaining spares take over, §4.3).
+	ps := f.planes[f.planeIndex(job.Victim.Chip, job.Victim.Die, job.Victim.Plane)]
+	blk := &ps.blocks[job.Victim.Block]
+	if blk.validCount != 0 {
+		panic(fmt.Sprintf("ftl: erasing block %v with %d valid pages", job.Victim, blk.validCount))
+	}
+	blk.valid = req.NewBitmap(f.geo.PagesPerBlock)
+	blk.written = 0
+	blk.full = false
+	blk.erases++
+	if job.WearLeveling {
+		f.wlRuns++
+	}
+	if f.cfg.EraseFailProb > 0 && f.rng.Float64() < f.cfg.EraseFailProb {
+		blk.bad = true
+		blk.full = true // never allocatable again
+		f.badBlocks++
+	} else {
+		ps.free = append(ps.free, job.Victim.Block)
+	}
+	f.gcErases++
+	return applied
+}
+
+// wearSpread returns the min and max erase counts over a plane's blocks
+// and the coldest collectable (full, non-active, healthy) block index.
+func (f *FTL) wearSpread(ps *planeState) (minE, maxE, coldest int) {
+	minE, maxE, coldest = 1<<30, -1, -1
+	coldE := 1 << 30
+	for b := range ps.blocks {
+		blk := &ps.blocks[b]
+		if blk.bad {
+			continue
+		}
+		if blk.erases < minE {
+			minE = blk.erases
+		}
+		if blk.erases > maxE {
+			maxE = blk.erases
+		}
+		if blk.full && b != ps.active && blk.erases < coldE {
+			coldE = blk.erases
+			coldest = b
+		}
+	}
+	return minE, maxE, coldest
+}
+
+// Stats reports FTL activity counters.
+type Stats struct {
+	HostWrites  int64
+	GCWrites    int64
+	GCReads     int64
+	GCErases    int64
+	GCRuns      int64
+	Invalidated int64
+	MappedPages int64
+	BadBlocks   int64
+	WearLevels  int64
+}
+
+// Stats returns a snapshot of the counters.
+func (f *FTL) Stats() Stats {
+	return Stats{
+		HostWrites:  f.hostWrites,
+		GCWrites:    f.gcWrites,
+		GCReads:     f.gcReads,
+		GCErases:    f.gcErases,
+		GCRuns:      f.gcRuns,
+		Invalidated: f.invalidated,
+		MappedPages: int64(len(f.l2p)),
+		BadBlocks:   f.badBlocks,
+		WearLevels:  f.wlRuns,
+	}
+}
+
+// ResetStats zeroes the activity counters (mappings are untouched). Used
+// after preconditioning so measurements cover only the workload itself.
+func (f *FTL) ResetStats() {
+	f.hostWrites, f.gcWrites, f.gcReads, f.gcErases, f.gcRuns, f.invalidated = 0, 0, 0, 0, 0, 0
+}
+
+// WriteAmplification returns (host+gc)/host writes, the standard WA metric.
+func (f *FTL) WriteAmplification() float64 {
+	if f.hostWrites == 0 {
+		return 1
+	}
+	return float64(f.hostWrites+f.gcWrites) / float64(f.hostWrites)
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// workloads. It returns the first violation found.
+func (f *FTL) CheckInvariants() error {
+	if len(f.l2p) != len(f.p2l) {
+		return fmt.Errorf("ftl: l2p has %d entries, p2l has %d", len(f.l2p), len(f.p2l))
+	}
+	for lpn, p := range f.l2p {
+		if back, ok := f.p2l[p]; !ok || back != lpn {
+			return fmt.Errorf("ftl: mapping lpn %d -> ppn %d not mirrored", lpn, p)
+		}
+		a := f.geo.FromPPN(p)
+		ps := f.planes[f.planeIndex(a.Chip, a.Die, a.Plane)]
+		if !ps.blocks[a.Block].valid.Get(a.Page) {
+			return fmt.Errorf("ftl: mapped page %v not marked valid", a)
+		}
+	}
+	for i, ps := range f.planes {
+		counted := 0
+		for b := range ps.blocks {
+			blk := &ps.blocks[b]
+			if got := blk.valid.Count(); got != blk.validCount {
+				return fmt.Errorf("ftl: plane %d block %d validCount %d != bitmap %d", i, b, blk.validCount, got)
+			}
+			if blk.validCount > blk.written {
+				return fmt.Errorf("ftl: plane %d block %d valid %d > written %d", i, b, blk.validCount, blk.written)
+			}
+			counted += blk.validCount
+		}
+		_ = counted
+		free := map[int]bool{}
+		for _, b := range ps.free {
+			if free[b] {
+				return fmt.Errorf("ftl: plane %d free list duplicates block %d", i, b)
+			}
+			free[b] = true
+			if ps.blocks[b].written != 0 || ps.blocks[b].validCount != 0 {
+				return fmt.Errorf("ftl: plane %d free block %d not erased", i, b)
+			}
+			if ps.blocks[b].bad {
+				return fmt.Errorf("ftl: plane %d free list contains bad block %d", i, b)
+			}
+		}
+		for b := range ps.blocks {
+			if ps.blocks[b].bad && ps.blocks[b].validCount != 0 {
+				return fmt.Errorf("ftl: plane %d bad block %d holds live data", i, b)
+			}
+		}
+	}
+	return nil
+}

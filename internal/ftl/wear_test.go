@@ -1,0 +1,111 @@
+package ftl
+
+import (
+	"testing"
+
+	"sprinkler/internal/req"
+)
+
+// churn hammers a small LPN working set and collects whenever pressure
+// builds, driving erase counts up.
+func churn(t *testing.T, f *FTL, writes, span int) {
+	t.Helper()
+	for i := 0; i < writes; i++ {
+		io := req.NewIO(0, req.Write, req.LPN(i%span), 1, 0)
+		err := f.Preprocess(io.Mem[0])
+		for attempts := 0; err != nil && attempts < 64; attempts++ {
+			progress := false
+			for _, pi := range f.NeedGC() {
+				job, jerr := f.PlanGC(pi)
+				if jerr != nil || job == nil {
+					continue
+				}
+				f.CommitGC(job)
+				progress = true
+			}
+			if !progress {
+				t.Fatalf("write %d: no reclaimable space: %v", i, err)
+			}
+			err = f.Preprocess(io.Mem[0])
+		}
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+}
+
+func TestWearLevelingTriggers(t *testing.T) {
+	cfg := DefaultConfig(tinyGeo())
+	cfg.WearDeltaMax = 2
+	cfg.MigrateCrossPlane = false
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hot working set far smaller than capacity creates skewed wear:
+	// the same blocks churn while cold blocks never erase.
+	churn(t, f, 4000, 48)
+	st := f.Stats()
+	if st.WearLevels == 0 {
+		t.Fatal("wear-leveler never triggered despite skewed churn")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWearLevelingDisabledByDefault(t *testing.T) {
+	f := newTestFTL(t)
+	churn(t, f, 2000, 48)
+	if got := f.Stats().WearLevels; got != 0 {
+		t.Fatalf("wear-leveler ran %d times with WearDeltaMax=0", got)
+	}
+}
+
+func TestBadBlockRetirement(t *testing.T) {
+	cfg := DefaultConfig(tinyGeo())
+	cfg.EraseFailProb = 0.2 // aggressive to retire blocks quickly
+	cfg.Seed = 9
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, f, 3000, 64)
+	st := f.Stats()
+	if st.BadBlocks == 0 {
+		t.Fatalf("no blocks retired despite %d erases at 20%% failure", st.GCErases)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The device keeps working after retirements: more writes succeed.
+	churn(t, f, 500, 64)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadBlockNeverReused(t *testing.T) {
+	cfg := DefaultConfig(tinyGeo())
+	cfg.EraseFailProb = 1.0 // every erase retires its block
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, f, 800, 32)
+	st := f.Stats()
+	if st.BadBlocks != st.GCErases {
+		t.Fatalf("retired %d of %d erases at prob 1.0", st.BadBlocks, st.GCErases)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEraseFailureZeroProbIsClean(t *testing.T) {
+	f := newTestFTL(t)
+	churn(t, f, 2000, 64)
+	if got := f.Stats().BadBlocks; got != 0 {
+		t.Fatalf("retired %d blocks with failure injection off", got)
+	}
+}

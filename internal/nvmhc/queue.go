@@ -1,0 +1,88 @@
+// Package nvmhc models the non-volatile memory host controller's
+// device-level queue (§2.1): a bounded, NCQ-like tag store that admits host
+// I/O requests, tracks their lifecycle, and accounts the queue-full stall
+// time reported in Figure 10d of the paper.
+package nvmhc
+
+import (
+	"fmt"
+
+	"sprinkler/internal/req"
+	"sprinkler/internal/sim"
+)
+
+// Queue is the device-level queue. Entries stay in arrival order; an entry
+// is released when its I/O completes. Out-of-order service is expressed by
+// schedulers choosing memory requests from any entry, not by reordering
+// the queue itself — exactly how NCQ tags behave.
+type Queue struct {
+	capacity int
+	entries  []*req.IO
+
+	full     sim.TimedCounter
+	admitted int64
+	released int64
+}
+
+// NewQueue returns an empty queue with the given tag capacity.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("nvmhc: queue capacity %d", capacity))
+	}
+	return &Queue{capacity: capacity}
+}
+
+// Cap returns the tag capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Len returns the number of occupied tags.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Full reports whether every tag is occupied.
+func (q *Queue) Full() bool { return len(q.entries) >= q.capacity }
+
+// Empty reports whether no tag is occupied.
+func (q *Queue) Empty() bool { return len(q.entries) == 0 }
+
+// Enqueue secures a tag for io at time now. It returns false when the
+// queue is full (the host must hold the request — that time is the "queue
+// stall" the paper measures).
+func (q *Queue) Enqueue(now sim.Time, io *req.IO) bool {
+	if q.Full() {
+		return false
+	}
+	io.Enqueued = now
+	q.entries = append(q.entries, io)
+	q.admitted++
+	q.full.Set(now, q.Full())
+	return true
+}
+
+// Release frees io's tag. It panics if io is not queued: releasing an
+// unknown tag is a controller bug.
+func (q *Queue) Release(now sim.Time, io *req.IO) {
+	for i, e := range q.entries {
+		if e == io {
+			copy(q.entries[i:], q.entries[i+1:])
+			q.entries[len(q.entries)-1] = nil
+			q.entries = q.entries[:len(q.entries)-1]
+			q.released++
+			q.full.Set(now, q.Full())
+			return
+		}
+	}
+	panic(fmt.Sprintf("nvmhc: release of unqueued %v", io))
+}
+
+// Entries returns the queued I/Os in arrival order. Callers must not
+// mutate the returned slice.
+func (q *Queue) Entries() []*req.IO { return q.entries }
+
+// FullTime returns the cumulative time the queue spent full, through now.
+func (q *Queue) FullTime(now sim.Time) sim.Time { return q.full.Total(now) }
+
+// Admitted returns the number of I/Os ever enqueued.
+func (q *Queue) Admitted() int64 { return q.admitted }
+
+// Released returns the number of I/Os ever released.
+func (q *Queue) Released() int64 { return q.released }

@@ -1,0 +1,81 @@
+package nvmhc
+
+import (
+	"testing"
+
+	"sprinkler/internal/req"
+)
+
+func TestQueueEnqueueRelease(t *testing.T) {
+	q := NewQueue(2)
+	a := req.NewIO(1, req.Read, 0, 1, 0)
+	b := req.NewIO(2, req.Read, 8, 1, 0)
+	c := req.NewIO(3, req.Read, 16, 1, 0)
+
+	if !q.Enqueue(10, a) || !q.Enqueue(20, b) {
+		t.Fatal("enqueue into free queue failed")
+	}
+	if q.Enqueue(30, c) {
+		t.Fatal("enqueue into full queue succeeded")
+	}
+	if !q.Full() || q.Len() != 2 {
+		t.Fatalf("Full=%v Len=%d, want true/2", q.Full(), q.Len())
+	}
+	if a.Enqueued != 10 || b.Enqueued != 20 {
+		t.Fatal("Enqueued timestamps not recorded")
+	}
+
+	q.Release(50, a)
+	if q.Full() || q.Len() != 1 {
+		t.Fatal("release did not free a tag")
+	}
+	if !q.Enqueue(60, c) {
+		t.Fatal("enqueue after release failed")
+	}
+	if got := q.Entries(); len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatal("entries not in arrival order after release")
+	}
+}
+
+func TestQueueFullTimeAccounting(t *testing.T) {
+	q := NewQueue(1)
+	a := req.NewIO(1, req.Read, 0, 1, 0)
+	q.Enqueue(100, a) // full from 100
+	q.Release(250, a) // free at 250
+	if got := q.FullTime(1000); got != 150 {
+		t.Fatalf("FullTime = %v, want 150", got)
+	}
+}
+
+func TestQueueReleaseUnknownPanics(t *testing.T) {
+	q := NewQueue(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of unknown IO did not panic")
+		}
+	}()
+	q.Release(0, req.NewIO(9, req.Read, 0, 1, 0))
+}
+
+func TestQueueZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+func TestQueueCounters(t *testing.T) {
+	q := NewQueue(4)
+	for i := 0; i < 3; i++ {
+		q.Enqueue(0, req.NewIO(int64(i), req.Write, 0, 1, 0))
+	}
+	q.Release(10, q.Entries()[0])
+	if q.Admitted() != 3 || q.Released() != 1 {
+		t.Fatalf("admitted/released = %d/%d, want 3/1", q.Admitted(), q.Released())
+	}
+	if q.Empty() {
+		t.Fatal("queue reported empty with entries present")
+	}
+}

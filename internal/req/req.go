@@ -1,0 +1,218 @@
+// Package req defines the host-side request model shared by the NVMHC,
+// the schedulers and the FTL: host I/O requests (tags in the device-level
+// queue), the page-sized memory requests they decompose into, and the
+// per-tag completion bitmap used to return data in order (§4.4).
+package req
+
+import (
+	"fmt"
+
+	"sprinkler/internal/flash"
+	"sprinkler/internal/sim"
+)
+
+// Kind is the host operation type.
+type Kind int
+
+const (
+	// Read moves data from flash to the host.
+	Read Kind = iota
+	// Write moves data from the host to flash.
+	Write
+)
+
+// String returns "read" or "write".
+func (k Kind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// FlashOp maps the host kind to the flash operation that serves it.
+func (k Kind) FlashOp() flash.Op {
+	if k == Read {
+		return flash.OpRead
+	}
+	return flash.OpProgram
+}
+
+// LPN is a logical page number: the host block address divided by the
+// atomic flash I/O unit (one page).
+type LPN int64
+
+// State tracks a memory request through the §2.1 I/O service routine.
+type State int
+
+const (
+	// StateQueued: the parent tag is secured in the device-level queue but
+	// this request has not been composed (no data movement yet).
+	StateQueued State = iota
+	// StateComposed: data movement between host and SSD was initiated and
+	// the request has a physical address.
+	StateComposed
+	// StateCommitted: handed to a flash controller's per-chip queue.
+	StateCommitted
+	// StateIssued: part of an executing flash transaction.
+	StateIssued
+	// StateDone: payload served.
+	StateDone
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateComposed:
+		return "composed"
+	case StateCommitted:
+		return "committed"
+	case StateIssued:
+		return "issued"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// IO is one host I/O request. The host addresses a contiguous LPN range;
+// the NVMHC splits it into len(Mem) page-sized memory requests.
+type IO struct {
+	ID      int64
+	Kind    Kind
+	Start   LPN // first logical page
+	Pages   int // length in pages
+	Arrival sim.Time
+	FUA     bool // force-unit-access: must not be reordered (§4.4)
+
+	// Lifecycle timestamps, filled by the device model.
+	Enqueued  sim.Time // secured a tag in the device-level queue
+	FirstData sim.Time // first memory request composed
+	Done      sim.Time // all memory requests served and data returned
+
+	Mem          []*Mem
+	doneMask     Bitmap
+	nDone        int
+	firstDataSet bool
+}
+
+// NoteFirstData records the first data-movement instant once; later calls
+// are no-ops.
+func (io *IO) NoteFirstData(now sim.Time) {
+	if !io.firstDataSet {
+		io.firstDataSet = true
+		io.FirstData = now
+	}
+}
+
+// NewIO builds an I/O and its memory requests. Physical addresses are
+// attached later by the FTL preprocessor.
+func NewIO(id int64, kind Kind, start LPN, pages int, arrival sim.Time) *IO {
+	if pages <= 0 {
+		panic(fmt.Sprintf("req: IO %d with %d pages", id, pages))
+	}
+	io := &IO{ID: id, Kind: kind, Start: start, Pages: pages, Arrival: arrival}
+	io.Mem = make([]*Mem, pages)
+	io.doneMask = NewBitmap(pages)
+	for i := 0; i < pages; i++ {
+		io.Mem[i] = &Mem{IO: io, Index: i, LPN: start + LPN(i)}
+	}
+	return io
+}
+
+// End returns one past the last LPN.
+func (io *IO) End() LPN { return io.Start + LPN(io.Pages) }
+
+// Bytes returns the transfer size given a page size.
+func (io *IO) Bytes(pageSize int) int64 { return int64(io.Pages) * int64(pageSize) }
+
+// Latency returns the device-level response time (per I/O request, as in
+// §5.2), valid once the I/O completed.
+func (io *IO) Latency() sim.Time { return io.Done - io.Arrival }
+
+// QueueWait returns the time between arrival and the first composed memory
+// request.
+func (io *IO) QueueWait() sim.Time { return io.FirstData - io.Arrival }
+
+// MarkDone records completion of memory request index i and returns true
+// when the whole I/O is finished. Marking twice panics: double completion
+// is a controller bug.
+func (io *IO) MarkDone(i int) bool {
+	if io.doneMask.Get(i) {
+		panic(fmt.Sprintf("req: IO %d mem %d completed twice", io.ID, i))
+	}
+	io.doneMask.Set(i)
+	io.nDone++
+	return io.nDone == io.Pages
+}
+
+// NumDone reports how many member requests completed.
+func (io *IO) NumDone() int { return io.nDone }
+
+// Complete reports whether every member completed.
+func (io *IO) Complete() bool { return io.nDone == io.Pages }
+
+// String renders a compact description.
+func (io *IO) String() string {
+	return fmt.Sprintf("io#%d{%v lpn=%d+%d}", io.ID, io.Kind, io.Start, io.Pages)
+}
+
+// Mem is one page-sized flash memory request (§2.1: "a memory request
+// whose data size is the same as the atomic flash I/O unit size").
+type Mem struct {
+	IO    *IO
+	Index int // position within the parent I/O
+	LPN   LPN
+	State State
+
+	// Addr is the physical target, resolved by the FTL preprocessor when
+	// the tag is secured (physical layout identification) and re-resolved
+	// by the readdressing callback after live data migration. Resolved
+	// records that preprocessing completed (writes allocate exactly once).
+	Addr     flash.Addr
+	Resolved bool
+
+	Composed  sim.Time
+	Committed sim.Time
+	Finished  sim.Time
+}
+
+// Op returns the flash operation serving this request.
+func (m *Mem) Op() flash.Op { return m.IO.Kind.FlashOp() }
+
+// String renders a compact description.
+func (m *Mem) String() string {
+	return fmt.Sprintf("mem{io=%d idx=%d lpn=%d %v %v}", m.IO.ID, m.Index, m.LPN, m.Addr, m.State)
+}
+
+// Bitmap is the per-queue-entry memory request bitmap from §4.4: "NVMHC
+// maintains an eight byte memory request bitmap ... Each bit indicates an
+// issued memory request". It grows beyond 64 bits for large I/Os.
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap able to hold n bits.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, (n+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (b Bitmap) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package req
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sprinkler/internal/flash"
+)
+
+func TestNewIOBuildsMemRequests(t *testing.T) {
+	io := NewIO(7, Read, 100, 5, 1000)
+	if len(io.Mem) != 5 {
+		t.Fatalf("built %d mem requests, want 5", len(io.Mem))
+	}
+	for i, m := range io.Mem {
+		if m.LPN != LPN(100+i) {
+			t.Fatalf("mem %d LPN = %d, want %d", i, m.LPN, 100+i)
+		}
+		if m.IO != io || m.Index != i {
+			t.Fatalf("mem %d back-pointer wrong", i)
+		}
+		if m.State != StateQueued {
+			t.Fatalf("mem %d state = %v, want queued", i, m.State)
+		}
+	}
+	if io.End() != 105 {
+		t.Fatalf("End = %d, want 105", io.End())
+	}
+	if io.Bytes(2048) != 5*2048 {
+		t.Fatalf("Bytes = %d", io.Bytes(2048))
+	}
+}
+
+func TestNewIOPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-page IO did not panic")
+		}
+	}()
+	NewIO(1, Write, 0, 0, 0)
+}
+
+func TestMarkDoneCompletes(t *testing.T) {
+	io := NewIO(1, Write, 0, 3, 0)
+	if io.MarkDone(0) {
+		t.Fatal("complete after 1/3")
+	}
+	if io.MarkDone(2) {
+		t.Fatal("complete after 2/3")
+	}
+	if !io.MarkDone(1) {
+		t.Fatal("not complete after 3/3")
+	}
+	if !io.Complete() || io.NumDone() != 3 {
+		t.Fatal("completion accounting wrong")
+	}
+}
+
+func TestMarkDoneTwicePanics(t *testing.T) {
+	io := NewIO(1, Write, 0, 2, 0)
+	io.MarkDone(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double MarkDone did not panic")
+		}
+	}()
+	io.MarkDone(0)
+}
+
+func TestKindFlashOp(t *testing.T) {
+	if Read.FlashOp() != flash.OpRead {
+		t.Fatal("Read should map to OpRead")
+	}
+	if Write.FlashOp() != flash.OpProgram {
+		t.Fatal("Write should map to OpProgram")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	io := NewIO(1, Read, 0, 1, 500)
+	io.FirstData = 800
+	io.Done = 2500
+	if io.Latency() != 2000 {
+		t.Fatalf("Latency = %v, want 2000", io.Latency())
+	}
+	if io.QueueWait() != 300 {
+		t.Fatalf("QueueWait = %v, want 300", io.QueueWait())
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if len(b) != 3 {
+		t.Fatalf("bitmap words = %d, want 3", len(b))
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 3 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestBitmapSetClearProperty(t *testing.T) {
+	prop := func(idxs []uint8) bool {
+		b := NewBitmap(256)
+		ref := map[int]bool{}
+		for _, i := range idxs {
+			b.Set(int(i))
+			ref[int(i)] = true
+		}
+		for i := 0; i < 256; i++ {
+			if b.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return b.Count() == len(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		StateQueued: "queued", StateComposed: "composed",
+		StateCommitted: "committed", StateIssued: "issued", StateDone: "done",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	io := NewIO(3, Write, 10, 2, 0)
+	if io.String() == "" || io.Mem[0].String() == "" {
+		t.Fatal("String() should be non-empty")
+	}
+}

@@ -1,0 +1,249 @@
+// Package sched defines the device-level I/O scheduler interface of the
+// NVMHC and the two state-of-the-art baselines the paper compares against
+// (§3): the virtual address scheduler (VAS) and the physical address
+// scheduler (PAS). The paper's contribution, Sprinkler, lives in
+// internal/core and implements the same interface.
+package sched
+
+import (
+	"sort"
+
+	"sprinkler/internal/flash"
+	"sprinkler/internal/nvmhc"
+	"sprinkler/internal/req"
+	"sprinkler/internal/sim"
+)
+
+// Fabric is the scheduler's read-only view of the SSD internals: physical
+// layout and per-chip commitment pressure. The device model implements it.
+type Fabric interface {
+	// Geo returns the flash geometry (the "internal resource layout").
+	Geo() flash.Geometry
+	// Outstanding reports how many memory requests are composed/committed
+	// to the chip but not yet served. Schedulers budget against this.
+	Outstanding(c flash.ChipID) int
+	// ChipBusy reports the chip's R/B state.
+	ChipBusy(c flash.ChipID) bool
+}
+
+// Scheduler selects which memory requests to compose and commit next.
+//
+// Select returns memory requests in commitment order; the device model
+// initiates their data movements (serialized on the DMA engine) and hands
+// them to the flash controllers. Select is invoked whenever commitment
+// capacity or queue contents change. Requests already selected are in
+// states beyond StateQueued and must not be returned again.
+type Scheduler interface {
+	Name() string
+	Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem
+	// NeedsReaddressing reports whether the scheduler subscribes to the
+	// §4.3 readdressing callback. Schedulers that do see fresh physical
+	// addresses after live-data migration; schedulers that don't pay a
+	// re-translation penalty at commit time.
+	NeedsReaddressing() bool
+}
+
+// CandidateWindow gathers still-queued memory requests from the first
+// window I/Os of the queue (window <= 0 means every entry), honouring the
+// force-unit-access barrier of §4.4: an FUA I/O must not be reordered, so
+// the scan stops at an FUA entry unless it is the head, and an FUA head
+// blocks the scan after it until fully selected.
+func CandidateWindow(q *nvmhc.Queue, window int) []*req.Mem {
+	var out []*req.Mem
+	for i, io := range q.Entries() {
+		if window > 0 && i >= window {
+			break
+		}
+		if io.FUA && i > 0 {
+			// Barrier: nothing at or beyond an FUA entry may be selected
+			// before the entries ahead of it have fully drained.
+			break
+		}
+		for _, m := range io.Mem {
+			if m.State == req.StateQueued {
+				out = append(out, m)
+			}
+		}
+		if io.FUA {
+			// FUA head: serve it alone, in order.
+			break
+		}
+	}
+	return out
+}
+
+// budget tracks per-chip commitment capacity within one Select call.
+type budget struct {
+	fab   Fabric
+	slots int
+	used  map[flash.ChipID]int
+}
+
+func newBudget(fab Fabric, slots int) *budget {
+	return &budget{fab: fab, slots: slots, used: make(map[flash.ChipID]int)}
+}
+
+// take reserves one slot on m's chip if capacity remains.
+func (b *budget) take(m *req.Mem) bool {
+	c := m.Addr.Chip
+	if b.fab.Outstanding(c)+b.used[c] >= b.slots {
+		return false
+	}
+	b.used[c]++
+	return true
+}
+
+// fits reports whether every request in ms can be taken together.
+func (b *budget) fits(ms []*req.Mem) bool {
+	need := make(map[flash.ChipID]int)
+	for _, m := range ms {
+		need[m.Addr.Chip]++
+	}
+	for c, n := range need {
+		if b.fab.Outstanding(c)+b.used[c]+n > b.slots {
+			return false
+		}
+	}
+	return true
+}
+
+// VAS is the virtual address scheduler (§3): strict FIFO over the
+// device-level queue. It composes the head I/O's memory requests in order
+// and cannot advance to the next I/O until every request of the head has
+// been committed — the head-of-line blocking that causes the inter-chip
+// idleness of Figure 4. VAS is oblivious to physical addresses: it never
+// reorders around busy chips.
+type VAS struct {
+	// Slots is the per-chip commitment depth. The paper's VAS waits for
+	// the previously committed request to complete before committing the
+	// next one to the same chip (Figure 4b), i.e. depth 1.
+	Slots int
+}
+
+// NewVAS returns a VAS with the default commitment depth.
+func NewVAS() *VAS { return &VAS{Slots: 1} }
+
+// Name implements Scheduler.
+func (v *VAS) Name() string { return "VAS" }
+
+// NeedsReaddressing implements Scheduler: VAS has no readdressing callback.
+func (v *VAS) NeedsReaddressing() bool { return false }
+
+// Select implements Scheduler.
+func (v *VAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
+	entries := q.Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	// Find the oldest I/O with unselected requests: that is the head VAS
+	// is working on. If any of its requests cannot commit now, VAS stalls.
+	for _, io := range entries {
+		pending := false
+		for _, m := range io.Mem {
+			if m.State == req.StateQueued {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			continue
+		}
+		b := newBudget(fab, v.Slots)
+		var out []*req.Mem
+		for _, m := range io.Mem {
+			if m.State != req.StateQueued {
+				continue
+			}
+			if b.take(m) {
+				out = append(out, m)
+			}
+			// Requests that do not fit stay queued; VAS will not look past
+			// this I/O regardless (head-of-line blocking).
+		}
+		return out
+	}
+	return nil
+}
+
+// PAS is the physical address scheduler (§3, modelled after Ozone and
+// PAQ): it sees physical addresses, keeps small extra queues per chip, and
+// reorders at I/O-request granularity — it skips I/Os whose target chips
+// are saturated and serves later I/Os, a coarse-grain out-of-order
+// execution. It still composes memory requests within I/O boundaries, so
+// parallelism dependency remains (§3, "composes memory requests and
+// commits them based on I/O request arrival order").
+type PAS struct {
+	// Slots is the per-chip extra queue depth.
+	Slots int
+}
+
+// NewPAS returns a PAS with the default extra-queue depth.
+func NewPAS() *PAS { return &PAS{Slots: 4} }
+
+// Name implements Scheduler.
+func (p *PAS) Name() string { return "PAS" }
+
+// NeedsReaddressing implements Scheduler: PAS's hardware preprocessor does
+// not track live-data migration (§4.3).
+func (p *PAS) NeedsReaddressing() bool { return false }
+
+// Select implements Scheduler.
+//
+// PAS reorders at I/O granularity (coarse-grain out-of-order, Figure 5a):
+// an I/O commits only when every one of its remaining memory requests fits
+// the per-chip extra queues; otherwise the whole I/O is skipped and later
+// I/Os are considered. The oldest incomplete I/O is exempt from atomicity
+// (it may commit partially) so oversized I/Os — more requests to one chip
+// than the extra queue holds — still make progress.
+func (p *PAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
+	b := newBudget(fab, p.Slots)
+	var out []*req.Mem
+	head := true
+	for i, io := range q.Entries() {
+		if io.FUA && i > 0 {
+			break
+		}
+		var pending []*req.Mem
+		for _, m := range io.Mem {
+			if m.State == req.StateQueued {
+				pending = append(pending, m)
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		if head {
+			// Progress guarantee: commit whatever fits of the head.
+			for _, m := range pending {
+				if b.take(m) {
+					out = append(out, m)
+				}
+			}
+			head = false
+		} else if b.fits(pending) {
+			for _, m := range pending {
+				if !b.take(m) {
+					panic("sched: PAS fits/take mismatch")
+				}
+				out = append(out, m)
+			}
+		}
+		if io.FUA {
+			break
+		}
+	}
+	return out
+}
+
+// SortChipsByOffset orders chip IDs in the RIOS traversal order (§4.1):
+// same chip offset across channels first, then the next offset — so
+// commitments stripe across channels before pipelining within one.
+func SortChipsByOffset(g flash.Geometry, chips []flash.ChipID) {
+	sort.Slice(chips, func(a, b int) bool {
+		oa, ob := g.ChipOffset(chips[a]), g.ChipOffset(chips[b])
+		if oa != ob {
+			return oa < ob
+		}
+		return g.Channel(chips[a]) < g.Channel(chips[b])
+	})
+}

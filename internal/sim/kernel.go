@@ -1,0 +1,193 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// many-chip SSD model: a deterministic event queue, a simulation clock, and
+// time-weighted statistics helpers.
+//
+// The kernel is intentionally single-threaded. All model components run as
+// callbacks scheduled on one Engine, so a simulation is a pure function of
+// its inputs: the same configuration and trace always produce the same
+// timeline. Events scheduled for the same instant fire in the order they
+// were scheduled (FIFO tie-breaking by sequence number).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. The Engine passes the current simulation
+// time when the event fires.
+type Event func(now Time)
+
+// event is an internal heap entry.
+type event struct {
+	at   Time
+	seq  uint64 // schedule order, breaks ties deterministically
+	fn   Event
+	dead bool // cancelled
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ e *event }
+
+// Cancel marks the event dead; it will be skipped when popped. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil {
+		h.e.dead = true
+	}
+}
+
+// Engine is the simulation event loop.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an Engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet reaped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// that is always a model bug, and silently clamping would corrupt causality.
+func (e *Engine) At(at Time, fn Event) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, fn Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, the event budget is exhausted,
+// or Stop is called. A budget of 0 means unlimited. It returns the time of
+// the last executed event.
+func (e *Engine) Run(budget uint64) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+		if budget != 0 && e.fired >= budget {
+			break
+		}
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Drained reports whether the queue holds no live events.
+func (e *Engine) Drained() bool {
+	for _, ev := range e.events {
+		if !ev.dead {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxInt64)

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TimedCounter accumulates the time a boolean condition holds, e.g. "chip
+// busy" or "queue full". Callers flip the condition with Set and read the
+// total with Total.
+type TimedCounter struct {
+	on    bool
+	since Time
+	total Time
+}
+
+// Set records a condition transition at time now. Setting the same state
+// twice is a no-op, so callers need not track edges themselves.
+func (c *TimedCounter) Set(now Time, on bool) {
+	if on == c.on {
+		return
+	}
+	if c.on {
+		c.total += now - c.since
+	}
+	c.on = on
+	c.since = now
+}
+
+// On reports the current condition state.
+func (c *TimedCounter) On() bool { return c.on }
+
+// Total returns the accumulated on-time through now.
+func (c *TimedCounter) Total(now Time) Time {
+	t := c.total
+	if c.on {
+		t += now - c.since
+	}
+	return t
+}
+
+// WeightedSum integrates a piecewise-constant value over time, e.g. "number
+// of active dies". Mean(now) gives the time-weighted average.
+type WeightedSum struct {
+	value float64
+	since Time
+	sum   float64 // ∫ value dt, in value·ns
+	start Time
+	began bool
+}
+
+// Set changes the integrated value at time now.
+func (w *WeightedSum) Set(now Time, v float64) {
+	if !w.began {
+		w.began = true
+		w.start = now
+		w.since = now
+		w.value = v
+		return
+	}
+	w.sum += w.value * float64(now-w.since)
+	w.value = v
+	w.since = now
+}
+
+// Add adjusts the current value by delta at time now.
+func (w *WeightedSum) Add(now Time, delta float64) { w.Set(now, w.value+delta) }
+
+// Value returns the current instantaneous value.
+func (w *WeightedSum) Value() float64 { return w.value }
+
+// Integral returns ∫ value dt from the first Set through now.
+func (w *WeightedSum) Integral(now Time) float64 {
+	if !w.began {
+		return 0
+	}
+	return w.sum + w.value*float64(now-w.since)
+}
+
+// Mean returns the time-weighted mean value from the first Set through now.
+func (w *WeightedSum) Mean(now Time) float64 {
+	if !w.began || now <= w.start {
+		return 0
+	}
+	return w.Integral(now) / float64(now-w.start)
+}
+
+// Histogram is a simple scalar sample accumulator with order statistics.
+// It retains all samples; simulations here produce at most a few million.
+type Histogram struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the sum of samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[0]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// StdDev returns the population standard deviation.
+func (h *Histogram) StdDev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimedCounterBasic(t *testing.T) {
+	var c TimedCounter
+	c.Set(10, true)
+	c.Set(30, false)
+	if got := c.Total(100); got != 20 {
+		t.Fatalf("Total = %v, want 20", got)
+	}
+}
+
+func TestTimedCounterOpenInterval(t *testing.T) {
+	var c TimedCounter
+	c.Set(10, true)
+	if got := c.Total(25); got != 15 {
+		t.Fatalf("open-interval Total = %v, want 15", got)
+	}
+	// Reading Total must not close the interval.
+	if got := c.Total(35); got != 25 {
+		t.Fatalf("second Total = %v, want 25", got)
+	}
+}
+
+func TestTimedCounterRedundantSet(t *testing.T) {
+	var c TimedCounter
+	c.Set(10, true)
+	c.Set(15, true) // no-op
+	c.Set(20, false)
+	c.Set(25, false) // no-op
+	if got := c.Total(100); got != 10 {
+		t.Fatalf("Total = %v, want 10", got)
+	}
+}
+
+func TestTimedCounterMultipleIntervals(t *testing.T) {
+	var c TimedCounter
+	for i := Time(0); i < 10; i++ {
+		c.Set(i*10, true)
+		c.Set(i*10+3, false)
+	}
+	if got := c.Total(200); got != 30 {
+		t.Fatalf("Total = %v, want 30", got)
+	}
+}
+
+func TestWeightedSumMean(t *testing.T) {
+	var w WeightedSum
+	w.Set(0, 2)
+	w.Set(10, 4)
+	w.Set(20, 0)
+	// 2 for 10ns + 4 for 10ns = 60 over 40ns => 1.5
+	if got := w.Mean(40); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 1.5", got)
+	}
+}
+
+func TestWeightedSumAdd(t *testing.T) {
+	var w WeightedSum
+	w.Set(0, 0)
+	w.Add(5, 3)
+	w.Add(10, -1)
+	if w.Value() != 2 {
+		t.Fatalf("Value = %v, want 2", w.Value())
+	}
+	// 0*5 + 3*5 + 2*10 = 35 over 20
+	if got := w.Integral(20); math.Abs(got-35) > 1e-12 {
+		t.Fatalf("Integral = %v, want 35", got)
+	}
+}
+
+func TestWeightedSumBeforeFirstSet(t *testing.T) {
+	var w WeightedSum
+	if w.Mean(100) != 0 || w.Integral(100) != 0 {
+		t.Fatal("unset WeightedSum should report zero")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v, want 5", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Percentile(50) != 0 || h.StdDev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	_ = h.Percentile(50)
+	h.Observe(1) // must re-sort
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min after late Observe = %v, want 1", got)
+	}
+}
+
+func TestHistogramStdDev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if got := h.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of range", v)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandPanics(t *testing.T) {
+	r := NewRand(1)
+	for _, fn := range []func(){
+		func() { r.Intn(0) },
+		func() { r.Int63n(-5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on non-positive bound")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: TimedCounter total never exceeds elapsed time and is
+// nonnegative, for any sequence of toggles.
+func TestTimedCounterBoundsProperty(t *testing.T) {
+	prop := func(toggles []bool) bool {
+		var c TimedCounter
+		now := Time(0)
+		for _, on := range toggles {
+			now += 7
+			c.Set(now, on)
+		}
+		total := c.Total(now + 100)
+		return total >= 0 && total <= now+100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram percentiles are monotone in p.
+func TestHistogramMonotoneProperty(t *testing.T) {
+	prop := func(vals []float64, a, b uint8) bool {
+		var h Histogram
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return h.Percentile(pa) <= h.Percentile(pb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

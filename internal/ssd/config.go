@@ -1,0 +1,118 @@
+// Package ssd assembles the full many-chip SSD model of Figure 2: the
+// NVMHC with its device-level queue and DMA engine, the embedded core
+// running the FTL, per-channel flash controllers, the shared channel buses
+// and the NAND chips — and drives a workload through it under a pluggable
+// device-level I/O scheduler.
+package ssd
+
+import (
+	"fmt"
+
+	"sprinkler/internal/flash"
+	"sprinkler/internal/ftl"
+	"sprinkler/internal/sim"
+)
+
+// Config parameterizes a Device.
+type Config struct {
+	Geo flash.Geometry
+	Tim flash.Timing
+
+	// QueueDepth is the device-level queue's tag capacity (§2.1). SATA
+	// NCQ exposes 32 tags; NVMe-class devices more. Default 64.
+	QueueDepth int
+
+	// ComposeLatency models one memory request's data movement between
+	// host and SSD (memory request composition, §2.1). Compositions
+	// serialize on the DMA engine.
+	ComposeLatency sim.Time
+
+	// RetranslatePenalty is charged at commit time when a scheduler
+	// without the readdressing callback (§4.3) holds a stale physical
+	// address after live-data migration.
+	RetranslatePenalty sim.Time
+
+	// LogicalPages bounds the logical address space. Zero defaults to
+	// ~90% of the physical pages, leaving over-provisioning headroom.
+	LogicalPages int64
+
+	// GCFreeTarget is the per-plane free-block threshold that triggers
+	// background garbage collection. Zero uses the FTL default.
+	GCFreeTarget int
+
+	// Allocation picks the FTL's dynamic page-allocation scheme.
+	Allocation ftl.Allocation
+
+	// EraseFailProb injects per-erase block retirements (bad-block
+	// replacement, §4.3). Zero disables.
+	EraseFailProb float64
+
+	// WearDeltaMax enables static wear-leveling when a plane's erase
+	// spread exceeds it (§4.3). Zero disables.
+	WearDeltaMax int
+
+	// DisableGC turns background garbage collection off (pristine-state
+	// experiments).
+	DisableGC bool
+
+	// CollectSeries records one SeriesPoint per completed I/O (Figure 12).
+	CollectSeries bool
+}
+
+// DefaultConfig mirrors §5.1: 2 KB pages, 2 dies × 4 planes, ONFI 2.x
+// channels, with 64 chips over 8 channels.
+func DefaultConfig() Config {
+	return Config{
+		Geo:                flash.DefaultGeometry(),
+		Tim:                flash.DefaultTiming(),
+		QueueDepth:         64,
+		ComposeLatency:     200, // ~2KB over an 8 GB/s host link + overhead
+		RetranslatePenalty: 5 * sim.Microsecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Geo.Validate(); err != nil {
+		return err
+	}
+	if err := c.Tim.Validate(); err != nil {
+		return err
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("ssd: QueueDepth %d", c.QueueDepth)
+	}
+	if c.ComposeLatency < 0 {
+		return fmt.Errorf("ssd: negative ComposeLatency")
+	}
+	if c.RetranslatePenalty < 0 {
+		return fmt.Errorf("ssd: negative RetranslatePenalty")
+	}
+	if c.LogicalPages < 0 {
+		return fmt.Errorf("ssd: negative LogicalPages")
+	}
+	if c.LogicalPages > c.Geo.TotalPages() {
+		return fmt.Errorf("ssd: LogicalPages %d exceeds physical %d", c.LogicalPages, c.Geo.TotalPages())
+	}
+	return nil
+}
+
+// logicalPages resolves the default logical space.
+func (c *Config) logicalPages() int64 {
+	if c.LogicalPages > 0 {
+		return c.LogicalPages
+	}
+	return c.Geo.TotalPages() * 9 / 10
+}
+
+// ftlConfig builds the FTL configuration.
+func (c *Config) ftlConfig() ftl.Config {
+	fc := ftl.DefaultConfig(c.Geo)
+	if c.GCFreeTarget > 0 {
+		fc.GCFreeTarget = c.GCFreeTarget
+	}
+	fc.Allocation = c.Allocation
+	fc.EraseFailProb = c.EraseFailProb
+	fc.WearDeltaMax = c.WearDeltaMax
+	return fc
+}

@@ -1,0 +1,128 @@
+package ssd
+
+import (
+	"fmt"
+
+	"sprinkler/internal/bus"
+	"sprinkler/internal/flash"
+	"sprinkler/internal/sim"
+)
+
+// controller is one per-channel flash controller (§2.1): it owns the
+// committed per-chip request queues, builds flash transactions, and
+// executes them on the chips.
+//
+// Transaction formation follows §2.2: when a chip becomes ready, the
+// controller settles the transaction type within the decision window and
+// greedily coalesces every committed request that legally fits (same op,
+// distinct die/plane, plane sharing only with matching block/page
+// offsets). Requests committed after the decision instant wait for the
+// next transaction — the temporal transactional-locality limit. The depth
+// of the committed queue is therefore what bounds achievable FLP, which is
+// exactly the lever FARO's over-commitment pulls.
+type controller struct {
+	eng     *sim.Engine
+	geo     flash.Geometry
+	tim     flash.Timing
+	channel int
+	bus     *bus.Channel
+	chips   map[flash.ChipID]*flash.Chip
+
+	pending    map[flash.ChipID][]flash.Request
+	buildArmed map[flash.ChipID]bool
+
+	// onReqDone routes member-request completions back to the device.
+	onReqDone func(now sim.Time, r flash.Request)
+	// onTxnStart/onTxnDone keep the device's busy-chip integral current.
+	onTxnStart func(now sim.Time, c flash.ChipID)
+	onTxnDone  func(now sim.Time, c flash.ChipID)
+}
+
+func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, channel int) *controller {
+	ctl := &controller{
+		eng:        eng,
+		geo:        geo,
+		tim:        tim,
+		channel:    channel,
+		bus:        bus.New(eng, channel),
+		chips:      make(map[flash.ChipID]*flash.Chip),
+		pending:    make(map[flash.ChipID][]flash.Request),
+		buildArmed: make(map[flash.ChipID]bool),
+	}
+	for off := 0; off < geo.ChipsPerChan; off++ {
+		id := geo.ChipAt(channel, off)
+		ctl.chips[id] = flash.NewChip(eng, ctl.bus, id, geo, tim)
+	}
+	return ctl
+}
+
+// chip returns the chip object, panicking on foreign IDs.
+func (ctl *controller) chip(id flash.ChipID) *flash.Chip {
+	c, ok := ctl.chips[id]
+	if !ok {
+		panic(fmt.Sprintf("ssd: chip %d not on channel %d", id, ctl.channel))
+	}
+	return c
+}
+
+// commit appends a memory request to the chip's committed queue and arms
+// the transaction builder if the chip is ready.
+func (ctl *controller) commit(r flash.Request) {
+	id := r.Addr.Chip
+	ctl.pending[id] = append(ctl.pending[id], r)
+	ctl.armBuild(id)
+}
+
+// pendingLen reports the committed-but-unissued depth for a chip.
+func (ctl *controller) pendingLen(id flash.ChipID) int { return len(ctl.pending[id]) }
+
+// armBuild schedules a transaction build for an idle chip after the
+// decision window. Requests committed within the window still make the
+// cut; later ones join the next transaction.
+func (ctl *controller) armBuild(id flash.ChipID) {
+	if ctl.buildArmed[id] || ctl.chip(id).Busy() || len(ctl.pending[id]) == 0 {
+		return
+	}
+	ctl.buildArmed[id] = true
+	ctl.eng.After(ctl.tim.DecisionWindow, func(now sim.Time) {
+		ctl.buildArmed[id] = false
+		ctl.build(now, id)
+	})
+}
+
+// build coalesces the committed queue into one transaction and executes it.
+func (ctl *controller) build(now sim.Time, id flash.ChipID) {
+	chip := ctl.chip(id)
+	if chip.Busy() || len(ctl.pending[id]) == 0 {
+		return
+	}
+	txn, taken := flash.BuildTransaction(ctl.geo, ctl.pending[id])
+	// Remove the consumed requests, preserving order of the rest.
+	rest := ctl.pending[id][:0]
+	ti := 0
+	for i, r := range ctl.pending[id] {
+		if ti < len(taken) && taken[ti] == i {
+			ti++
+			continue
+		}
+		rest = append(rest, r)
+	}
+	ctl.pending[id] = rest
+
+	if ctl.onTxnStart != nil {
+		ctl.onTxnStart(now, id)
+	}
+	chip.Execute(txn, flash.Callbacks{
+		RequestDone: func(t sim.Time, r flash.Request) {
+			if ctl.onReqDone != nil {
+				ctl.onReqDone(t, r)
+			}
+		},
+		TxnDone: func(t sim.Time, _ *flash.Transaction) {
+			if ctl.onTxnDone != nil {
+				ctl.onTxnDone(t, id)
+			}
+			ctl.armBuild(id)
+		},
+	})
+}

@@ -1,0 +1,494 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+
+	"sprinkler/internal/flash"
+	"sprinkler/internal/ftl"
+	"sprinkler/internal/metrics"
+	"sprinkler/internal/nvmhc"
+	"sprinkler/internal/req"
+	"sprinkler/internal/sched"
+	"sprinkler/internal/sim"
+)
+
+// IOSource supplies host I/O requests in arrival order. Next returns false
+// when the workload is exhausted.
+type IOSource interface {
+	Next() (*req.IO, bool)
+}
+
+// SliceSource replays a fixed request list.
+type SliceSource struct {
+	IOs []*req.IO
+	i   int
+}
+
+// Next implements IOSource.
+func (s *SliceSource) Next() (*req.IO, bool) {
+	if s.i >= len(s.IOs) {
+		return nil, false
+	}
+	io := s.IOs[s.i]
+	s.i++
+	return io, true
+}
+
+// Device is the assembled SSD model. Create one per run with New; a
+// Device cannot be reused across workloads.
+type Device struct {
+	cfg   Config
+	eng   *sim.Engine
+	sch   sched.Scheduler
+	queue *nvmhc.Queue
+	fl    *ftl.FTL
+	ctrls []*controller
+
+	outstanding []int // per chip: selected-but-unserved memory requests
+
+	// DMA engine: memory request composition serializes here (§2.1).
+	composeQ  []*req.Mem
+	composing bool
+
+	// Host front end.
+	src     IOSource
+	backlog []*req.IO
+
+	pumping bool
+
+	// Readdressing support: queued (not yet composed) reads by LPN.
+	queuedReads map[req.LPN][]*req.Mem
+
+	gcActive     map[flash.ChipID]bool
+	emergencyGCs int64
+	staleFixes   int64
+
+	// Accounting.
+	busyChips      int
+	busyIntegral   float64
+	sysBusyTime    sim.Time
+	lastAccount    sim.Time
+	inflight       int
+	latency        sim.Histogram
+	series         []metrics.SeriesPoint
+	bytesRead      int64
+	bytesWritten   int64
+	iosDone        int64
+	lastCompletion sim.Time
+}
+
+// New builds a Device with the given scheduler.
+func New(cfg Config, scheduler sched.Scheduler) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if scheduler == nil {
+		return nil, errors.New("ssd: nil scheduler")
+	}
+	fl, err := ftl.New(cfg.ftlConfig())
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:         cfg,
+		eng:         sim.NewEngine(),
+		sch:         scheduler,
+		queue:       nvmhc.NewQueue(cfg.QueueDepth),
+		fl:          fl,
+		outstanding: make([]int, cfg.Geo.NumChips()),
+		queuedReads: make(map[req.LPN][]*req.Mem),
+		gcActive:    make(map[flash.ChipID]bool),
+	}
+	d.ctrls = make([]*controller, cfg.Geo.Channels)
+	for ch := range d.ctrls {
+		ctl := newController(d.eng, cfg.Geo, cfg.Tim, ch)
+		ctl.onReqDone = d.onFlashReqDone
+		ctl.onTxnStart = func(now sim.Time, _ flash.ChipID) {
+			d.account(now)
+			d.busyChips++
+		}
+		ctl.onTxnDone = func(now sim.Time, _ flash.ChipID) {
+			d.account(now)
+			d.busyChips--
+			d.pump(now)
+		}
+		d.ctrls[ch] = ctl
+	}
+	return d, nil
+}
+
+// Engine exposes the simulation engine (tests drive it directly).
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// FTL exposes the translation layer (preconditioning, tests).
+func (d *Device) FTL() *ftl.FTL { return d.fl }
+
+// Scheduler returns the active scheduler.
+func (d *Device) Scheduler() sched.Scheduler { return d.sch }
+
+// Geo implements sched.Fabric.
+func (d *Device) Geo() flash.Geometry { return d.cfg.Geo }
+
+// Outstanding implements sched.Fabric.
+func (d *Device) Outstanding(c flash.ChipID) int { return d.outstanding[int(c)] }
+
+// ChipBusy implements sched.Fabric.
+func (d *Device) ChipBusy(c flash.ChipID) bool {
+	return d.ctrls[d.cfg.Geo.Channel(c)].chip(c).Busy()
+}
+
+// account advances the gated busy-chip integral to now. The gate is
+// "system busy": at least one host I/O outstanding (arrived, incomplete).
+func (d *Device) account(now sim.Time) {
+	if d.inflight > 0 {
+		dt := float64(now - d.lastAccount)
+		d.busyIntegral += float64(d.busyChips) * dt
+		d.sysBusyTime += now - d.lastAccount
+	}
+	d.lastAccount = now
+}
+
+// Precondition fills fillFrac of the logical space and then overwrites
+// churnFrac of it at random — the "filled by 95% with random writes just
+// before the GC begins" preparation of §5.9. The fill is timing-free (it
+// shapes the physical layout, not the measured timeline); FTL activity
+// counters are reset afterwards. Call before Run.
+func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
+	logical := d.cfg.logicalPages()
+	fill := int64(float64(logical) * fillFrac)
+	for lpn := int64(0); lpn < fill; lpn++ {
+		io := req.NewIO(-1, req.Write, req.LPN(lpn), 1, 0)
+		d.preprocess(io.Mem[0])
+	}
+	rng := sim.NewRand(seed + 11)
+	churn := int64(float64(fill) * churnFrac)
+	for i := int64(0); i < churn; i++ {
+		// Sweep the pressured planes periodically instead of leaning on the
+		// per-write emergency path: batched collection keeps the churn
+		// phase linear in the write count.
+		if i%512 == 0 {
+			d.mappingGCSweep()
+		}
+		io := req.NewIO(-1, req.Write, req.LPN(rng.Int63n(fill)), 1, 0)
+		d.preprocess(io.Mem[0])
+	}
+	d.fl.ResetStats()
+	d.emergencyGCs = 0
+}
+
+// mappingGCSweep runs one timing-free collection pass over every plane
+// under pressure (preconditioning only).
+func (d *Device) mappingGCSweep() {
+	for _, pi := range d.fl.NeedGC() {
+		job, err := d.fl.PlanGC(pi)
+		if err != nil || job == nil {
+			continue
+		}
+		d.applyMigrations(d.fl.CommitGC(job))
+	}
+}
+
+// Run drives the workload to completion and returns the measurements.
+func (d *Device) Run(src IOSource) (*metrics.Result, error) {
+	d.src = src
+	d.scheduleNextArrival()
+	d.eng.Run(0)
+	d.account(d.eng.Now())
+	if d.inflight > 0 {
+		return nil, fmt.Errorf("ssd: simulation stalled with %d I/Os in flight (%s)", d.inflight, d.sch.Name())
+	}
+	return d.result(), nil
+}
+
+// scheduleNextArrival chains host arrivals one event at a time, preserving
+// source order even when arrival timestamps collide.
+func (d *Device) scheduleNextArrival() {
+	io, ok := d.src.Next()
+	if !ok {
+		return
+	}
+	at := io.Arrival
+	if at < d.eng.Now() {
+		at = d.eng.Now()
+	}
+	d.eng.At(at, func(now sim.Time) { d.arrive(now, io) })
+}
+
+func (d *Device) arrive(now sim.Time, io *req.IO) {
+	d.account(now)
+	d.inflight++
+	d.backlog = append(d.backlog, io)
+	d.drainBacklog(now)
+	d.scheduleNextArrival()
+}
+
+// drainBacklog admits host I/Os into the device-level queue while tags are
+// free: the tag is secured and the physical layout of every memory request
+// is identified (core.preprocess in Algorithm 1) — no data moves yet.
+//
+// Admission stalls when the allocator cannot place a write even after
+// emergency collection (every chip mid-GC); the I/O stays at the backlog
+// head and admission retries when a GC job or an I/O completes.
+func (d *Device) drainBacklog(now sim.Time) {
+	admitted := false
+	for len(d.backlog) > 0 && !d.queue.Full() {
+		io := d.backlog[0]
+		ok := true
+		for _, m := range io.Mem {
+			if m.Resolved {
+				continue
+			}
+			if !d.preprocess(m) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		copy(d.backlog, d.backlog[1:])
+		d.backlog[len(d.backlog)-1] = nil
+		d.backlog = d.backlog[:len(d.backlog)-1]
+		d.queue.Enqueue(now, io)
+		if io.Kind == req.Read {
+			for _, m := range io.Mem {
+				d.queuedReads[m.LPN] = append(d.queuedReads[m.LPN], m)
+			}
+		}
+		admitted = true
+	}
+	if admitted {
+		d.pump(now)
+	}
+}
+
+// preprocess resolves a memory request's physical address, falling back to
+// emergency mapping-level GC passes when the allocator runs dry (the
+// background GC normally prevents this). It reports whether the request
+// was resolved; false means every reclaimable chip is mid-GC and the
+// caller must retry after a completion.
+func (d *Device) preprocess(m *req.Mem) bool {
+	err := d.fl.Preprocess(m)
+	if err == nil {
+		m.Resolved = true
+		return true
+	}
+	d.emergencyGCs++
+	// Each pass reclaims at most one block, so loop until the write fits
+	// or nothing more can be reclaimed right now.
+	for attempt := 0; attempt < 16; attempt++ {
+		reclaimed := false
+		for _, pi := range d.fl.NeedGC() {
+			// Never touch a chip with a background GC job in flight: the
+			// in-flight job's victim and destinations would be invalidated
+			// under it.
+			if d.gcActive[d.planeChip(pi)] {
+				continue
+			}
+			job, jerr := d.fl.PlanGC(pi)
+			if jerr != nil || job == nil {
+				continue
+			}
+			d.applyMigrations(d.fl.CommitGC(job))
+			reclaimed = true
+			// Retry as soon as one block is reclaimed: full passes over
+			// every pressured plane are wasted work under heavy churn.
+			if err = d.fl.Preprocess(m); err == nil {
+				m.Resolved = true
+				return true
+			}
+		}
+		if !reclaimed {
+			if len(d.gcActive) > 0 {
+				return false // wait for background GC to finish
+			}
+			panic(fmt.Sprintf("ssd: out of flash space with no GC in flight: %v", err))
+		}
+	}
+	panic(fmt.Sprintf("ssd: out of flash space even after emergency GC: %v", err))
+}
+
+// pump asks the scheduler for the next commitments until it has none.
+func (d *Device) pump(now sim.Time) {
+	if d.pumping {
+		return
+	}
+	d.pumping = true
+	for {
+		batch := d.sch.Select(now, d.queue, d)
+		if len(batch) == 0 {
+			break
+		}
+		for _, m := range batch {
+			if m.State != req.StateQueued {
+				panic(fmt.Sprintf("ssd: scheduler re-selected %v", m))
+			}
+			m.State = req.StateComposed
+			m.Composed = now
+			d.outstanding[int(m.Addr.Chip)]++
+			d.unindexQueuedRead(m)
+			d.composeQ = append(d.composeQ, m)
+		}
+	}
+	d.pumping = false
+	d.kickComposer(now)
+}
+
+func (d *Device) unindexQueuedRead(m *req.Mem) {
+	if m.IO.Kind != req.Read {
+		return
+	}
+	list := d.queuedReads[m.LPN]
+	for i, x := range list {
+		if x == m {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(d.queuedReads, m.LPN)
+	} else {
+		d.queuedReads[m.LPN] = list
+	}
+}
+
+// kickComposer runs the DMA engine: one composition at a time.
+func (d *Device) kickComposer(now sim.Time) {
+	if d.composing || len(d.composeQ) == 0 {
+		return
+	}
+	d.composing = true
+	m := d.composeQ[0]
+	copy(d.composeQ, d.composeQ[1:])
+	d.composeQ[len(d.composeQ)-1] = nil
+	d.composeQ = d.composeQ[:len(d.composeQ)-1]
+	d.eng.After(d.cfg.ComposeLatency, func(t sim.Time) {
+		d.composing = false
+		d.finishCompose(t, m)
+		d.kickComposer(t)
+	})
+}
+
+// finishCompose commits a composed request to its flash controller,
+// handling stale physical addresses left by live-data migration for
+// schedulers without the readdressing callback (§4.3).
+func (d *Device) finishCompose(now sim.Time, m *req.Mem) {
+	m.IO.NoteFirstData(now)
+	if m.IO.Kind == req.Read {
+		if fresh, ok := d.fl.Lookup(m.LPN); ok && fresh != m.Addr {
+			d.outstanding[int(m.Addr.Chip)]--
+			d.outstanding[int(fresh.Chip)]++
+			m.Addr = fresh
+			if !d.sch.NeedsReaddressing() {
+				// The scheduler planned against a stale layout: the core
+				// must re-translate before commitment.
+				d.staleFixes++
+				d.eng.After(d.cfg.RetranslatePenalty, func(t sim.Time) {
+					d.commit(t, m)
+				})
+				return
+			}
+		}
+	}
+	d.commit(now, m)
+}
+
+func (d *Device) commit(now sim.Time, m *req.Mem) {
+	m.State = req.StateCommitted
+	m.Committed = now
+	ch := d.cfg.Geo.Channel(m.Addr.Chip)
+	d.ctrls[ch].commit(flash.Request{Op: m.Op(), Addr: m.Addr, Token: m})
+}
+
+// onFlashReqDone routes flash-level completions: host memory requests
+// finish their I/O bookkeeping; GC steps advance their job state machine.
+func (d *Device) onFlashReqDone(now sim.Time, r flash.Request) {
+	switch tok := r.Token.(type) {
+	case *req.Mem:
+		d.finishMem(now, tok)
+	case *gcStep:
+		tok.advance(now)
+	default:
+		panic(fmt.Sprintf("ssd: unknown token %T", r.Token))
+	}
+}
+
+func (d *Device) finishMem(now sim.Time, m *req.Mem) {
+	m.State = req.StateDone
+	m.Finished = now
+	d.outstanding[int(m.Addr.Chip)]--
+	io := m.IO
+	if io.MarkDone(m.Index) {
+		d.completeIO(now, io)
+	}
+	if io.Kind == req.Write && !d.cfg.DisableGC {
+		d.maybeStartGC(now, m.Addr)
+	}
+	// No pump here: member completions arrive in bursts within one
+	// transaction, and the controller's TxnDone callback pumps once for
+	// all of them — scheduling work per transaction, not per page.
+}
+
+func (d *Device) completeIO(now sim.Time, io *req.IO) {
+	io.Done = now
+	d.latency.Observe(float64(io.Latency()))
+	if io.Kind == req.Read {
+		d.bytesRead += io.Bytes(d.cfg.Geo.PageSize)
+	} else {
+		d.bytesWritten += io.Bytes(d.cfg.Geo.PageSize)
+	}
+	d.iosDone++
+	d.lastCompletion = now
+	if d.cfg.CollectSeries {
+		d.series = append(d.series, metrics.SeriesPoint{
+			Index: d.iosDone, Arrival: io.Arrival, Latency: io.Latency(),
+		})
+	}
+	d.queue.Release(now, io)
+	d.account(now)
+	d.inflight--
+	d.drainBacklog(now)
+}
+
+// result snapshots the measurements after the run.
+func (d *Device) result() *metrics.Result {
+	end := d.lastCompletion
+	if end == 0 {
+		end = d.eng.Now()
+	}
+	r := &metrics.Result{
+		Scheduler:           d.sch.Name(),
+		Duration:            end,
+		IOsCompleted:        d.iosDone,
+		BytesRead:           d.bytesRead,
+		BytesWritten:        d.bytesWritten,
+		Latency:             d.latency,
+		QueueFullTime:       d.queue.FullTime(end),
+		StaleRetranslations: d.staleFixes,
+		EmergencyGCs:        d.emergencyGCs,
+		GC:                  d.fl.Stats(),
+		Series:              d.series,
+	}
+	samples := make([]metrics.ChipSample, 0, d.cfg.Geo.NumChips())
+	for ch := range d.ctrls {
+		for off := 0; off < d.cfg.Geo.ChipsPerChan; off++ {
+			chip := d.ctrls[ch].chip(d.cfg.Geo.ChipAt(ch, off))
+			st := chip.Stats()
+			samples = append(samples, metrics.ChipSample{
+				Busy:             st.BusyAll.Total(end),
+				CellActive:       st.CellActive.Total(end),
+				BusActive:        st.BusActive.Total(end),
+				BusWait:          st.BusWait,
+				PlaneUseIntegral: st.PlaneUse.Integral(end),
+				Txns:             st.Txns,
+				TxnsByClass:      st.TxnsByClass,
+				ReqsByClass:      st.ReqsByClass,
+				Requests:         st.Requests,
+			})
+		}
+	}
+	r.Compute(d.cfg.Geo, samples, d.busyIntegral, d.sysBusyTime)
+	return r
+}

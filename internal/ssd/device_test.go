@@ -1,0 +1,472 @@
+package ssd
+
+import (
+	"testing"
+
+	"sprinkler/internal/core"
+	"sprinkler/internal/flash"
+	"sprinkler/internal/req"
+	"sprinkler/internal/sched"
+	"sprinkler/internal/sim"
+)
+
+// smallConfig returns a 2-channel, 8-chip SSD that runs fast in tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geo.Channels = 2
+	cfg.Geo.ChipsPerChan = 4
+	cfg.Geo.BlocksPerPlane = 64
+	cfg.Geo.PagesPerBlock = 32
+	return cfg
+}
+
+// allSchedulers instantiates one of each evaluated scheduler.
+func allSchedulers() []sched.Scheduler {
+	return []sched.Scheduler{
+		sched.NewVAS(), sched.NewPAS(),
+		core.NewSPK1(), core.NewSPK2(), core.NewSPK3(),
+	}
+}
+
+// seqIOs builds n back-to-back I/Os of the given size.
+func seqIOs(n, pages int, kind req.Kind) []*req.IO {
+	ios := make([]*req.IO, n)
+	for i := range ios {
+		ios[i] = req.NewIO(int64(i), kind, req.LPN(i*pages), pages, 0)
+	}
+	return ios
+}
+
+func TestDeviceRunsReadsToCompletionAllSchedulers(t *testing.T) {
+	for _, s := range allSchedulers() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			d, err := New(smallConfig(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Run(&SliceSource{IOs: seqIOs(20, 8, req.Read)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.IOsCompleted != 20 {
+				t.Fatalf("completed %d, want 20", res.IOsCompleted)
+			}
+			if res.BytesRead != 20*8*2048 {
+				t.Fatalf("bytes read %d", res.BytesRead)
+			}
+			if res.Duration <= 0 {
+				t.Fatal("zero duration")
+			}
+			if res.Requests != 20*8 {
+				t.Fatalf("flash served %d requests, want 160", res.Requests)
+			}
+			if err := d.FTL().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeviceRunsWritesToCompletionAllSchedulers(t *testing.T) {
+	for _, s := range allSchedulers() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			d, err := New(smallConfig(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Run(&SliceSource{IOs: seqIOs(20, 8, req.Write)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.IOsCompleted != 20 || res.BytesWritten != 20*8*2048 {
+				t.Fatalf("completed=%d written=%d", res.IOsCompleted, res.BytesWritten)
+			}
+		})
+	}
+}
+
+func TestDeviceLatencyOrdering(t *testing.T) {
+	// SPK3 must beat VAS on a workload with heavy chip collisions:
+	// many small I/Os hammering overlapping stripes.
+	run := func(s sched.Scheduler) sim.Time {
+		d, err := New(smallConfig(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ios []*req.IO
+		for i := 0; i < 60; i++ {
+			// Overlapping offsets: I/O i covers pages [4*(i%10), +12).
+			ios = append(ios, req.NewIO(int64(i), req.Read, req.LPN(4*(i%10)), 12, 0))
+		}
+		res, err := d.Run(&SliceSource{IOs: ios})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLatency()
+	}
+	vas := run(sched.NewVAS())
+	spk3 := run(core.NewSPK3())
+	if spk3 >= vas {
+		t.Fatalf("SPK3 latency %v not better than VAS %v", spk3, vas)
+	}
+}
+
+func TestDeviceThroughputOrdering(t *testing.T) {
+	// On a mixed random workload: SPK3 >= PAS >= VAS in bandwidth (allowing
+	// small tolerance for PAS vs VAS, strict for SPK3 vs VAS).
+	bw := map[string]float64{}
+	for _, s := range allSchedulers() {
+		d, err := New(smallConfig(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ios []*req.IO
+		rng := sim.NewRand(99)
+		for i := 0; i < 80; i++ {
+			kind := req.Read
+			if rng.Bool(0.3) {
+				kind = req.Write
+			}
+			pages := 1 + rng.Intn(16)
+			start := req.LPN(rng.Intn(4096))
+			ios = append(ios, req.NewIO(int64(i), kind, start, pages, 0))
+		}
+		res, err := d.Run(&SliceSource{IOs: ios})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw[s.Name()] = res.BandwidthKBps()
+	}
+	if bw["SPK3"] <= bw["VAS"] {
+		t.Fatalf("SPK3 bw %.0f <= VAS bw %.0f", bw["SPK3"], bw["VAS"])
+	}
+}
+
+func TestDeviceFLPCoalescing(t *testing.T) {
+	// A large sequential read striped by the FTL should let SPK3 build
+	// multi-request transactions; VAS should build mostly singletons.
+	run := func(s sched.Scheduler) float64 {
+		d, err := New(smallConfig(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(&SliceSource{IOs: seqIOs(10, 64, req.Read)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgFLPDegree
+	}
+	vas := run(sched.NewVAS())
+	spk3 := run(core.NewSPK3())
+	if spk3 <= vas {
+		t.Fatalf("SPK3 FLP degree %.2f not above VAS %.2f", spk3, vas)
+	}
+	if spk3 < 1.5 {
+		t.Fatalf("SPK3 FLP degree %.2f suspiciously low", spk3)
+	}
+}
+
+func TestDeviceTransactionReduction(t *testing.T) {
+	// §5.8: over-commitment reduces the number of flash transactions.
+	txns := map[string]int64{}
+	for _, s := range allSchedulers() {
+		d, err := New(smallConfig(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Run(&SliceSource{IOs: seqIOs(10, 64, req.Read)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		txns[s.Name()] = res.Transactions
+	}
+	if txns["SPK3"] >= txns["VAS"] {
+		t.Fatalf("SPK3 txns %d >= VAS txns %d", txns["SPK3"], txns["VAS"])
+	}
+}
+
+func TestDeviceQueueStall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.QueueDepth = 2
+	d, err := New(cfg, sched.NewVAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(&SliceSource{IOs: seqIOs(30, 8, req.Write)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueFullTime <= 0 {
+		t.Fatal("depth-2 queue under 30 back-to-back I/Os never filled")
+	}
+}
+
+func TestDeviceSeriesCollection(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CollectSeries = true
+	d, err := New(cfg, sched.NewPAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(&SliceSource{IOs: seqIOs(15, 4, req.Read)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 15 {
+		t.Fatalf("series has %d points, want 15", len(res.Series))
+	}
+	for _, p := range res.Series {
+		if p.Latency <= 0 {
+			t.Fatalf("series point with non-positive latency: %+v", p)
+		}
+	}
+}
+
+func TestDevicePacedArrivals(t *testing.T) {
+	// I/Os arriving far apart must not overlap: utilization low, and
+	// inter-chip idleness gating by system-busy keeps idleness meaningful.
+	cfg := smallConfig()
+	d, err := New(cfg, core.NewSPK3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ios []*req.IO
+	for i := 0; i < 5; i++ {
+		ios = append(ios, req.NewIO(int64(i), req.Read, req.LPN(i*64), 4, sim.Time(i)*50*sim.Millisecond))
+	}
+	res, err := d.Run(&SliceSource{IOs: ios})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOsCompleted != 5 {
+		t.Fatalf("completed %d, want 5", res.IOsCompleted)
+	}
+	// Utilization is gated by system-busy time, so it complements the
+	// inter-chip idleness even on a sparse workload.
+	if diff := res.ChipUtilization + res.InterChipIdleness - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("utilization %.3f + inter-chip idleness %.3f != 1",
+			res.ChipUtilization, res.InterChipIdleness)
+	}
+	if res.InterChipIdleness <= 0 {
+		t.Fatal("inter-chip idleness should be positive on a sparse workload")
+	}
+}
+
+func TestDeviceEmptyWorkload(t *testing.T) {
+	d, err := New(smallConfig(), sched.NewVAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(&SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOsCompleted != 0 {
+		t.Fatal("phantom completions")
+	}
+}
+
+func TestDeviceConfigValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.QueueDepth = 0
+	if _, err := New(cfg, sched.NewVAS()); err == nil {
+		t.Fatal("accepted zero queue depth")
+	}
+	if _, err := New(smallConfig(), nil); err == nil {
+		t.Fatal("accepted nil scheduler")
+	}
+	cfg = smallConfig()
+	cfg.LogicalPages = cfg.Geo.TotalPages() + 1
+	if _, err := New(cfg, sched.NewVAS()); err == nil {
+		t.Fatal("accepted oversubscribed logical space")
+	}
+}
+
+func TestDeviceExecBreakdownSumsToOne(t *testing.T) {
+	d, err := New(smallConfig(), core.NewSPK3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(&SliceSource{IOs: seqIOs(30, 16, req.Read)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Exec.BusOp + res.Exec.BusContention + res.Exec.CellOp + res.Exec.Idle
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+	for _, v := range []float64{res.Exec.BusOp, res.Exec.BusContention, res.Exec.CellOp, res.Exec.Idle} {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("breakdown component out of range: %+v", res.Exec)
+		}
+	}
+}
+
+func TestDeviceFLPSharesSumToOne(t *testing.T) {
+	d, err := New(smallConfig(), core.NewSPK3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(&SliceSource{IOs: seqIOs(20, 32, req.Read)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range res.FLP.Share {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("FLP shares sum to %v (%+v)", sum, res.FLP)
+	}
+}
+
+func TestDeviceGCUnderWritePressure(t *testing.T) {
+	// Tiny drive: hammer overwrites until GC must run, then verify the
+	// device still completes everything and mappings stay sound.
+	cfg := DefaultConfig()
+	cfg.Geo.Channels = 2
+	cfg.Geo.ChipsPerChan = 2
+	cfg.Geo.DiesPerChip = 2
+	cfg.Geo.PlanesPerDie = 2
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	cfg.GCFreeTarget = 2
+	// Physical = 4 chips*2*2*8*16 = 2048 pages; logical ~60%.
+	cfg.LogicalPages = 1200
+
+	for _, s := range []sched.Scheduler{sched.NewPAS(), core.NewSPK3()} {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			d, err := New(cfg, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRand(5)
+			var ios []*req.IO
+			for i := 0; i < 400; i++ {
+				start := req.LPN(rng.Int63n(cfg.LogicalPages - 16))
+				ios = append(ios, req.NewIO(int64(i), req.Write, start, 1+rng.Intn(8), 0))
+			}
+			res, err := d.Run(&SliceSource{IOs: ios})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.IOsCompleted != 400 {
+				t.Fatalf("completed %d/400", res.IOsCompleted)
+			}
+			if res.GC.GCRuns == 0 {
+				t.Fatal("GC never ran despite overwrite pressure")
+			}
+			if err := d.FTL().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeviceReaddressingBeatsStaleOnGC(t *testing.T) {
+	// With GC churn, SPK3 (readdressing) should not pay retranslations;
+	// PAS should record some when reads chase migrated pages.
+	cfg := DefaultConfig()
+	cfg.Geo.Channels = 2
+	cfg.Geo.ChipsPerChan = 2
+	cfg.Geo.DiesPerChip = 2
+	cfg.Geo.PlanesPerDie = 2
+	cfg.Geo.BlocksPerPlane = 8
+	cfg.Geo.PagesPerBlock = 16
+	cfg.GCFreeTarget = 2
+	cfg.LogicalPages = 1200
+
+	run := func(s sched.Scheduler) int64 {
+		d, err := New(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(7)
+		var ios []*req.IO
+		for i := 0; i < 500; i++ {
+			kind := req.Write
+			if i%3 == 0 {
+				kind = req.Read
+			}
+			start := req.LPN(rng.Int63n(cfg.LogicalPages - 8))
+			ios = append(ios, req.NewIO(int64(i), kind, start, 1+rng.Intn(8), 0))
+		}
+		res, err := d.Run(&SliceSource{IOs: ios})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StaleRetranslations
+	}
+	if got := run(core.NewSPK3()); got != 0 {
+		t.Fatalf("SPK3 paid %d retranslations despite readdressing", got)
+	}
+	// PAS may or may not hit stale windows depending on timing; just
+	// verify the path doesn't corrupt anything (completion checked in run).
+	_ = run(sched.NewPAS())
+}
+
+func TestDeviceFUAOrdering(t *testing.T) {
+	d, err := New(smallConfig(), core.NewSPK3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := req.NewIO(0, req.Write, 0, 4, 0)
+	fua := req.NewIO(1, req.Write, 100, 2, 0)
+	fua.FUA = true
+	b := req.NewIO(2, req.Write, 200, 4, 0)
+	res, err := d.Run(&SliceSource{IOs: []*req.IO{a, fua, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOsCompleted != 3 {
+		t.Fatalf("completed %d/3", res.IOsCompleted)
+	}
+	if !(a.Done <= fua.FirstData) {
+		t.Fatalf("FUA started (%v) before prior I/O completed (%v)", fua.FirstData, a.Done)
+	}
+	if !(fua.Done <= b.FirstData) {
+		t.Fatalf("I/O after FUA started (%v) before FUA completed (%v)", b.FirstData, fua.Done)
+	}
+}
+
+func TestDeviceDeterminism(t *testing.T) {
+	run := func() float64 {
+		d, err := New(smallConfig(), core.NewSPK3())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(123)
+		var ios []*req.IO
+		for i := 0; i < 50; i++ {
+			ios = append(ios, req.NewIO(int64(i), req.Read, req.LPN(rng.Intn(2048)), 1+rng.Intn(12), 0))
+		}
+		res, err := d.Run(&SliceSource{IOs: ios})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BandwidthKBps()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestDeviceChipBusyFabricView(t *testing.T) {
+	d, err := New(smallConfig(), core.NewSPK3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChipBusy(flash.ChipID(0)) {
+		t.Fatal("fresh device reports busy chip")
+	}
+	if d.Outstanding(0) != 0 {
+		t.Fatal("fresh device reports outstanding work")
+	}
+	if d.Geo().NumChips() != 8 {
+		t.Fatalf("geometry plumbing broken: %d chips", d.Geo().NumChips())
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sprinkler/internal/req"
+	"sprinkler/internal/sim"
+)
+
+// Record is one trace line in the repository's interchange format:
+//
+//	arrival_ns,op,lpn,pages
+//
+// with op being "R" or "W". Lines starting with '#' are comments.
+type Record struct {
+	Arrival sim.Time
+	Kind    req.Kind
+	LPN     req.LPN
+	Pages   int
+}
+
+// ToIOs converts records to host I/O requests with sequential IDs.
+func ToIOs(recs []Record) []*req.IO {
+	ios := make([]*req.IO, len(recs))
+	for i, r := range recs {
+		ios[i] = req.NewIO(int64(i), r.Kind, r.LPN, r.Pages, r.Arrival)
+	}
+	return ios
+}
+
+// FromIOs converts host I/O requests to records.
+func FromIOs(ios []*req.IO) []Record {
+	recs := make([]Record, len(ios))
+	for i, io := range ios {
+		recs[i] = Record{Arrival: io.Arrival, Kind: io.Kind, LPN: io.Start, Pages: io.Pages}
+	}
+	return recs
+}
+
+// Write emits records in the CSV format with a header comment.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# arrival_ns,op,lpn,pages"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		op := "W"
+		if r.Kind == req.Read {
+			op = "R"
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d\n", int64(r.Arrival), op, int64(r.LPN), r.Pages); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads the CSV format. It rejects malformed lines with the line
+// number in the error.
+func Parse(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		arrival, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil || arrival < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad arrival %q", lineNo, fields[0])
+		}
+		var kind req.Kind
+		switch strings.ToUpper(strings.TrimSpace(fields[1])) {
+		case "R":
+			kind = req.Read
+		case "W":
+			kind = req.Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[1])
+		}
+		lpn, err := strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
+		if err != nil || lpn < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad lpn %q", lineNo, fields[2])
+		}
+		pages, err := strconv.Atoi(strings.TrimSpace(fields[3]))
+		if err != nil || pages <= 0 {
+			return nil, fmt.Errorf("trace: line %d: bad pages %q", lineNo, fields[3])
+		}
+		recs = append(recs, Record{Arrival: sim.Time(arrival), Kind: kind, LPN: req.LPN(lpn), Pages: pages})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

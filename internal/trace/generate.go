@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sprinkler/internal/req"
+	"sprinkler/internal/sim"
+)
+
+// GenConfig parameterizes synthetic trace generation.
+type GenConfig struct {
+	// Instructions is the number of I/O requests to generate (the
+	// workload's read/write mix splits it). Default 2000.
+	Instructions int
+
+	// LogicalPages bounds generated addresses. Required.
+	LogicalPages int64
+
+	// PageSize in bytes converts the workload's KB sizes to pages.
+	// Default 2048.
+	PageSize int
+
+	// MaxPages caps one request's length (the paper notes request sizes
+	// range "from several bytes to an MB"). Default 1024 pages (2 MB).
+	MaxPages int
+
+	// AlignStride is the address stride between burst members for
+	// high-locality workloads; pointing it at the SSD's stripe width
+	// (chips × planes) makes burst members land on the same chips with
+	// plane-sharing-compatible offsets. Default 64.
+	AlignStride int64
+
+	// IntraBurstGap and InterBurstGap shape arrival timing. Defaults:
+	// 1 µs within a burst, 30 µs mean between bursts.
+	IntraBurstGap sim.Time
+	InterBurstGap sim.Time
+
+	// Seed overrides the name-derived generator seed when non-zero.
+	Seed uint64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Instructions <= 0 {
+		c.Instructions = 2000
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 2048
+	}
+	if c.MaxPages <= 0 {
+		c.MaxPages = 1024
+	}
+	if c.AlignStride <= 0 {
+		c.AlignStride = 64
+	}
+	if c.IntraBurstGap <= 0 {
+		c.IntraBurstGap = 1 * sim.Microsecond
+	}
+	if c.InterBurstGap <= 0 {
+		c.InterBurstGap = 30 * sim.Microsecond
+	}
+	return c
+}
+
+// burstLen maps transactional locality to how many requests arrive
+// back-to-back with correlated addresses.
+func burstLen(l Locality) int {
+	switch l {
+	case High:
+		return 16
+	case Medium:
+		return 8
+	default:
+		return 3
+	}
+}
+
+// Generate synthesizes the workload as a list of host I/O requests in
+// arrival order. Generation is deterministic: the same workload and config
+// always produce the same trace.
+func Generate(w Workload, cfg GenConfig) ([]*req.IO, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LogicalPages <= 0 {
+		return nil, fmt.Errorf("trace: LogicalPages required")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(w.Name))
+		seed = h.Sum64()
+	}
+	rng := sim.NewRand(seed)
+
+	readPages := kbToPages(w.AvgReadKB(), cfg)
+	writePages := kbToPages(w.AvgWriteKB(), cfg)
+	readFrac := w.ReadFraction()
+	burst := burstLen(w.TxnLocality)
+
+	ios := make([]*req.IO, 0, cfg.Instructions)
+	now := sim.Time(0)
+	// Sequential cursors for the non-random fraction of each direction.
+	var seqRead, seqWrite req.LPN
+
+	for len(ios) < cfg.Instructions {
+		// One burst: correlated addresses around a region base.
+		isRead := rng.Float64() < readFrac
+		base := req.LPN(rng.Int63n(maxInt64(1, cfg.LogicalPages-int64(cfg.MaxPages)*int64(burst))))
+		for b := 0; b < burst && len(ios) < cfg.Instructions; b++ {
+			kind := req.Write
+			pages := writePages
+			random := w.WriteRandom / 100
+			if isRead {
+				kind = req.Read
+				pages = readPages
+				random = w.ReadRandom / 100
+			}
+			pages = jitterPages(rng, pages, cfg.MaxPages)
+
+			var start req.LPN
+			switch {
+			case w.TxnLocality == High:
+				// Stride-aligned burst members: same chips, compatible
+				// page offsets — high spatial transactional locality.
+				start = base + req.LPN(int64(b)*cfg.AlignStride)
+			case rng.Float64() < random:
+				start = req.LPN(rng.Int63n(cfg.LogicalPages))
+			default:
+				// Sequential continuation.
+				if kind == req.Read {
+					start = seqRead
+				} else {
+					start = seqWrite
+				}
+			}
+			start = clampLPN(start, pages, cfg.LogicalPages)
+			if kind == req.Read {
+				seqRead = start + req.LPN(pages)
+			} else {
+				seqWrite = start + req.LPN(pages)
+			}
+
+			io := req.NewIO(int64(len(ios)), kind, start, pages, now)
+			ios = append(ios, io)
+			now += cfg.IntraBurstGap
+		}
+		// Exponential-ish inter-burst gap in [0.5, 2]× the mean.
+		gap := cfg.InterBurstGap/2 + sim.Time(rng.Int63n(int64(cfg.InterBurstGap)*3/2))
+		now += gap
+	}
+	return ios, nil
+}
+
+// kbToPages converts a mean KB size to whole pages with sane bounds.
+func kbToPages(kb float64, cfg GenConfig) int {
+	pages := int(kb * 1024 / float64(cfg.PageSize))
+	if pages < 1 {
+		pages = 1
+	}
+	if pages > cfg.MaxPages {
+		pages = cfg.MaxPages
+	}
+	return pages
+}
+
+// jitterPages varies a mean length by ±50% to avoid degenerate uniformity.
+func jitterPages(rng *sim.Rand, mean, max int) int {
+	lo := mean / 2
+	if lo < 1 {
+		lo = 1
+	}
+	hi := mean + mean/2
+	if hi > max {
+		hi = max
+	}
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+func clampLPN(start req.LPN, pages int, logical int64) req.LPN {
+	if int64(start)+int64(pages) > logical {
+		start = req.LPN(logical - int64(pages))
+	}
+	if start < 0 {
+		start = 0
+	}
+	return start
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FixedConfig describes a closed-loop fixed-transfer-size workload for the
+// sensitivity sweeps (Figures 1, 15, 16, 17).
+type FixedConfig struct {
+	// Count is the number of I/O requests.
+	Count int
+	// Pages is the transfer size of each request in pages.
+	Pages int
+	// Kind selects reads or writes.
+	Kind req.Kind
+	// Sequential lays requests out back-to-back in LPN space; otherwise
+	// offsets are uniform random over LogicalPages.
+	Sequential bool
+	// LogicalPages bounds random offsets (required unless Sequential).
+	LogicalPages int64
+	// Seed seeds the offset generator.
+	Seed uint64
+}
+
+// GenerateFixed produces Count same-size requests, all arriving at t=0
+// (closed loop: the device-level queue's backpressure paces them).
+func GenerateFixed(cfg FixedConfig) ([]*req.IO, error) {
+	if cfg.Count <= 0 || cfg.Pages <= 0 {
+		return nil, fmt.Errorf("trace: fixed workload needs positive Count and Pages")
+	}
+	if !cfg.Sequential && cfg.LogicalPages < int64(cfg.Pages) {
+		return nil, fmt.Errorf("trace: LogicalPages %d < request size %d", cfg.LogicalPages, cfg.Pages)
+	}
+	rng := sim.NewRand(cfg.Seed + 1)
+	ios := make([]*req.IO, cfg.Count)
+	for i := range ios {
+		var start req.LPN
+		if cfg.Sequential {
+			start = req.LPN(int64(i) * int64(cfg.Pages))
+			if cfg.LogicalPages > 0 {
+				start = req.LPN(int64(start) % maxInt64(1, cfg.LogicalPages-int64(cfg.Pages)))
+			}
+		} else {
+			start = req.LPN(rng.Int63n(cfg.LogicalPages - int64(cfg.Pages) + 1))
+		}
+		ios[i] = req.NewIO(int64(i), cfg.Kind, start, cfg.Pages, 0)
+	}
+	return ios, nil
+}

@@ -1,0 +1,126 @@
+package sprinkler
+
+import (
+	"sprinkler/internal/metrics"
+	"sprinkler/internal/sim"
+)
+
+// simTime converts nanoseconds.
+func simTime(ns int64) sim.Time { return sim.Time(ns) }
+
+// ExecBreakdown decomposes total chip-time into the four components of
+// the paper's Figure 13. Fractions sum to 1.
+type ExecBreakdown struct {
+	BusOp         float64
+	BusContention float64
+	CellOp        float64
+	Idle          float64
+}
+
+// SeriesPoint is one completed I/O for time-series analysis (Figure 12).
+type SeriesPoint struct {
+	Index     int64
+	ArrivalNS int64
+	LatencyNS int64
+}
+
+// Result reports everything a simulation run measures.
+type Result struct {
+	// Scheduler that produced this result.
+	Scheduler string
+
+	// DurationNS is the simulated run length in nanoseconds.
+	DurationNS int64
+
+	IOsCompleted int64
+	BytesRead    int64
+	BytesWritten int64
+
+	// BandwidthKBps and IOPS are throughput over the run.
+	BandwidthKBps float64
+	IOPS          float64
+
+	// Latency statistics over per-I/O device-level response times.
+	AvgLatencyNS int64
+	P50LatencyNS int64
+	P99LatencyNS int64
+	MaxLatencyNS int64
+
+	// QueueStallFraction is how long the device-level queue was full,
+	// relative to the run (Figure 10d's raw quantity).
+	QueueStallFraction float64
+
+	// ChipUtilization is the busy-chip fraction while the device had work
+	// (Figure 6). InterChipIdleness is its complement; IntraChipIdleness
+	// is the unused die/plane share of busy chips (§5.3).
+	ChipUtilization   float64
+	InterChipIdleness float64
+	IntraChipIdleness float64
+
+	// Exec is the Figure 13 execution-time breakdown.
+	Exec ExecBreakdown
+
+	// FLPShares gives the fraction of memory requests served at each
+	// parallelism level: NON-PAL, PAL1, PAL2, PAL3 (Figure 14).
+	FLPShares [4]float64
+
+	// Transactions counts executed flash transactions; AvgFLPDegree is
+	// memory requests per transaction (Figure 16 / §5.8).
+	Transactions int64
+	AvgFLPDegree float64
+
+	// GCRuns counts background garbage collections; WriteAmplification is
+	// (host+GC)/host page writes. BadBlocks counts blocks retired by
+	// erase failures; WearLevels counts wear-leveling victim rotations.
+	GCRuns             int64
+	WriteAmplification float64
+	BadBlocks          int64
+	WearLevels         int64
+
+	// Series is the per-I/O latency series when CollectSeries was set.
+	Series []SeriesPoint
+}
+
+// publicResult flattens the internal result.
+func publicResult(r *metrics.Result) *Result {
+	out := &Result{
+		Scheduler:          r.Scheduler,
+		DurationNS:         int64(r.Duration),
+		IOsCompleted:       r.IOsCompleted,
+		BytesRead:          r.BytesRead,
+		BytesWritten:       r.BytesWritten,
+		BandwidthKBps:      r.BandwidthKBps(),
+		IOPS:               r.IOPS(),
+		AvgLatencyNS:       int64(r.AvgLatency()),
+		P50LatencyNS:       int64(r.Latency.Percentile(50)),
+		P99LatencyNS:       int64(r.Latency.Percentile(99)),
+		MaxLatencyNS:       int64(r.Latency.Max()),
+		QueueStallFraction: r.QueueStallFraction(),
+		ChipUtilization:    r.ChipUtilization,
+		InterChipIdleness:  r.InterChipIdleness,
+		IntraChipIdleness:  r.IntraChipIdleness,
+		Exec: ExecBreakdown{
+			BusOp:         r.Exec.BusOp,
+			BusContention: r.Exec.BusContention,
+			CellOp:        r.Exec.CellOp,
+			Idle:          r.Exec.Idle,
+		},
+		Transactions: r.Transactions,
+		AvgFLPDegree: r.AvgFLPDegree,
+		GCRuns:       r.GC.GCRuns,
+		BadBlocks:    r.GC.BadBlocks,
+		WearLevels:   r.GC.WearLevels,
+	}
+	out.FLPShares = r.FLP.Share
+	if r.GC.HostWrites > 0 {
+		out.WriteAmplification = float64(r.GC.HostWrites+r.GC.GCWrites) / float64(r.GC.HostWrites)
+	} else {
+		out.WriteAmplification = 1
+	}
+	for _, p := range r.Series {
+		out.Series = append(out.Series, SeriesPoint{
+			Index: p.Index, ArrivalNS: int64(p.Arrival), LatencyNS: int64(p.Latency),
+		})
+	}
+	return out
+}

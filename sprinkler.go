@@ -1,0 +1,285 @@
+// Package sprinkler is a from-scratch reproduction of "Sprinkler:
+// Maximizing Resource Utilization in Many-Chip Solid State Disks"
+// (Jung & Kandemir, HPCA 2014): an event-driven many-chip SSD simulator
+// with the paper's device-level I/O schedulers.
+//
+// The library models the full SSD of the paper — channels, chips, dies,
+// planes, ONFI-style bus timing, MLC program-latency variation, a
+// page-level FTL with garbage collection — and five NVMHC schedulers:
+//
+//	VAS   virtual address scheduler (FIFO baseline)
+//	PAS   physical address scheduler (coarse-grain out-of-order baseline)
+//	SPK1  Sprinkler with FARO only (FLP-aware request over-commitment)
+//	SPK2  Sprinkler with RIOS only (resource-driven I/O scheduling)
+//	SPK3  full Sprinkler (RIOS + FARO)
+//
+// Quick start:
+//
+//	cfg := sprinkler.DefaultConfig()
+//	cfg.Scheduler = sprinkler.SPK3
+//	dev, err := sprinkler.New(cfg)
+//	if err != nil { ... }
+//	res, err := dev.Run(sprinkler.SequentialReads(1000, 8))
+//	fmt.Printf("%.1f MB/s\n", res.BandwidthKBps/1024)
+package sprinkler
+
+import (
+	"fmt"
+
+	"sprinkler/internal/core"
+	"sprinkler/internal/ftl"
+	"sprinkler/internal/req"
+	"sprinkler/internal/sched"
+	"sprinkler/internal/ssd"
+	"sprinkler/internal/trace"
+)
+
+// SchedulerKind selects the device-level I/O scheduler.
+type SchedulerKind string
+
+// The five schedulers of the paper's evaluation (§5.1).
+const (
+	VAS  SchedulerKind = "VAS"
+	PAS  SchedulerKind = "PAS"
+	SPK1 SchedulerKind = "SPK1"
+	SPK2 SchedulerKind = "SPK2"
+	SPK3 SchedulerKind = "SPK3"
+)
+
+// Schedulers lists every available SchedulerKind.
+func Schedulers() []SchedulerKind { return []SchedulerKind{VAS, PAS, SPK1, SPK2, SPK3} }
+
+// AllocationScheme selects the FTL's dynamic page-allocation (striping)
+// scheme — which resource dimension consecutive writes advance through
+// first. The empty string means ChannelFirst.
+type AllocationScheme string
+
+// The supported allocation schemes (see the paper's references [13, 16,
+// 36] on page-allocation strategy impact).
+const (
+	ChannelFirst AllocationScheme = "channel-first"
+	WayFirst     AllocationScheme = "way-first"
+	PlaneFirst   AllocationScheme = "plane-first"
+)
+
+// Config describes the SSD platform. DefaultConfig mirrors §5.1 of the
+// paper: 64 chips over 8 channels, 2 dies × 4 planes per chip, 2 KB pages,
+// ONFI 2.x channel timing, MLC programming between 200 µs and 2.2 ms.
+type Config struct {
+	// Platform geometry.
+	Channels       int
+	ChipsPerChan   int
+	DiesPerChip    int
+	PlanesPerDie   int
+	BlocksPerPlane int
+	PagesPerBlock  int
+	PageSize       int
+
+	// QueueDepth is the device-level queue's tag capacity.
+	QueueDepth int
+
+	// Scheduler picks the NVMHC scheduling strategy.
+	Scheduler SchedulerKind
+
+	// Allocation picks the FTL page-allocation scheme (default
+	// ChannelFirst).
+	Allocation AllocationScheme
+
+	// DisableGC turns background garbage collection off.
+	DisableGC bool
+
+	// CollectSeries records a per-I/O latency series in the result.
+	CollectSeries bool
+}
+
+// DefaultConfig returns the paper's evaluation platform with SPK3.
+func DefaultConfig() Config {
+	base := ssd.DefaultConfig()
+	return Config{
+		Channels:       base.Geo.Channels,
+		ChipsPerChan:   base.Geo.ChipsPerChan,
+		DiesPerChip:    base.Geo.DiesPerChip,
+		PlanesPerDie:   base.Geo.PlanesPerDie,
+		BlocksPerPlane: base.Geo.BlocksPerPlane,
+		PagesPerBlock:  base.Geo.PagesPerBlock,
+		PageSize:       base.Geo.PageSize,
+		QueueDepth:     base.QueueDepth,
+		Scheduler:      SPK3,
+	}
+}
+
+// toInternal converts the public config.
+func (c Config) toInternal() (ssd.Config, sched.Scheduler, error) {
+	cfg := ssd.DefaultConfig()
+	cfg.Geo.Channels = c.Channels
+	cfg.Geo.ChipsPerChan = c.ChipsPerChan
+	cfg.Geo.DiesPerChip = c.DiesPerChip
+	cfg.Geo.PlanesPerDie = c.PlanesPerDie
+	cfg.Geo.BlocksPerPlane = c.BlocksPerPlane
+	cfg.Geo.PagesPerBlock = c.PagesPerBlock
+	cfg.Geo.PageSize = c.PageSize
+	cfg.QueueDepth = c.QueueDepth
+	cfg.DisableGC = c.DisableGC
+	cfg.CollectSeries = c.CollectSeries
+
+	switch c.Allocation {
+	case ChannelFirst, "":
+		cfg.Allocation = ftl.AllocChannelFirst
+	case WayFirst:
+		cfg.Allocation = ftl.AllocWayFirst
+	case PlaneFirst:
+		cfg.Allocation = ftl.AllocPlaneFirst
+	default:
+		return ssd.Config{}, nil, fmt.Errorf("sprinkler: unknown allocation scheme %q", c.Allocation)
+	}
+
+	var s sched.Scheduler
+	switch c.Scheduler {
+	case VAS:
+		s = sched.NewVAS()
+	case PAS:
+		s = sched.NewPAS()
+	case SPK1:
+		s = core.NewSPK1()
+	case SPK2:
+		s = core.NewSPK2()
+	case SPK3, "":
+		s = core.NewSPK3()
+	default:
+		return ssd.Config{}, nil, fmt.Errorf("sprinkler: unknown scheduler %q", c.Scheduler)
+	}
+	return cfg, s, nil
+}
+
+// Request is one host I/O request.
+type Request struct {
+	// ArrivalNS is the arrival time in nanoseconds from simulation start.
+	ArrivalNS int64
+	// Write selects the direction (false = read).
+	Write bool
+	// LPN is the first logical page; Pages the length in pages.
+	LPN   int64
+	Pages int
+	// FUA marks a force-unit-access request that must not be reordered.
+	FUA bool
+}
+
+// Device is a simulated many-chip SSD. A Device runs one workload; build a
+// fresh one per run.
+type Device struct {
+	inner *ssd.Device
+	cfg   Config
+}
+
+// New builds a Device from the configuration.
+func New(cfg Config) (*Device, error) {
+	icfg, s, err := cfg.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := ssd.New(icfg, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{inner: inner, cfg: cfg}, nil
+}
+
+// NumChips returns the platform's total flash chip count.
+func (d *Device) NumChips() int { return d.inner.Geo().NumChips() }
+
+// Precondition fills fillFrac of the logical space and overwrites
+// churnFrac of it, fragmenting the physical layout so garbage collection
+// runs during the subsequent workload (§5.9).
+func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
+	d.inner.Precondition(fillFrac, churnFrac, seed)
+}
+
+// Run simulates the requests to completion and returns the measurements.
+func (d *Device) Run(requests []Request) (*Result, error) {
+	ios := make([]*req.IO, len(requests))
+	for i, r := range requests {
+		kind := req.Read
+		if r.Write {
+			kind = req.Write
+		}
+		if r.Pages <= 0 {
+			return nil, fmt.Errorf("sprinkler: request %d has %d pages", i, r.Pages)
+		}
+		io := req.NewIO(int64(i), kind, req.LPN(r.LPN), r.Pages, simTime(r.ArrivalNS))
+		io.FUA = r.FUA
+		ios[i] = io
+	}
+	res, err := d.inner.Run(&ssd.SliceSource{IOs: ios})
+	if err != nil {
+		return nil, err
+	}
+	return publicResult(res), nil
+}
+
+// Workloads returns the names of the paper's Table 1 trace catalogue.
+func Workloads() []string {
+	var names []string
+	for _, w := range trace.Table1() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// GenerateWorkload synthesizes n requests of a named Table 1 workload
+// sized for this configuration's logical space.
+func (c Config) GenerateWorkload(name string, n int, seed uint64) ([]Request, error) {
+	w, ok := trace.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("sprinkler: unknown workload %q (see Workloads())", name)
+	}
+	icfg, _, err := c.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	if err := icfg.Validate(); err != nil {
+		return nil, err
+	}
+	ios, err := trace.Generate(w, trace.GenConfig{
+		Instructions: n,
+		LogicalPages: icfg.Geo.TotalPages() * 9 / 10,
+		PageSize:     icfg.Geo.PageSize,
+		AlignStride:  int64(icfg.Geo.NumChips()),
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromIOs(ios), nil
+}
+
+// SequentialReads builds n back-to-back reads of the given size.
+func SequentialReads(n, pages int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{LPN: int64(i * pages), Pages: pages}
+	}
+	return out
+}
+
+// SequentialWrites builds n back-to-back writes of the given size.
+func SequentialWrites(n, pages int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{Write: true, LPN: int64(i * pages), Pages: pages}
+	}
+	return out
+}
+
+func fromIOs(ios []*req.IO) []Request {
+	out := make([]Request, len(ios))
+	for i, io := range ios {
+		out[i] = Request{
+			ArrivalNS: int64(io.Arrival),
+			Write:     io.Kind == req.Write,
+			LPN:       int64(io.Start),
+			Pages:     io.Pages,
+			FUA:       io.FUA,
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package sprinkler
+
+import "testing"
+
+// testConfig shrinks the platform for fast tests.
+func testConfig(kind SchedulerKind) Config {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	cfg.ChipsPerChan = 4
+	cfg.BlocksPerPlane = 64
+	cfg.PagesPerBlock = 32
+	cfg.Scheduler = kind
+	return cfg
+}
+
+func TestPublicAPISequentialReads(t *testing.T) {
+	for _, kind := range Schedulers() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			dev, err := New(testConfig(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := dev.Run(SequentialReads(25, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.IOsCompleted != 25 {
+				t.Fatalf("completed %d/25", res.IOsCompleted)
+			}
+			if res.BytesRead != 25*8*2048 {
+				t.Fatalf("bytes read %d", res.BytesRead)
+			}
+			if res.BandwidthKBps <= 0 || res.IOPS <= 0 || res.AvgLatencyNS <= 0 {
+				t.Fatalf("degenerate result: %+v", res)
+			}
+			if res.Scheduler != string(kind) {
+				t.Fatalf("result labelled %q, want %q", res.Scheduler, kind)
+			}
+		})
+	}
+}
+
+func TestPublicAPISequentialWrites(t *testing.T) {
+	dev, err := New(testConfig(SPK3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(SequentialWrites(20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesWritten != 20*4*2048 {
+		t.Fatalf("bytes written %d", res.BytesWritten)
+	}
+	if res.WriteAmplification < 1 {
+		t.Fatalf("write amplification %v < 1", res.WriteAmplification)
+	}
+}
+
+func TestPublicAPIRejectsBadRequests(t *testing.T) {
+	dev, err := New(testConfig(SPK3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Run([]Request{{Pages: 0}}); err == nil {
+		t.Fatal("accepted zero-page request")
+	}
+}
+
+func TestPublicAPIRejectsBadScheduler(t *testing.T) {
+	cfg := testConfig("nope")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted unknown scheduler")
+	}
+}
+
+func TestPublicAPIWorkloadCatalogue(t *testing.T) {
+	names := Workloads()
+	if len(names) != 16 {
+		t.Fatalf("catalogue size %d, want 16", len(names))
+	}
+	cfg := testConfig(SPK3)
+	reqs, err := cfg.GenerateWorkload("cfs0", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 100 {
+		t.Fatalf("generated %d requests, want 100", len(reqs))
+	}
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOsCompleted != 100 {
+		t.Fatalf("completed %d/100", res.IOsCompleted)
+	}
+	if _, err := cfg.GenerateWorkload("bogus", 10, 1); err == nil {
+		t.Fatal("accepted unknown workload name")
+	}
+}
+
+func TestPublicAPISeriesCollection(t *testing.T) {
+	cfg := testConfig(PAS)
+	cfg.CollectSeries = true
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(SequentialReads(12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 12 {
+		t.Fatalf("series %d points, want 12", len(res.Series))
+	}
+}
+
+func TestPublicAPIGCPrecondition(t *testing.T) {
+	cfg := testConfig(SPK3)
+	cfg.BlocksPerPlane = 12
+	cfg.PagesPerBlock = 16
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Precondition(0.95, 0.5, 1)
+	var reqs []Request
+	for i := 0; i < 200; i++ {
+		reqs = append(reqs, Request{Write: true, LPN: int64((i * 37) % 2000), Pages: 4})
+	}
+	res, err := dev.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOsCompleted != 200 {
+		t.Fatalf("completed %d/200", res.IOsCompleted)
+	}
+	if res.GCRuns == 0 {
+		t.Fatal("preconditioned device never ran GC under write pressure")
+	}
+}
+
+func TestPublicAPILatencyPercentilesOrdered(t *testing.T) {
+	dev, err := New(testConfig(SPK2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(SequentialReads(40, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P50LatencyNS <= res.P99LatencyNS && res.P99LatencyNS <= res.MaxLatencyNS) {
+		t.Fatalf("percentiles unordered: p50=%d p99=%d max=%d",
+			res.P50LatencyNS, res.P99LatencyNS, res.MaxLatencyNS)
+	}
+}
+
+func TestPublicAPIFUAOrdering(t *testing.T) {
+	dev, err := New(testConfig(SPK3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run([]Request{
+		{Write: true, LPN: 0, Pages: 4},
+		{Write: true, LPN: 100, Pages: 2, FUA: true},
+		{Write: true, LPN: 200, Pages: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOsCompleted != 3 {
+		t.Fatalf("completed %d/3", res.IOsCompleted)
+	}
+}
+
+func TestNumChips(t *testing.T) {
+	dev, err := New(testConfig(VAS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumChips() != 8 {
+		t.Fatalf("NumChips = %d, want 8", dev.NumChips())
+	}
+}
