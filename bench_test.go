@@ -1,4 +1,4 @@
-package sprinkler
+package sprinkler_test
 
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper's evaluation (§5). Each bench runs the corresponding experiment at
@@ -13,8 +13,10 @@ package sprinkler
 // cmd/experiments prints.
 
 import (
+	"context"
 	"testing"
 
+	"sprinkler"
 	"sprinkler/internal/experiments"
 )
 
@@ -30,8 +32,8 @@ func BenchmarkTable1Traces(b *testing.B) {
 		if out := experiments.Table1Report(); len(out) == 0 {
 			b.Fatal("empty report")
 		}
-		cfg := DefaultConfig()
-		for _, name := range Workloads() {
+		cfg := sprinkler.DefaultConfig()
+		for _, name := range sprinkler.Workloads() {
 			if _, err := cfg.GenerateWorkload(name, 200, 1); err != nil {
 				b.Fatal(err)
 			}
@@ -227,18 +229,47 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingOpenLoop streams 100k open-loop (Poisson) requests
+// per iteration through Device.Run without materializing the request
+// slice: an infinite generator wrapped in Poisson arrivals, bounded by
+// Limit, with the host-side backlog capped. Scale the same pipeline up
+// (examples/streaming drives >= 1M requests) and memory stays flat.
+func BenchmarkStreamingOpenLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sprinkler.Platform(64)
+		cfg.Scheduler = sprinkler.SPK3
+		cfg.MaxBacklog = 4096
+		gen, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{Name: "msnfs1", Requests: 0, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := sprinkler.Limit(sprinkler.Poisson(gen, 200_000, 1), 100_000)
+		dev, err := sprinkler.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dev.Run(context.Background(), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IOsCompleted != 100_000 {
+			b.Fatalf("completed %d/100000", res.IOsCompleted)
+		}
+	}
+}
+
 // BenchmarkDeviceSPK3 measures raw simulator throughput: one 64-chip SSD
 // serving sequential reads under SPK3 (events per wall-second is the
 // simulator's own figure of merit).
 func BenchmarkDeviceSPK3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := DefaultConfig()
+		cfg := sprinkler.DefaultConfig()
 		cfg.BlocksPerPlane = 128
-		dev, err := New(cfg)
+		dev, err := sprinkler.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := dev.Run(SequentialReads(500, 8)); err != nil {
+		if _, err := dev.RunRequests(sprinkler.SequentialReads(500, 8)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -247,20 +278,20 @@ func BenchmarkDeviceSPK3(b *testing.B) {
 // BenchmarkSchedulers measures per-scheduler simulation cost on the same
 // workload (scheduler algorithmic overhead shows up here).
 func BenchmarkSchedulers(b *testing.B) {
-	for _, kind := range Schedulers() {
+	for _, kind := range sprinkler.Schedulers() {
 		kind := kind
 		b.Run(string(kind), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := DefaultConfig()
+				cfg := sprinkler.DefaultConfig()
 				cfg.Channels = 4
 				cfg.ChipsPerChan = 4
 				cfg.BlocksPerPlane = 128
 				cfg.Scheduler = kind
-				dev, err := New(cfg)
+				dev, err := sprinkler.New(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := dev.Run(SequentialReads(300, 8)); err != nil {
+				if _, err := dev.RunRequests(sprinkler.SequentialReads(300, 8)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -25,9 +25,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale in (0,1]; smaller = faster")
 	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
 	seed := flag.Uint64("seed", 0, "synthetic trace seed")
+	workers := flag.Int("workers", 0, "concurrent sweep cells (0 = all CPU cores)")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers}
 	want := strings.ToLower(*fig)
 	has := func(names ...string) bool {
 		if want == "all" {

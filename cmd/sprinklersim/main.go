@@ -1,74 +1,70 @@
 // Command sprinklersim runs one workload through one scheduler on a
-// configurable many-chip SSD and prints the measurements.
+// configurable many-chip SSD and prints the measurements. Workloads are
+// streamed through the public Source API, so a trace file of any size
+// replays in constant memory.
 //
 // Usage:
 //
 //	sprinklersim -sched SPK3 -workload msnfs1 -n 2000
 //	sprinklersim -sched VAS -trace mytrace.csv -chips 256
 //	sprinklersim -sched PAS -seqread 1000 -pages 16
+//	sprinklersim -sched SPK3 -workload cfs4 -n 100000 -rate 50000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"sprinkler/internal/experiments"
-	"sprinkler/internal/req"
-	"sprinkler/internal/ssd"
-	"sprinkler/internal/trace"
+	"sprinkler"
 )
 
 func main() {
 	schedName := flag.String("sched", "SPK3", "scheduler: VAS, PAS, SPK1, SPK2, SPK3")
 	workload := flag.String("workload", "", "Table 1 workload to synthesize")
-	traceFile := flag.String("trace", "", "CSV trace file to replay")
-	n := flag.Int("n", 2000, "instructions for -workload")
+	traceFile := flag.String("trace", "", "CSV trace file to replay (streamed)")
+	n := flag.Int("n", 2000, "requests for -workload")
 	seqread := flag.Int("seqread", 0, "run N sequential reads instead of a trace")
 	seqwrite := flag.Int("seqwrite", 0, "run N sequential writes instead of a trace")
 	pages := flag.Int("pages", 8, "pages per request for -seqread/-seqwrite")
 	chips := flag.Int("chips", 64, "total flash chips")
 	queue := flag.Int("queue", 64, "device-level queue depth")
+	rate := flag.Float64("rate", 0, "open-loop Poisson arrival rate (requests/s); 0 keeps trace timing")
 	gcStress := flag.Bool("gc", false, "precondition to 95% full so GC runs")
 	seed := flag.Uint64("seed", 0, "trace seed")
 	flag.Parse()
 
-	cfg := experiments.Platform(*chips)
+	cfg := sprinkler.Platform(*chips)
 	cfg.QueueDepth = *queue
+	cfg.Scheduler = sprinkler.SchedulerKind(*schedName)
+	if *gcStress {
+		cfg.BlocksPerPlane = 24
+		cfg.PagesPerBlock = 64
+		cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+	}
 
-	var ios []*req.IO
+	var src sprinkler.Source
 	var err error
 	switch {
 	case *traceFile != "":
 		f, ferr := os.Open(*traceFile)
 		fail(ferr)
-		recs, perr := trace.Parse(f)
-		f.Close()
-		fail(perr)
-		ios = trace.ToIOs(recs)
+		defer f.Close()
+		src = sprinkler.NewCSVSource(f)
 	case *workload != "":
-		w, ok := trace.ByName(*workload)
-		if !ok {
-			fail(fmt.Errorf("unknown workload %q", *workload))
-		}
-		ios, err = trace.Generate(w, trace.GenConfig{
-			Instructions: *n,
-			LogicalPages: cfg.Geo.TotalPages() * 9 / 10,
-			PageSize:     cfg.Geo.PageSize,
-			AlignStride:  int64(cfg.Geo.NumChips()),
-			Seed:         *seed,
+		src, err = cfg.NewWorkloadSource(sprinkler.WorkloadSpec{
+			Name: *workload, Requests: *n, Seed: *seed,
 		})
 		fail(err)
 	case *seqread > 0:
-		ios, err = trace.GenerateFixed(trace.FixedConfig{
-			Count: *seqread, Pages: *pages, Kind: req.Read, Sequential: true,
-			LogicalPages: cfg.Geo.TotalPages() * 9 / 10,
+		src, err = cfg.NewFixedSource(sprinkler.FixedSpec{
+			Requests: *seqread, Pages: *pages, Sequential: true, Seed: *seed,
 		})
 		fail(err)
 	case *seqwrite > 0:
-		ios, err = trace.GenerateFixed(trace.FixedConfig{
-			Count: *seqwrite, Pages: *pages, Kind: req.Write, Sequential: true,
-			LogicalPages: cfg.Geo.TotalPages() * 9 / 10,
+		src, err = cfg.NewFixedSource(sprinkler.FixedSpec{
+			Requests: *seqwrite, Pages: *pages, Write: true, Sequential: true, Seed: *seed,
 		})
 		fail(err)
 	default:
@@ -76,44 +72,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	s, err := experiments.NewScheduler(*schedName)
-	fail(err)
-	if *gcStress {
-		cfg.Geo.BlocksPerPlane = 24
-		cfg.Geo.PagesPerBlock = 64
-		cfg.LogicalPages = cfg.Geo.TotalPages() * 85 / 100
+	if *rate > 0 {
+		src = sprinkler.Poisson(src, *rate, *seed)
 	}
-	dev, err := ssd.New(cfg, s)
+
+	dev, err := sprinkler.New(cfg)
 	fail(err)
 	if *gcStress {
 		dev.Precondition(0.95, 0.5, *seed)
 	}
 
-	res, err := dev.Run(&ssd.SliceSource{IOs: ios})
+	res, err := dev.Run(context.Background(), src)
 	fail(err)
 
 	fmt.Printf("scheduler        %s\n", res.Scheduler)
 	fmt.Printf("platform         %d chips (%d ch x %d), %d dies x %d planes\n",
-		cfg.Geo.NumChips(), cfg.Geo.Channels, cfg.Geo.ChipsPerChan, cfg.Geo.DiesPerChip, cfg.Geo.PlanesPerDie)
+		dev.NumChips(), cfg.Channels, cfg.ChipsPerChan, cfg.DiesPerChip, cfg.PlanesPerDie)
 	fmt.Printf("I/Os completed   %d (%d MB read, %d MB written)\n",
 		res.IOsCompleted, res.BytesRead>>20, res.BytesWritten>>20)
-	fmt.Printf("duration         %v\n", res.Duration)
-	fmt.Printf("bandwidth        %.1f MB/s\n", res.BandwidthKBps()/1024)
-	fmt.Printf("IOPS             %.0f\n", res.IOPS())
-	fmt.Printf("avg latency      %v\n", res.AvgLatency())
-	fmt.Printf("queue stall      %.1f%% of run\n", 100*res.QueueStallFraction())
+	fmt.Printf("duration         %.3fms\n", float64(res.DurationNS)/1e6)
+	fmt.Printf("bandwidth        %.1f MB/s\n", res.BandwidthKBps/1024)
+	fmt.Printf("IOPS             %.0f\n", res.IOPS)
+	fmt.Printf("avg latency      %.3fms\n", float64(res.AvgLatencyNS)/1e6)
+	fmt.Printf("queue stall      %.1f%% of run\n", 100*res.QueueStallFraction)
 	fmt.Printf("chip utilization %.1f%%\n", 100*res.ChipUtilization)
 	fmt.Printf("idleness         inter-chip %.1f%%, intra-chip %.1f%%\n",
 		100*res.InterChipIdleness, 100*res.IntraChipIdleness)
 	fmt.Printf("transactions     %d (avg FLP degree %.2f)\n", res.Transactions, res.AvgFLPDegree)
 	fmt.Printf("FLP shares       NON-PAL %.1f%%, PAL1 %.1f%%, PAL2 %.1f%%, PAL3 %.1f%%\n",
-		100*res.FLP.Share[0], 100*res.FLP.Share[1], 100*res.FLP.Share[2], 100*res.FLP.Share[3])
+		100*res.FLPShares[0], 100*res.FLPShares[1], 100*res.FLPShares[2], 100*res.FLPShares[3])
 	fmt.Printf("exec breakdown   bus %.1f%%, contention %.1f%%, cell %.1f%%, idle %.1f%%\n",
 		100*res.Exec.BusOp, 100*res.Exec.BusContention, 100*res.Exec.CellOp, 100*res.Exec.Idle)
-	if res.GC.GCRuns > 0 {
+	if res.GCRuns > 0 {
 		fmt.Printf("garbage collect  %d runs, %d migrations, %d erases\n",
-			res.GC.GCRuns, res.GC.GCWrites, res.GC.GCErases)
+			res.GCRuns, res.GCPageMoves, res.GCErases)
 	}
 	if res.StaleRetranslations > 0 {
 		fmt.Printf("stale addresses  %d re-translations\n", res.StaleRetranslations)

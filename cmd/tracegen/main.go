@@ -1,5 +1,6 @@
 // Command tracegen emits synthetic workload traces from the Table 1
-// catalogue in the repository's CSV format (arrival_ns,op,lpn,pages).
+// catalogue in the repository's CSV format (arrival_ns,op,lpn,pages),
+// ready for replay with `sprinklersim -trace` or sprinkler.NewCSVSource.
 //
 // Usage:
 //
@@ -13,14 +14,14 @@ import (
 	"fmt"
 	"os"
 
-	"sprinkler/internal/flash"
+	"sprinkler"
 	"sprinkler/internal/trace"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list catalogue workloads and exit")
 	name := flag.String("workload", "", "Table 1 workload name (see -list)")
-	n := flag.Int("n", 2000, "number of I/O instructions")
+	n := flag.Int("n", 2000, "number of I/O requests")
 	seed := flag.Uint64("seed", 0, "generator seed (0 = derived from the name)")
 	out := flag.String("o", "", "output file (default stdout)")
 	chips := flag.Int("chips", 64, "target platform chip count (sizes the address space)")
@@ -34,25 +35,11 @@ func main() {
 		}
 		return
 	}
-	w, ok := trace.ByName(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q (use -list)\n", *name)
-		os.Exit(1)
-	}
-	geo := flash.DefaultGeometry()
-	geo.ChipsPerChan = *chips / geo.Channels
-	if geo.ChipsPerChan < 1 {
-		geo.ChipsPerChan = 1
-	}
-	ios, err := trace.Generate(w, trace.GenConfig{
-		Instructions: *n,
-		LogicalPages: geo.TotalPages() * 9 / 10,
-		PageSize:     geo.PageSize,
-		AlignStride:  int64(geo.NumChips()),
-		Seed:         *seed,
-	})
+
+	cfg := sprinkler.Platform(*chips)
+	reqs, err := cfg.GenerateWorkload(*name, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		fmt.Fprintf(os.Stderr, "tracegen: %v (use -list)\n", err)
 		os.Exit(1)
 	}
 
@@ -66,7 +53,7 @@ func main() {
 		defer f.Close()
 		dst = f
 	}
-	if err := trace.Write(dst, trace.FromIOs(ios)); err != nil {
+	if err := sprinkler.WriteCSV(dst, reqs); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

@@ -48,7 +48,7 @@ func run(cfg sprinkler.Config, kind sprinkler.SchedulerKind, reqs []sprinkler.Re
 	if fragmented {
 		dev.Precondition(0.95, 0.5, 42)
 	}
-	res, err := dev.Run(append([]sprinkler.Request(nil), reqs...))
+	res, err := dev.RunRequests(reqs)
 	if err != nil {
 		log.Fatal(err)
 	}

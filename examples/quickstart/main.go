@@ -1,8 +1,14 @@
 // Quickstart: simulate a many-chip SSD under the full Sprinkler scheduler
-// (SPK3 = RIOS + FARO) and print the headline measurements.
+// (SPK3 = RIOS + FARO), two ways.
+//
+// First the streaming path: a workload Source runs to completion through
+// Device.Run. Then the online session path: requests are submitted while
+// the simulation runs, with mid-run Snapshot observations — the
+// warmup/measurement-window pattern.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,20 +21,21 @@ func main() {
 	cfg := sprinkler.DefaultConfig()
 	cfg.Scheduler = sprinkler.SPK3
 
+	// --- Bulk run: stream a synthetic Table 1 workload. -----------------
 	dev, err := sprinkler.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 2000 sequential 16 KB reads, issued back to back (closed loop: the
-	// device-level queue paces the host).
-	res, err := dev.Run(sprinkler.SequentialReads(2000, 8))
+	src, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{Name: "msnfs1", Requests: 2000})
 	if err != nil {
 		log.Fatal(err)
 	}
-
+	res, err := dev.Run(context.Background(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("platform:         %d flash chips\n", dev.NumChips())
-	fmt.Printf("completed:        %d I/Os, %d MB\n", res.IOsCompleted, res.BytesRead>>20)
+	fmt.Printf("completed:        %d I/Os, %d MB\n", res.IOsCompleted, (res.BytesRead+res.BytesWritten)>>20)
 	fmt.Printf("bandwidth:        %.1f MB/s\n", res.BandwidthKBps/1024)
 	fmt.Printf("IOPS:             %.0f\n", res.IOPS)
 	fmt.Printf("avg latency:      %.3f ms\n", float64(res.AvgLatencyNS)/1e6)
@@ -37,4 +44,37 @@ func main() {
 		res.Transactions, res.AvgFLPDegree)
 	fmt.Printf("FLP shares:       NON-PAL %.0f%% / PAL1 %.0f%% / PAL2 %.0f%% / PAL3 %.0f%%\n",
 		100*res.FLPShares[0], 100*res.FLPShares[1], 100*res.FLPShares[2], 100*res.FLPShares[3])
+
+	// --- Online session: submit, advance, observe, drain. ---------------
+	sess, err := sprinkler.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Warmup window: 500 sequential reads, then note the counters.
+	for i := 0; i < 500; i++ {
+		if err := sess.Submit(sprinkler.Request{LPN: int64(i * 8), Pages: 8}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sess.Advance(5_000_000); err != nil { // 5 ms of simulated time
+		log.Fatal(err)
+	}
+	warm := sess.Snapshot()
+
+	// Measurement window: 1500 more reads, observed without the warmup.
+	for i := 500; i < 2000; i++ {
+		if err := sess.Submit(sprinkler.Request{LPN: int64(i * 8), Pages: 8}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	final, err := sess.Drain(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Snapshots stay readable after Drain; subtract the warmup window.
+	meas := sess.Snapshot().Since(warm)
+	fmt.Printf("\nsession:          %d I/Os total, measurement window %d I/Os\n",
+		final.IOsCompleted, meas.IOsCompleted)
+	fmt.Printf("window bandwidth: %.1f MB/s (warmup excluded)\n", meas.BandwidthKBps/1024)
+	fmt.Printf("window latency:   %.3f ms avg\n", float64(meas.AvgLatencyNS)/1e6)
 }

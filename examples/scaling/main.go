@@ -55,7 +55,7 @@ func measure(chips int, kind sprinkler.SchedulerKind) *sprinkler.Result {
 	for i := range reqs {
 		reqs[i] = sprinkler.Request{LPN: rng.Int63n(logical - 16), Pages: 16}
 	}
-	res, err := dev.Run(reqs)
+	res, err := dev.RunRequests(reqs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,10 +3,15 @@
 // Figure 10 comparison — bandwidth, IOPS, latency, queue stall — plus the
 // idleness and parallelism metrics of Figures 11 and 14.
 //
+// The five cells run concurrently through the Sweep/Runner API; each
+// scheduler replays the identical trace, and per-cell seeding makes the
+// concurrent results identical to a serial run.
+//
 // Usage: scheduler_comparison [workload] (default msnfs1)
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,48 +26,35 @@ func main() {
 	}
 
 	cfg := sprinkler.DefaultConfig()
-	reqs, err := cfg.GenerateWorkload(workload, 2000, 1)
-	if err != nil {
-		log.Fatalf("%v\navailable workloads: %v", err, sprinkler.Workloads())
-	}
+	cells := sprinkler.Sweep(cfg, sprinkler.Schedulers(), []string{workload}, 2000)
+	results := sprinkler.Runner{}.Run(context.Background(), cells)
 
-	fmt.Printf("workload %s: %d I/Os on a %d-chip SSD\n\n", workload, len(reqs), 64)
+	fmt.Printf("workload %s: 2000 I/Os on a 64-chip SSD, %d cells in parallel\n\n",
+		workload, len(cells))
 	fmt.Printf("%-6s %10s %8s %10s %8s %8s %8s %8s\n",
 		"sched", "MB/s", "IOPS", "lat(ms)", "stall%", "util%", "intra%", "degree")
 
 	var vasBW, vasLat float64
-	for _, kind := range sprinkler.Schedulers() {
-		cfg.Scheduler = kind
-		dev, err := sprinkler.New(cfg)
-		if err != nil {
-			log.Fatal(err)
+	var spk3BW, spk3Lat float64
+	for i, cr := range results {
+		if cr.Err != nil {
+			log.Fatalf("%s: %v\navailable workloads: %v", cr.Name, cr.Err, sprinkler.Workloads())
 		}
-		res, err := dev.Run(append([]sprinkler.Request(nil), reqs...))
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := cr.Result
 		bw := res.BandwidthKBps / 1024
 		lat := float64(res.AvgLatencyNS) / 1e6
-		if kind == sprinkler.VAS {
+		switch sprinkler.Schedulers()[i] {
+		case sprinkler.VAS:
 			vasBW, vasLat = bw, lat
+		case sprinkler.SPK3:
+			spk3BW, spk3Lat = bw, lat
 		}
 		fmt.Printf("%-6s %10.1f %8.0f %10.3f %8.1f %8.1f %8.1f %8.2f\n",
-			kind, bw, res.IOPS, lat,
+			res.Scheduler, bw, res.IOPS, lat,
 			100*res.QueueStallFraction, 100*res.ChipUtilization,
 			100*res.IntraChipIdleness, res.AvgFLPDegree)
 	}
 
-	fmt.Println()
-	cfg.Scheduler = sprinkler.SPK3
-	dev, err := sprinkler.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := dev.Run(reqs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("SPK3 vs VAS: %.2fx bandwidth, %.0f%% lower latency\n",
-		(res.BandwidthKBps/1024)/vasBW,
-		100*(1-(float64(res.AvgLatencyNS)/1e6)/vasLat))
+	fmt.Printf("\nSPK3 vs VAS: %.2fx bandwidth, %.0f%% lower latency\n",
+		spk3BW/vasBW, 100*(1-spk3Lat/vasLat))
 }

@@ -1,0 +1,3 @@
+module sprinkler
+
+go 1.24

@@ -7,11 +7,57 @@ import (
 	"sprinkler/internal/core"
 	"sprinkler/internal/ftl"
 	"sprinkler/internal/metrics"
+	"sprinkler/internal/req"
 	"sprinkler/internal/sched"
 	"sprinkler/internal/sim"
 	"sprinkler/internal/ssd"
 	"sprinkler/internal/trace"
 )
+
+// NewScheduler builds a fresh scheduler by evaluation name. The public
+// API selects schedulers by Config.Scheduler; this constructor exists for
+// studies (like the ablation below) that instantiate internal scheduler
+// variants directly.
+func NewScheduler(name string) (sched.Scheduler, error) {
+	switch name {
+	case "VAS":
+		return sched.NewVAS(), nil
+	case "PAS":
+		return sched.NewPAS(), nil
+	case "SPK1":
+		return core.NewSPK1(), nil
+	case "SPK2":
+		return core.NewSPK2(), nil
+	case "SPK3":
+		return core.NewSPK3(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	}
+}
+
+// internalPlatform mirrors Platform on the internal config type, for the
+// ablation's non-public scheduler knobs.
+func internalPlatform(chips int) ssd.Config {
+	pub := Platform(chips)
+	cfg := ssd.DefaultConfig()
+	cfg.Geo.Channels = pub.Channels
+	cfg.Geo.ChipsPerChan = pub.ChipsPerChan
+	cfg.Geo.BlocksPerPlane = pub.BlocksPerPlane
+	cfg.Geo.PagesPerBlock = pub.PagesPerBlock
+	return cfg
+}
+
+// cloneIOs regenerates request objects (IOs carry mutable state and cannot
+// be replayed across devices).
+func cloneIOs(ios []*req.IO) []*req.IO {
+	out := make([]*req.IO, len(ios))
+	for i, io := range ios {
+		c := req.NewIO(io.ID, io.Kind, io.Start, io.Pages, io.Arrival)
+		c.FUA = io.FUA
+		out[i] = c
+	}
+	return out
+}
 
 // Ablation isolates the design choices DESIGN.md calls out:
 //
@@ -36,7 +82,7 @@ type AblationRow struct {
 // matters).
 func RunAblation(opts Options) ([]AblationRow, error) {
 	opts = opts.Defaults()
-	base := Platform(opts.Chips)
+	base := internalPlatform(opts.Chips)
 	logical := base.Geo.TotalPages() * 9 / 10
 	w, _ := trace.ByName("cfs4")
 	ios, err := trace.Generate(w, trace.GenConfig{

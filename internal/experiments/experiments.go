@@ -1,22 +1,20 @@
 // Package experiments reproduces every table and figure of the paper's
-// evaluation (§5). Each runner builds the platform of §5.1, drives the
-// workloads through the five schedulers (VAS, PAS, SPK1, SPK2, SPK3) and
-// formats the same rows/series the paper reports.
+// evaluation (§5) on top of the public sprinkler API. Each runner builds
+// the platform of §5.1, fans its (scheduler × workload) cells across CPU
+// cores with sprinkler.Runner — per-cell seeds are deterministic, so
+// concurrent results are identical to serial ones — and formats the same
+// rows/series the paper reports.
 //
 // Runners accept an Options scale so the full evaluation can be shrunk for
 // tests and benchmarks while keeping every code path exercised.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"sprinkler/internal/core"
-	"sprinkler/internal/metrics"
-	"sprinkler/internal/req"
-	"sprinkler/internal/sched"
-	"sprinkler/internal/ssd"
-	"sprinkler/internal/trace"
+	"sprinkler"
 )
 
 // Options controls experiment scale.
@@ -29,6 +27,8 @@ type Options struct {
 	Chips int
 	// Seed perturbs the synthetic traces.
 	Seed uint64
+	// Workers caps sweep concurrency; <= 0 uses every CPU core.
+	Workers int
 }
 
 // Defaults fills unset options.
@@ -51,79 +51,19 @@ func (o Options) scaled(n int, min int) int {
 	return v
 }
 
+// runner builds the sweep runner for these options.
+func (o Options) runner() sprinkler.Runner {
+	return sprinkler.Runner{Workers: o.Workers}
+}
+
 // SchedulerNames lists the evaluated schedulers in the paper's order.
 var SchedulerNames = []string{"VAS", "PAS", "SPK1", "SPK2", "SPK3"}
-
-// NewScheduler builds a fresh scheduler by evaluation name.
-func NewScheduler(name string) (sched.Scheduler, error) {
-	switch name {
-	case "VAS":
-		return sched.NewVAS(), nil
-	case "PAS":
-		return sched.NewPAS(), nil
-	case "SPK1":
-		return core.NewSPK1(), nil
-	case "SPK2":
-		return core.NewSPK2(), nil
-	case "SPK3":
-		return core.NewSPK3(), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
-	}
-}
 
 // Platform builds the §5.1 SSD configuration for a total chip count,
 // spreading chips over channels the way the paper's platforms do
 // (64 chips = 8 channels × 8; 1024 chips = 32 × 32).
-func Platform(chips int) ssd.Config {
-	cfg := ssd.DefaultConfig()
-	channels := int(math.Round(math.Sqrt(float64(chips))))
-	if channels < 1 {
-		channels = 1
-	}
-	if channels > 32 {
-		channels = 32
-	}
-	for chips%channels != 0 {
-		channels--
-	}
-	cfg.Geo.Channels = channels
-	cfg.Geo.ChipsPerChan = chips / channels
-	// Keep per-plane block counts modest so very large platforms stay
-	// within memory; capacity is irrelevant to the scheduling behaviour.
-	cfg.Geo.BlocksPerPlane = 256
-	cfg.Geo.PagesPerBlock = 128
-	return cfg
-}
-
-// runTrace drives one workload trace through a named scheduler on cfg.
-func runTrace(cfg ssd.Config, schedName, workload string, ios []*req.IO) (*metrics.Result, error) {
-	s, err := NewScheduler(schedName)
-	if err != nil {
-		return nil, err
-	}
-	dev, err := ssd.New(cfg, s)
-	if err != nil {
-		return nil, err
-	}
-	res, err := dev.Run(&ssd.SliceSource{IOs: ios})
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", schedName, workload, err)
-	}
-	res.Workload = workload
-	return res, nil
-}
-
-// cloneIOs regenerates request objects (IOs carry mutable state and cannot
-// be replayed across devices).
-func cloneIOs(ios []*req.IO) []*req.IO {
-	out := make([]*req.IO, len(ios))
-	for i, io := range ios {
-		c := req.NewIO(io.ID, io.Kind, io.Start, io.Pages, io.Arrival)
-		c.FUA = io.FUA
-		out[i] = c
-	}
-	return out
+func Platform(chips int) sprinkler.Config {
+	return sprinkler.Platform(chips)
 }
 
 // Evaluation holds the 5-scheduler × 16-workload sweep behind Figures 6,
@@ -131,39 +71,56 @@ func cloneIOs(ios []*req.IO) []*req.IO {
 type Evaluation struct {
 	Workloads []string
 	// Results[scheduler][workload]
-	Results map[string]map[string]*metrics.Result
+	Results map[string]map[string]*sprinkler.Result
 }
 
-// RunEvaluation executes the sweep once; the per-figure formatters slice it.
+// RunEvaluation executes the sweep once — all cells concurrently — and
+// the per-figure formatters slice it. Every scheduler replays the
+// identical trace for a given workload.
 func RunEvaluation(opts Options) (*Evaluation, error) {
 	opts = opts.Defaults()
 	cfg := Platform(opts.Chips)
-	logical := cfg.Geo.TotalPages() * 9 / 10
 	instructions := opts.scaled(3000, 120)
 
-	ev := &Evaluation{Results: make(map[string]map[string]*metrics.Result)}
+	workloads := sprinkler.Workloads()
+	var cells []sprinkler.Cell
 	for _, name := range SchedulerNames {
-		ev.Results[name] = make(map[string]*metrics.Result)
-	}
-	for _, w := range trace.Table1() {
-		ev.Workloads = append(ev.Workloads, w.Name)
-		ios, err := trace.Generate(w, trace.GenConfig{
-			Instructions: instructions,
-			LogicalPages: logical,
-			PageSize:     cfg.Geo.PageSize,
-			MaxPages:     256, // cap at 512 KB per request, §2.1's "several bytes to MB"
-			AlignStride:  int64(cfg.Geo.NumChips()),
-			Seed:         opts.Seed,
-		})
-		if err != nil {
-			return nil, err
+		for _, w := range workloads {
+			cc := cfg
+			cc.Scheduler = sprinkler.SchedulerKind(name)
+			w := w
+			cells = append(cells, sprinkler.Cell{
+				Name:   name + "/" + w,
+				Config: cc,
+				Source: func(uint64) (sprinkler.Source, error) {
+					// The generator derives a per-workload seed from the
+					// name when opts.Seed is zero, so all five schedulers
+					// see the same trace.
+					return cc.NewWorkloadSource(sprinkler.WorkloadSpec{
+						Name:     w,
+						Requests: instructions,
+						MaxPages: 256, // cap at 512 KB per request, §2.1's "several bytes to MB"
+						Seed:     opts.Seed,
+					})
+				},
+			})
 		}
-		for _, name := range SchedulerNames {
-			res, err := runTrace(cfg, name, w.Name, cloneIOs(ios))
-			if err != nil {
-				return nil, err
+	}
+
+	ev := &Evaluation{Workloads: workloads, Results: make(map[string]map[string]*sprinkler.Result)}
+	for _, name := range SchedulerNames {
+		ev.Results[name] = make(map[string]*sprinkler.Result)
+	}
+	results := opts.runner().Run(context.Background(), cells)
+	i := 0
+	for _, name := range SchedulerNames {
+		for _, w := range workloads {
+			cr := results[i]
+			i++
+			if cr.Err != nil {
+				return nil, cr.Err
 			}
-			ev.Results[name][w.Name] = res
+			ev.Results[name][w] = cr.Result
 		}
 	}
 	return ev, nil

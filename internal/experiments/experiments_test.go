@@ -49,9 +49,9 @@ func TestPlatformShapes(t *testing.T) {
 	}
 	for chips, want := range cases {
 		cfg := Platform(chips)
-		if cfg.Geo.Channels != want[0] || cfg.Geo.ChipsPerChan != want[1] {
+		if cfg.Channels != want[0] || cfg.ChipsPerChan != want[1] {
 			t.Fatalf("Platform(%d) = %dx%d, want %dx%d",
-				chips, cfg.Geo.Channels, cfg.Geo.ChipsPerChan, want[0], want[1])
+				chips, cfg.Channels, cfg.ChipsPerChan, want[0], want[1])
 		}
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("Platform(%d) invalid: %v", chips, err)
@@ -93,10 +93,10 @@ func TestEvaluationEndToEnd(t *testing.T) {
 	// Headline orderings, averaged (individual workloads may vary).
 	var bwVAS, bwSPK3, latVAS, latSPK3 float64
 	for _, w := range ev.Workloads {
-		bwVAS += ev.Results["VAS"][w].BandwidthKBps()
-		bwSPK3 += ev.Results["SPK3"][w].BandwidthKBps()
-		latVAS += float64(ev.Results["VAS"][w].AvgLatency())
-		latSPK3 += float64(ev.Results["SPK3"][w].AvgLatency())
+		bwVAS += ev.Results["VAS"][w].BandwidthKBps
+		bwSPK3 += ev.Results["SPK3"][w].BandwidthKBps
+		latVAS += float64(ev.Results["VAS"][w].AvgLatencyNS)
+		latSPK3 += float64(ev.Results["SPK3"][w].AvgLatencyNS)
 	}
 	if bwSPK3 <= bwVAS {
 		t.Fatalf("SPK3 aggregate bandwidth %.0f <= VAS %.0f", bwSPK3, bwVAS)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sprinkler"
 	"sprinkler/internal/metrics"
 	"sprinkler/internal/trace"
 )
@@ -26,7 +27,7 @@ func Table1Report() string {
 }
 
 // row builds one per-workload metric row across schedulers.
-func (ev *Evaluation) row(workload string, cell func(*metrics.Result) string) []string {
+func (ev *Evaluation) row(workload string, cell func(*sprinkler.Result) string) []string {
 	row := []string{workload}
 	for _, s := range SchedulerNames {
 		row = append(row, cell(ev.Results[s][workload]))
@@ -34,7 +35,7 @@ func (ev *Evaluation) row(workload string, cell func(*metrics.Result) string) []
 	return row
 }
 
-func (ev *Evaluation) table(title string, cell func(*metrics.Result) string) string {
+func (ev *Evaluation) table(title string, cell func(*sprinkler.Result) string) string {
 	header := append([]string{"workload"}, SchedulerNames...)
 	var rows [][]string
 	for _, w := range ev.Workloads {
@@ -45,22 +46,22 @@ func (ev *Evaluation) table(title string, cell func(*metrics.Result) string) str
 
 // Fig10a formats I/O bandwidth (KB/s) per scheduler and workload.
 func (ev *Evaluation) Fig10a() string {
-	return ev.table("Figure 10a: I/O bandwidth (KB/s)", func(r *metrics.Result) string {
-		return fmtF(r.BandwidthKBps(), 0)
+	return ev.table("Figure 10a: I/O bandwidth (KB/s)", func(r *sprinkler.Result) string {
+		return fmtF(r.BandwidthKBps, 0)
 	})
 }
 
 // Fig10b formats IOPS.
 func (ev *Evaluation) Fig10b() string {
-	return ev.table("Figure 10b: IOPS", func(r *metrics.Result) string {
-		return fmtF(r.IOPS(), 0)
+	return ev.table("Figure 10b: IOPS", func(r *sprinkler.Result) string {
+		return fmtF(r.IOPS, 0)
 	})
 }
 
 // Fig10c formats average device-level latency in ns.
 func (ev *Evaluation) Fig10c() string {
-	return ev.table("Figure 10c: average I/O latency (ns)", func(r *metrics.Result) string {
-		return fmt.Sprint(int64(r.AvgLatency()))
+	return ev.table("Figure 10c: average I/O latency (ns)", func(r *sprinkler.Result) string {
+		return fmt.Sprint(r.AvgLatencyNS)
 	})
 }
 
@@ -69,10 +70,10 @@ func (ev *Evaluation) Fig10d() string {
 	header := append([]string{"workload"}, SchedulerNames...)
 	var rows [][]string
 	for _, w := range ev.Workloads {
-		base := float64(ev.Results["VAS"][w].QueueFullTime)
+		base := float64(ev.Results["VAS"][w].QueueStallNS)
 		row := []string{w}
 		for _, s := range SchedulerNames {
-			v := float64(ev.Results[s][w].QueueFullTime)
+			v := float64(ev.Results[s][w].QueueStallNS)
 			if base > 0 {
 				row = append(row, fmtF(v/base, 3))
 			} else {
@@ -103,14 +104,14 @@ func (ev *Evaluation) Fig6() string {
 
 // Fig11a formats inter-chip idleness (%).
 func (ev *Evaluation) Fig11a() string {
-	return ev.table("Figure 11a: inter-chip idleness (%)", func(r *metrics.Result) string {
+	return ev.table("Figure 11a: inter-chip idleness (%)", func(r *sprinkler.Result) string {
 		return fmtF(100*r.InterChipIdleness, 1)
 	})
 }
 
 // Fig11b formats intra-chip idleness (%).
 func (ev *Evaluation) Fig11b() string {
-	return ev.table("Figure 11b: intra-chip idleness (%)", func(r *metrics.Result) string {
+	return ev.table("Figure 11b: intra-chip idleness (%)", func(r *sprinkler.Result) string {
 		return fmtF(100*r.IntraChipIdleness, 1)
 	})
 }
@@ -141,11 +142,11 @@ func Fig14(ev *Evaluation) string {
 		header := []string{"workload", "NON-PAL%", "PAL1%", "PAL2%", "PAL3%"}
 		var rows [][]string
 		for _, w := range ev.Workloads {
-			f := ev.Results[s][w].FLP
+			f := ev.Results[s][w].FLPShares
 			rows = append(rows, []string{
 				w,
-				fmtF(100*f.Share[0], 1), fmtF(100*f.Share[1], 1),
-				fmtF(100*f.Share[2], 1), fmtF(100*f.Share[3], 1),
+				fmtF(100*f[0], 1), fmtF(100*f[1], 1),
+				fmtF(100*f[2], 1), fmtF(100*f[3], 1),
 			})
 		}
 		fmt.Fprintf(&b, "Figure 14 (%s): FLP breakdown\n%s\n", s, metrics.Table(header, rows))
@@ -164,11 +165,11 @@ func (ev *Evaluation) Summary() string {
 	n := float64(len(ev.Workloads))
 	for _, w := range ev.Workloads {
 		vas, pas, spk3 := ev.Results["VAS"][w], ev.Results["PAS"][w], ev.Results["SPK3"][w]
-		bwVsVAS += spk3.BandwidthKBps() / vas.BandwidthKBps()
-		bwVsPAS += spk3.BandwidthKBps() / pas.BandwidthKBps()
-		latVsVAS += 1 - float64(spk3.AvgLatency())/float64(vas.AvgLatency())
-		if vas.QueueFullTime > 0 {
-			stallVsVAS += 1 - float64(spk3.QueueFullTime)/float64(vas.QueueFullTime)
+		bwVsVAS += spk3.BandwidthKBps / vas.BandwidthKBps
+		bwVsPAS += spk3.BandwidthKBps / pas.BandwidthKBps
+		latVsVAS += 1 - float64(spk3.AvgLatencyNS)/float64(vas.AvgLatencyNS)
+		if vas.QueueStallNS > 0 {
+			stallVsVAS += 1 - float64(spk3.QueueStallNS)/float64(vas.QueueStallNS)
 		} else {
 			stallVsVAS++
 		}

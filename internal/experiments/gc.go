@@ -1,13 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"sprinkler"
 	"sprinkler/internal/metrics"
-	"sprinkler/internal/req"
-	"sprinkler/internal/ssd"
-	"sprinkler/internal/trace"
 )
 
 // Fig17Point is one (chips, transferKB, scheduler, gc?) bandwidth sample
@@ -25,21 +24,21 @@ type Fig17Point struct {
 // the measured writes quickly push planes to the GC threshold. Scaled-down
 // runs shrink the per-plane capacity further: preconditioning cost is
 // linear in physical pages and dominates the figure's runtime.
-func fig17Platform(chips int, scale float64) ssd.Config {
+func fig17Platform(chips int, scale float64) sprinkler.Config {
 	cfg := Platform(chips)
-	cfg.Geo.BlocksPerPlane = 24
-	cfg.Geo.PagesPerBlock = 64
+	cfg.BlocksPerPlane = 24
+	cfg.PagesPerBlock = 64
 	if scale < 0.5 {
-		cfg.Geo.BlocksPerPlane = 12
-		cfg.Geo.PagesPerBlock = 32
+		cfg.BlocksPerPlane = 12
+		cfg.PagesPerBlock = 32
 	}
 	cfg.GCFreeTarget = 3
-	cfg.LogicalPages = cfg.Geo.TotalPages() * 85 / 100
+	cfg.LogicalPages = cfg.TotalPages() * 85 / 100
 	return cfg
 }
 
 // RunFig17 measures random-write bandwidth on pristine versus fragmented
-// (GC-heavy) devices for VAS, PAS and SPK3.
+// (GC-heavy) devices for VAS, PAS and SPK3, all cells concurrent.
 func RunFig17(opts Options) ([]Fig17Point, error) {
 	opts = opts.Defaults()
 	chipCounts := []int{64, 256}
@@ -51,11 +50,12 @@ func RunFig17(opts Options) ([]Fig17Point, error) {
 	schedulers := []string{"VAS", "PAS", "SPK3"}
 	totalKB := opts.scaled(32*1024, 2*1024)
 
-	var out []Fig17Point
+	var cells []sprinkler.Cell
+	var points []Fig17Point
 	for _, chips := range chipCounts {
 		cfg := fig17Platform(chips, opts.Scale)
 		for _, kb := range sizesKB {
-			pages := kb * 1024 / cfg.Geo.PageSize
+			pages := kb * 1024 / cfg.PageSize
 			if pages < 1 {
 				pages = 1
 			}
@@ -63,45 +63,40 @@ func RunFig17(opts Options) ([]Fig17Point, error) {
 			if count < 8 {
 				count = 8
 			}
-			mk := func() ([]*req.IO, error) {
-				return trace.GenerateFixed(trace.FixedConfig{
-					Count: count, Pages: pages, Kind: req.Write,
-					LogicalPages: cfg.LogicalPages, Seed: opts.Seed + uint64(kb),
-				})
+			spec := sprinkler.FixedSpec{
+				Requests: count, Pages: pages, Write: true, Seed: opts.Seed + uint64(kb),
 			}
 			for _, s := range schedulers {
 				for _, gc := range []bool{false, true} {
-					ios, err := mk()
-					if err != nil {
-						return nil, err
-					}
-					scheduler, err := NewScheduler(s)
-					if err != nil {
-						return nil, err
-					}
-					runCfg := cfg
-					runCfg.DisableGC = !gc
-					dev, err := ssd.New(runCfg, scheduler)
-					if err != nil {
-						return nil, err
+					cc := cfg
+					cc.Scheduler = sprinkler.SchedulerKind(s)
+					cc.DisableGC = !gc
+					cell := sprinkler.Cell{
+						Name:   fmt.Sprintf("fig17/%dc/%dKB/%s/gc=%v", chips, kb, s, gc),
+						Config: cc,
+						Source: func(uint64) (sprinkler.Source, error) { return cc.NewFixedSource(spec) },
 					}
 					if gc {
-						dev.Precondition(0.95, 0.5, opts.Seed)
+						cell.Precondition = &sprinkler.Precondition{
+							FillFrac: 0.95, ChurnFrac: 0.5, Seed: opts.Seed,
+						}
 					}
-					res, err := dev.Run(&ssd.SliceSource{IOs: ios})
-					if err != nil {
-						return nil, fmt.Errorf("fig17 %s gc=%v: %w", s, gc, err)
-					}
-					out = append(out, Fig17Point{
-						Chips: chips, TransferKB: kb, Scheduler: s, GC: gc,
-						BandwidthKB: res.BandwidthKBps(),
-						GCRuns:      res.GC.GCRuns,
-					})
+					points = append(points, Fig17Point{Chips: chips, TransferKB: kb, Scheduler: s, GC: gc})
+					cells = append(cells, cell)
 				}
 			}
 		}
 	}
-	return out, nil
+
+	results := opts.runner().Run(context.Background(), cells)
+	for i, cr := range results {
+		if cr.Err != nil {
+			return nil, cr.Err
+		}
+		points[i].BandwidthKB = cr.Result.BandwidthKBps
+		points[i].GCRuns = cr.Result.GCRuns
+	}
+	return points, nil
 }
 
 // FormatFig17 renders per-platform bandwidth tables with and without GC.

@@ -1,13 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"sprinkler"
 	"sprinkler/internal/metrics"
-	"sprinkler/internal/req"
-	"sprinkler/internal/ssd"
-	"sprinkler/internal/trace"
 )
 
 // Fig1Point is one (dies, transferKB) sample of the Figure 1 sensitivity
@@ -24,21 +23,23 @@ type Fig1Point struct {
 // fig1Platform shrinks per-plane block counts as the platform grows so the
 // 32768-die point stays within memory; scheduling behaviour only depends
 // on the chip/die/plane topology.
-func fig1Platform(chips int) ssd.Config {
+func fig1Platform(chips int) sprinkler.Config {
 	cfg := Platform(chips)
 	switch {
 	case chips >= 4096:
-		cfg.Geo.BlocksPerPlane = 8
+		cfg.BlocksPerPlane = 8
 	case chips >= 512:
-		cfg.Geo.BlocksPerPlane = 32
+		cfg.BlocksPerPlane = 32
 	default:
-		cfg.Geo.BlocksPerPlane = 128
+		cfg.BlocksPerPlane = 128
 	}
+	cfg.Scheduler = sprinkler.VAS
 	return cfg
 }
 
 // RunFig1 sweeps the die count from 2 to 32768 for transfer sizes 4-128 KB,
 // reproducing the performance-stagnation observation (Figures 1a and 1b).
+// Every (dies, size) cell runs concurrently.
 func RunFig1(opts Options) ([]Fig1Point, error) {
 	opts = opts.Defaults()
 	dieCounts := []int{2, 8, 32, 128, 512, 2048, 8192, 32768}
@@ -48,40 +49,42 @@ func RunFig1(opts Options) ([]Fig1Point, error) {
 	sizesKB := []int{4, 8, 16, 32, 64, 128}
 	count := opts.scaled(512, 64)
 
-	var out []Fig1Point
+	var cells []sprinkler.Cell
+	var points []Fig1Point
 	for _, dies := range dieCounts {
 		chips := dies / 2
 		if chips < 1 {
 			chips = 1
 		}
 		cfg := fig1Platform(chips)
-		logical := cfg.Geo.TotalPages() * 9 / 10
 		for _, kb := range sizesKB {
-			pages := kb * 1024 / cfg.Geo.PageSize
+			pages := kb * 1024 / cfg.PageSize
 			if pages < 1 {
 				pages = 1
 			}
-			ios, err := trace.GenerateFixed(trace.FixedConfig{
-				Count: count, Pages: pages, Kind: req.Read,
-				Sequential: true, LogicalPages: logical, Seed: opts.Seed,
-			})
-			if err != nil {
-				return nil, err
+			points = append(points, Fig1Point{Dies: dies, TransferKB: kb})
+			spec := sprinkler.FixedSpec{
+				Requests: count, Pages: pages, Sequential: true, Seed: opts.Seed,
 			}
-			res, err := runTrace(cfg, "VAS", fmt.Sprintf("fixed%dKB", kb), ios)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig1Point{
-				Dies:        dies,
-				TransferKB:  kb,
-				BandwidthMB: res.BandwidthKBps() / 1024,
-				Utilization: res.ChipUtilization,
-				Idleness:    res.MemoryLevelIdleness,
+			cfg := cfg
+			cells = append(cells, sprinkler.Cell{
+				Name:   fmt.Sprintf("fig1/%dd/%dKB", dies, kb),
+				Config: cfg,
+				Source: func(uint64) (sprinkler.Source, error) { return cfg.NewFixedSource(spec) },
 			})
 		}
 	}
-	return out, nil
+
+	results := opts.runner().Run(context.Background(), cells)
+	for i, cr := range results {
+		if cr.Err != nil {
+			return nil, cr.Err
+		}
+		points[i].BandwidthMB = cr.Result.BandwidthKBps / 1024
+		points[i].Utilization = cr.Result.ChipUtilization
+		points[i].Idleness = cr.Result.MemoryLevelIdleness
+	}
+	return points, nil
 }
 
 // FormatFig1 renders the sweep as the two panels of Figure 1.
@@ -140,24 +143,31 @@ func RunFig12(opts Options) (string, error) {
 	opts = opts.Defaults()
 	cfg := Platform(opts.Chips)
 	cfg.CollectSeries = true
-	logical := cfg.Geo.TotalPages() * 9 / 10
-	w, _ := trace.ByName("msnfs1")
 	n := opts.scaled(3000, 150)
-	ios, err := trace.Generate(w, trace.GenConfig{
-		Instructions: n, LogicalPages: logical, PageSize: cfg.Geo.PageSize,
-		AlignStride: int64(cfg.Geo.NumChips()), Seed: opts.Seed,
-	})
-	if err != nil {
-		return "", err
+
+	var cells []sprinkler.Cell
+	schedulers := []string{"VAS", "PAS", "SPK3"}
+	for _, s := range schedulers {
+		cc := cfg
+		cc.Scheduler = sprinkler.SchedulerKind(s)
+		cells = append(cells, sprinkler.Cell{
+			Name:   "fig12/" + s,
+			Config: cc,
+			Source: func(uint64) (sprinkler.Source, error) {
+				return cc.NewWorkloadSource(sprinkler.WorkloadSpec{
+					Name: "msnfs1", Requests: n, Seed: opts.Seed,
+				})
+			},
+		})
 	}
-	series := map[string][]metrics.SeriesPoint{}
-	for _, s := range []string{"VAS", "PAS", "SPK3"} {
-		res, err := runTrace(cfg, s, "msnfs1", cloneIOs(ios))
-		if err != nil {
-			return "", err
+	series := map[string][]sprinkler.SeriesPoint{}
+	for i, cr := range opts.runner().Run(context.Background(), cells) {
+		if cr.Err != nil {
+			return "", cr.Err
 		}
-		series[s] = res.Series
+		series[schedulers[i]] = cr.Result.Series
 	}
+
 	// Sample every k-th I/O to keep the table readable.
 	k := len(series["VAS"]) / 30
 	if k < 1 {
@@ -167,9 +177,9 @@ func RunFig12(opts Options) (string, error) {
 	var rows [][]string
 	var sumVAS, sumPAS, sumSPK3 float64
 	for i := 0; i < len(series["VAS"]); i++ {
-		v := float64(series["VAS"][i].Latency) / 1e6
-		p := float64(series["PAS"][i].Latency) / 1e6
-		s := float64(series["SPK3"][i].Latency) / 1e6
+		v := float64(series["VAS"][i].LatencyNS) / 1e6
+		p := float64(series["PAS"][i].LatencyNS) / 1e6
+		s := float64(series["SPK3"][i].LatencyNS) / 1e6
 		sumVAS += v
 		sumPAS += p
 		sumSPK3 += s
@@ -199,7 +209,7 @@ type Fig15Point struct {
 // RunFig15 sweeps transfer sizes 4 KB-4 MB on 64/256/1024-chip platforms
 // for VAS, SPK1, SPK2 and SPK3 (chip utilization, Figure 15; the same runs
 // yield the transaction counts of Figure 16 and feed Figure 17's pristine
-// baseline).
+// baseline). All cells run concurrently.
 func RunFig15(opts Options) ([]Fig15Point, error) {
 	opts = opts.Defaults()
 	chipCounts := []int{64, 256, 1024}
@@ -213,12 +223,12 @@ func RunFig15(opts Options) ([]Fig15Point, error) {
 	// across transfer sizes.
 	totalKB := opts.scaled(64*1024, 4*1024)
 
-	var out []Fig15Point
+	var cells []sprinkler.Cell
+	var points []Fig15Point
 	for _, chips := range chipCounts {
 		cfg := Platform(chips)
-		logical := cfg.Geo.TotalPages() * 9 / 10
 		for _, kb := range sizesKB {
-			pages := kb * 1024 / cfg.Geo.PageSize
+			pages := kb * 1024 / cfg.PageSize
 			if pages < 1 {
 				pages = 1
 			}
@@ -226,28 +236,34 @@ func RunFig15(opts Options) ([]Fig15Point, error) {
 			if count < 8 {
 				count = 8
 			}
-			ios, err := trace.GenerateFixed(trace.FixedConfig{
-				Count: count, Pages: pages, Kind: req.Read,
-				LogicalPages: logical, Seed: opts.Seed + uint64(kb),
-			})
-			if err != nil {
-				return nil, err
+			// The same seed per (chips, kb) point: every scheduler
+			// replays the identical random workload.
+			spec := sprinkler.FixedSpec{
+				Requests: count, Pages: pages, Seed: opts.Seed + uint64(kb),
 			}
 			for _, s := range schedulers {
-				res, err := runTrace(cfg, s, fmt.Sprintf("rnd%dKB", kb), cloneIOs(ios))
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, Fig15Point{
-					Chips: chips, TransferKB: kb, Scheduler: s,
-					Utilization: res.ChipUtilization,
-					Txns:        res.Transactions,
-					BandwidthKB: res.BandwidthKBps(),
+				cc := cfg
+				cc.Scheduler = sprinkler.SchedulerKind(s)
+				points = append(points, Fig15Point{Chips: chips, TransferKB: kb, Scheduler: s})
+				cells = append(cells, sprinkler.Cell{
+					Name:   fmt.Sprintf("fig15/%dc/%dKB/%s", chips, kb, s),
+					Config: cc,
+					Source: func(uint64) (sprinkler.Source, error) { return cc.NewFixedSource(spec) },
 				})
 			}
 		}
 	}
-	return out, nil
+
+	results := opts.runner().Run(context.Background(), cells)
+	for i, cr := range results {
+		if cr.Err != nil {
+			return nil, cr.Err
+		}
+		points[i].Utilization = cr.Result.ChipUtilization
+		points[i].Txns = cr.Result.Transactions
+		points[i].BandwidthKB = cr.Result.BandwidthKBps
+	}
+	return points, nil
 }
 
 // FormatFig15 renders per-platform utilization tables.

@@ -86,6 +86,14 @@ type Result struct {
 	// workload can use them.
 	MemoryLevelIdleness float64
 
+	// BusyChipIntegral is ∫(busy chips)dt gated on system-busy time,
+	// SysBusyTime the gate's total, and Chips the platform chip count —
+	// the raw inputs behind ChipUtilization, exposed so mid-run snapshot
+	// deltas can compute windowed utilization.
+	BusyChipIntegral float64
+	SysBusyTime      sim.Time
+	Chips            int
+
 	Exec Breakdown
 	FLP  FLPBreakdown
 
@@ -159,6 +167,9 @@ func (r *Result) Compute(geo flash.Geometry, chips []ChipSample, busyChipIntegra
 			reqsByClass[i] += v
 		}
 	}
+	r.BusyChipIntegral = busyChipIntegral
+	r.SysBusyTime = sysBusy
+	r.Chips = n
 	total := float64(r.Duration) * float64(n)
 	// Utilization is the contribution of busy cycles to execution cycles
 	// while the device has work (Figure 6's definition): chips sitting

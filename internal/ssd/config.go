@@ -32,6 +32,14 @@ type Config struct {
 	// address after live-data migration.
 	RetranslatePenalty sim.Time
 
+	// MaxBacklog bounds the host-side requests buffered ahead of
+	// admission in source-driven runs; zero means unbounded. When the
+	// bound is reached the source is paused and resumed as admissions
+	// drain. Arrival timestamps are preserved (a late-executed arrival
+	// still carries its original time, so latency accounting includes
+	// the host-side wait); memory stays flat under sustained overload.
+	MaxBacklog int
+
 	// LogicalPages bounds the logical address space. Zero defaults to
 	// ~90% of the physical pages, leaving over-provisioning headroom.
 	LogicalPages int64
@@ -87,6 +95,9 @@ func (c *Config) Validate() error {
 	}
 	if c.RetranslatePenalty < 0 {
 		return fmt.Errorf("ssd: negative RetranslatePenalty")
+	}
+	if c.MaxBacklog < 0 {
+		return fmt.Errorf("ssd: negative MaxBacklog")
 	}
 	if c.LogicalPages < 0 {
 		return fmt.Errorf("ssd: negative LogicalPages")

@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -51,9 +52,13 @@ type Device struct {
 	composeQ  []*req.Mem
 	composing bool
 
-	// Host front end.
-	src     IOSource
-	backlog []*req.IO
+	// Host front end. The backlog is a head-indexed queue: popping is
+	// O(1) so admission stays linear even when an open-loop burst backs
+	// thousands of requests up behind the device-level queue.
+	backlogHead int
+	src         IOSource
+	backlog     []*req.IO
+	srcStalled  bool // source pull paused at the MaxBacklog bound
 
 	pumping bool
 
@@ -191,9 +196,39 @@ func (d *Device) mappingGCSweep() {
 
 // Run drives the workload to completion and returns the measurements.
 func (d *Device) Run(src IOSource) (*metrics.Result, error) {
+	return d.RunContext(context.Background(), src)
+}
+
+// RunContext drives the workload to completion, polling ctx between event
+// batches. The source is pulled one request ahead of the simulation clock,
+// so the request stream itself costs O(1) memory however long the workload
+// is. On cancellation it returns the mid-run snapshot together with the
+// context's error.
+func (d *Device) RunContext(ctx context.Context, src IOSource) (*metrics.Result, error) {
 	d.src = src
 	d.scheduleNextArrival()
-	d.eng.Run(0)
+	return d.drain(ctx)
+}
+
+// Drain runs every outstanding event (submitted I/Os, GC, source arrivals)
+// to completion and returns the final measurements. Session mode's
+// terminal call; RunContext uses the same loop.
+func (d *Device) Drain(ctx context.Context) (*metrics.Result, error) {
+	return d.drain(ctx)
+}
+
+// cancelCheckEvents is how many simulation events execute between context
+// polls: coarse enough to stay off the hot path, fine enough that
+// cancellation lands within milliseconds of wall time.
+const cancelCheckEvents = 1 << 16
+
+func (d *Device) drain(ctx context.Context) (*metrics.Result, error) {
+	for d.eng.Pending() > 0 {
+		if err := ctx.Err(); err != nil {
+			return d.Snapshot(), err
+		}
+		d.eng.Run(d.eng.Fired() + cancelCheckEvents)
+	}
 	d.account(d.eng.Now())
 	if d.inflight > 0 {
 		return nil, fmt.Errorf("ssd: simulation stalled with %d I/Os in flight (%s)", d.inflight, d.sch.Name())
@@ -201,9 +236,45 @@ func (d *Device) Run(src IOSource) (*metrics.Result, error) {
 	return d.result(), nil
 }
 
+// Submit schedules one host I/O arrival directly (session mode — no
+// IOSource needed). Arrival times in the simulated past are clamped to
+// the current simulation time.
+func (d *Device) Submit(io *req.IO) {
+	at := io.Arrival
+	if at < d.eng.Now() {
+		at = d.eng.Now()
+		io.Arrival = at
+	}
+	d.eng.At(at, func(now sim.Time) { d.arrive(now, io) })
+}
+
+// Advance executes events up to the given absolute simulation time and
+// then moves the clock there, leaving later events queued. Session mode's
+// windowing primitive.
+func (d *Device) Advance(to sim.Time) {
+	d.eng.RunUntil(to)
+	d.account(d.eng.Now())
+}
+
+// Now returns the current simulation time.
+func (d *Device) Now() sim.Time { return d.eng.Now() }
+
+// Inflight reports how many host I/Os have arrived but not completed.
+func (d *Device) Inflight() int { return d.inflight }
+
 // scheduleNextArrival chains host arrivals one event at a time, preserving
 // source order even when arrival timestamps collide.
 func (d *Device) scheduleNextArrival() {
+	if d.src == nil {
+		return
+	}
+	if d.cfg.MaxBacklog > 0 && d.backlogLen() >= d.cfg.MaxBacklog {
+		// Pause the pull instead of buffering without bound; admission
+		// progress (drainBacklog) resumes it.
+		d.srcStalled = true
+		return
+	}
+	d.srcStalled = false
 	io, ok := d.src.Next()
 	if !ok {
 		return
@@ -223,6 +294,27 @@ func (d *Device) arrive(now sim.Time, io *req.IO) {
 	d.scheduleNextArrival()
 }
 
+// backlogLen reports the host requests waiting for admission.
+func (d *Device) backlogLen() int { return len(d.backlog) - d.backlogHead }
+
+// popBacklog removes the backlog head in O(1), compacting the slice once
+// the dead prefix dominates so memory tracks the live queue length.
+func (d *Device) popBacklog() {
+	d.backlog[d.backlogHead] = nil
+	d.backlogHead++
+	if d.backlogHead == len(d.backlog) {
+		d.backlog = d.backlog[:0]
+		d.backlogHead = 0
+	} else if d.backlogHead >= 1024 && d.backlogHead*2 >= len(d.backlog) {
+		n := copy(d.backlog, d.backlog[d.backlogHead:])
+		for i := n; i < len(d.backlog); i++ {
+			d.backlog[i] = nil
+		}
+		d.backlog = d.backlog[:n]
+		d.backlogHead = 0
+	}
+}
+
 // drainBacklog admits host I/Os into the device-level queue while tags are
 // free: the tag is secured and the physical layout of every memory request
 // is identified (core.preprocess in Algorithm 1) — no data moves yet.
@@ -232,8 +324,8 @@ func (d *Device) arrive(now sim.Time, io *req.IO) {
 // head and admission retries when a GC job or an I/O completes.
 func (d *Device) drainBacklog(now sim.Time) {
 	admitted := false
-	for len(d.backlog) > 0 && !d.queue.Full() {
-		io := d.backlog[0]
+	for d.backlogLen() > 0 && !d.queue.Full() {
+		io := d.backlog[d.backlogHead]
 		ok := true
 		for _, m := range io.Mem {
 			if m.Resolved {
@@ -247,9 +339,7 @@ func (d *Device) drainBacklog(now sim.Time) {
 		if !ok {
 			break
 		}
-		copy(d.backlog, d.backlog[1:])
-		d.backlog[len(d.backlog)-1] = nil
-		d.backlog = d.backlog[:len(d.backlog)-1]
+		d.popBacklog()
 		d.queue.Enqueue(now, io)
 		if io.Kind == req.Read {
 			for _, m := range io.Mem {
@@ -259,6 +349,9 @@ func (d *Device) drainBacklog(now sim.Time) {
 		admitted = true
 	}
 	if admitted {
+		if d.srcStalled {
+			d.scheduleNextArrival()
+		}
 		d.pump(now)
 	}
 }
@@ -452,12 +545,26 @@ func (d *Device) completeIO(now sim.Time, io *req.IO) {
 	d.drainBacklog(now)
 }
 
-// result snapshots the measurements after the run.
+// result snapshots the measurements after the run. Duration ends at the
+// last I/O completion so trailing idle time does not dilute throughput.
 func (d *Device) result() *metrics.Result {
 	end := d.lastCompletion
 	if end == 0 {
 		end = d.eng.Now()
 	}
+	return d.resultAt(end)
+}
+
+// Snapshot reports the measurements accumulated so far without disturbing
+// the run: callable mid-simulation (between events) for live bandwidth,
+// latency and utilization readings. Mid-run durations use the current
+// simulation time so windowed rates are well defined.
+func (d *Device) Snapshot() *metrics.Result {
+	d.account(d.eng.Now())
+	return d.resultAt(d.eng.Now())
+}
+
+func (d *Device) resultAt(end sim.Time) *metrics.Result {
 	r := &metrics.Result{
 		Scheduler:           d.sch.Name(),
 		Duration:            end,

@@ -59,48 +59,79 @@ func Write(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// Parse reads the CSV format. It rejects malformed lines with the line
-// number in the error.
-func Parse(r io.Reader) ([]Record, error) {
-	var recs []Record
+// Reader parses the CSV format incrementally, one record per call, so a
+// trace can be replayed without materializing it. It rejects malformed
+// lines with the line number in the error.
+type Reader struct {
+	sc     *bufio.Scanner
+	lineNo int
+}
+
+// NewReader wraps r for incremental parsing.
+func NewReader(r io.Reader) *Reader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &Reader{sc: sc}
+}
+
+// Next returns the next record. It returns io.EOF at the end of input and
+// a descriptive error on a malformed line.
+func (r *Reader) Next() (Record, error) {
+	for r.sc.Scan() {
+		r.lineNo++
+		line := strings.TrimSpace(r.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Split(line, ",")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
-		}
-		arrival, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
-		if err != nil || arrival < 0 {
-			return nil, fmt.Errorf("trace: line %d: bad arrival %q", lineNo, fields[0])
-		}
-		var kind req.Kind
-		switch strings.ToUpper(strings.TrimSpace(fields[1])) {
-		case "R":
-			kind = req.Read
-		case "W":
-			kind = req.Write
-		default:
-			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[1])
-		}
-		lpn, err := strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
-		if err != nil || lpn < 0 {
-			return nil, fmt.Errorf("trace: line %d: bad lpn %q", lineNo, fields[2])
-		}
-		pages, err := strconv.Atoi(strings.TrimSpace(fields[3]))
-		if err != nil || pages <= 0 {
-			return nil, fmt.Errorf("trace: line %d: bad pages %q", lineNo, fields[3])
-		}
-		recs = append(recs, Record{Arrival: sim.Time(arrival), Kind: kind, LPN: req.LPN(lpn), Pages: pages})
+		return r.parseLine(line)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
 	}
-	return recs, nil
+	return Record{}, io.EOF
+}
+
+func (r *Reader) parseLine(line string) (Record, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 4 {
+		return Record{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", r.lineNo, len(fields))
+	}
+	arrival, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+	if err != nil || arrival < 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad arrival %q", r.lineNo, fields[0])
+	}
+	var kind req.Kind
+	switch strings.ToUpper(strings.TrimSpace(fields[1])) {
+	case "R":
+		kind = req.Read
+	case "W":
+		kind = req.Write
+	default:
+		return Record{}, fmt.Errorf("trace: line %d: bad op %q", r.lineNo, fields[1])
+	}
+	lpn, err := strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
+	if err != nil || lpn < 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad lpn %q", r.lineNo, fields[2])
+	}
+	pages, err := strconv.Atoi(strings.TrimSpace(fields[3]))
+	if err != nil || pages <= 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad pages %q", r.lineNo, fields[3])
+	}
+	return Record{Arrival: sim.Time(arrival), Kind: kind, LPN: req.LPN(lpn), Pages: pages}, nil
+}
+
+// Parse reads the whole CSV stream into a record list.
+func Parse(r io.Reader) ([]Record, error) {
+	rd := NewReader(r)
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
 }

@@ -11,7 +11,8 @@ import (
 // GenConfig parameterizes synthetic trace generation.
 type GenConfig struct {
 	// Instructions is the number of I/O requests to generate (the
-	// workload's read/write mix splits it). Default 2000.
+	// workload's read/write mix splits it). Generate defaults it to 2000;
+	// a Stream treats <= 0 as unbounded.
 	Instructions int
 
 	// LogicalPages bounds generated addresses. Required.
@@ -41,9 +42,6 @@ type GenConfig struct {
 }
 
 func (c GenConfig) withDefaults() GenConfig {
-	if c.Instructions <= 0 {
-		c.Instructions = 2000
-	}
 	if c.PageSize <= 0 {
 		c.PageSize = 2048
 	}
@@ -75,10 +73,40 @@ func burstLen(l Locality) int {
 	}
 }
 
-// Generate synthesizes the workload as a list of host I/O requests in
-// arrival order. Generation is deterministic: the same workload and config
-// always produce the same trace.
-func Generate(w Workload, cfg GenConfig) ([]*req.IO, error) {
+// Stream synthesizes a workload one request at a time in O(1) memory.
+// A Stream built with Instructions <= 0 never runs dry (infinite open-loop
+// feeds); a bounded Stream emits exactly Instructions requests and then
+// reports exhaustion. Generation is deterministic: the same workload and
+// config always produce the same sequence, and a bounded Stream emits
+// exactly what Generate materializes for the same inputs.
+type Stream struct {
+	cfg GenConfig
+	w   Workload
+	rng *sim.Rand
+
+	limit int // <= 0 means unbounded
+
+	readPages  int
+	writePages int
+	readFrac   float64
+	burst      int
+
+	emitted int64
+	now     sim.Time
+	// Sequential cursors for the non-random fraction of each direction.
+	seqRead  req.LPN
+	seqWrite req.LPN
+
+	// Current burst: correlated addresses around a region base.
+	started bool
+	b       int // member index within the burst
+	isRead  bool
+	base    req.LPN
+}
+
+// NewStream builds an incremental generator for the workload.
+// cfg.Instructions <= 0 makes the stream unbounded.
+func NewStream(w Workload, cfg GenConfig) (*Stream, error) {
 	cfg = cfg.withDefaults()
 	if cfg.LogicalPages <= 0 {
 		return nil, fmt.Errorf("trace: LogicalPages required")
@@ -89,65 +117,98 @@ func Generate(w Workload, cfg GenConfig) ([]*req.IO, error) {
 		h.Write([]byte(w.Name))
 		seed = h.Sum64()
 	}
-	rng := sim.NewRand(seed)
-
-	readPages := kbToPages(w.AvgReadKB(), cfg)
-	writePages := kbToPages(w.AvgWriteKB(), cfg)
-	readFrac := w.ReadFraction()
-	burst := burstLen(w.TxnLocality)
-
-	ios := make([]*req.IO, 0, cfg.Instructions)
-	now := sim.Time(0)
-	// Sequential cursors for the non-random fraction of each direction.
-	var seqRead, seqWrite req.LPN
-
-	for len(ios) < cfg.Instructions {
-		// One burst: correlated addresses around a region base.
-		isRead := rng.Float64() < readFrac
-		base := req.LPN(rng.Int63n(maxInt64(1, cfg.LogicalPages-int64(cfg.MaxPages)*int64(burst))))
-		for b := 0; b < burst && len(ios) < cfg.Instructions; b++ {
-			kind := req.Write
-			pages := writePages
-			random := w.WriteRandom / 100
-			if isRead {
-				kind = req.Read
-				pages = readPages
-				random = w.ReadRandom / 100
-			}
-			pages = jitterPages(rng, pages, cfg.MaxPages)
-
-			var start req.LPN
-			switch {
-			case w.TxnLocality == High:
-				// Stride-aligned burst members: same chips, compatible
-				// page offsets — high spatial transactional locality.
-				start = base + req.LPN(int64(b)*cfg.AlignStride)
-			case rng.Float64() < random:
-				start = req.LPN(rng.Int63n(cfg.LogicalPages))
-			default:
-				// Sequential continuation.
-				if kind == req.Read {
-					start = seqRead
-				} else {
-					start = seqWrite
-				}
-			}
-			start = clampLPN(start, pages, cfg.LogicalPages)
-			if kind == req.Read {
-				seqRead = start + req.LPN(pages)
-			} else {
-				seqWrite = start + req.LPN(pages)
-			}
-
-			io := req.NewIO(int64(len(ios)), kind, start, pages, now)
-			ios = append(ios, io)
-			now += cfg.IntraBurstGap
-		}
-		// Exponential-ish inter-burst gap in [0.5, 2]× the mean.
-		gap := cfg.InterBurstGap/2 + sim.Time(rng.Int63n(int64(cfg.InterBurstGap)*3/2))
-		now += gap
+	g := &Stream{
+		cfg:        cfg,
+		w:          w,
+		rng:        sim.NewRand(seed),
+		limit:      cfg.Instructions,
+		readPages:  kbToPages(w.AvgReadKB(), cfg),
+		writePages: kbToPages(w.AvgWriteKB(), cfg),
+		readFrac:   w.ReadFraction(),
+		burst:      burstLen(w.TxnLocality),
 	}
-	return ios, nil
+	g.b = g.burst // force a fresh burst on the first Next
+	return g, nil
+}
+
+// Emitted reports how many requests the stream has produced.
+func (g *Stream) Emitted() int64 { return g.emitted }
+
+// Next produces the next request, or false when a bounded stream is done.
+func (g *Stream) Next() (*req.IO, bool) {
+	if g.limit > 0 && g.emitted >= int64(g.limit) {
+		return nil, false
+	}
+	if g.b >= g.burst {
+		if g.started {
+			// Exponential-ish inter-burst gap in [0.5, 2]× the mean.
+			g.now += g.cfg.InterBurstGap/2 + sim.Time(g.rng.Int63n(int64(g.cfg.InterBurstGap)*3/2))
+		}
+		g.started = true
+		g.b = 0
+		g.isRead = g.rng.Float64() < g.readFrac
+		g.base = req.LPN(g.rng.Int63n(maxInt64(1, g.cfg.LogicalPages-int64(g.cfg.MaxPages)*int64(g.burst))))
+	}
+
+	kind := req.Write
+	pages := g.writePages
+	random := g.w.WriteRandom / 100
+	if g.isRead {
+		kind = req.Read
+		pages = g.readPages
+		random = g.w.ReadRandom / 100
+	}
+	pages = jitterPages(g.rng, pages, g.cfg.MaxPages)
+
+	var start req.LPN
+	switch {
+	case g.w.TxnLocality == High:
+		// Stride-aligned burst members: same chips, compatible
+		// page offsets — high spatial transactional locality.
+		start = g.base + req.LPN(int64(g.b)*g.cfg.AlignStride)
+	case g.rng.Float64() < random:
+		start = req.LPN(g.rng.Int63n(g.cfg.LogicalPages))
+	default:
+		// Sequential continuation.
+		if kind == req.Read {
+			start = g.seqRead
+		} else {
+			start = g.seqWrite
+		}
+	}
+	start = clampLPN(start, pages, g.cfg.LogicalPages)
+	if kind == req.Read {
+		g.seqRead = start + req.LPN(pages)
+	} else {
+		g.seqWrite = start + req.LPN(pages)
+	}
+
+	io := req.NewIO(g.emitted, kind, start, pages, g.now)
+	g.emitted++
+	g.b++
+	g.now += g.cfg.IntraBurstGap
+	return io, true
+}
+
+// Generate synthesizes the workload as a list of host I/O requests in
+// arrival order. Generation is deterministic: the same workload and config
+// always produce the same trace. cfg.Instructions defaults to 2000.
+func Generate(w Workload, cfg GenConfig) ([]*req.IO, error) {
+	if cfg.Instructions <= 0 {
+		cfg.Instructions = 2000
+	}
+	g, err := NewStream(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ios := make([]*req.IO, 0, cfg.Instructions)
+	for {
+		io, ok := g.Next()
+		if !ok {
+			return ios, nil
+		}
+		ios = append(ios, io)
+	}
 }
 
 // kbToPages converts a mean KB size to whole pages with sane bounds.

@@ -1,0 +1,74 @@
+package sprinkler
+
+import "fmt"
+
+// Validate checks the platform configuration, returning a descriptive
+// error for degenerate geometry or queue settings. New and Open validate
+// automatically; call it directly to vet configurations built elsewhere.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", c.Channels},
+		{"ChipsPerChan", c.ChipsPerChan},
+		{"DiesPerChip", c.DiesPerChip},
+		{"PlanesPerDie", c.PlanesPerDie},
+		{"BlocksPerPlane", c.BlocksPerPlane},
+		{"PagesPerBlock", c.PagesPerBlock},
+		{"PageSize", c.PageSize},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("sprinkler: Config.%s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("sprinkler: Config.QueueDepth must be positive, got %d (the device-level queue needs at least one tag)", c.QueueDepth)
+	}
+	if c.MaxBacklog < 0 {
+		return fmt.Errorf("sprinkler: Config.MaxBacklog must be non-negative, got %d", c.MaxBacklog)
+	}
+	if c.LogicalPages < 0 {
+		return fmt.Errorf("sprinkler: Config.LogicalPages must be non-negative, got %d", c.LogicalPages)
+	}
+	if c.GCFreeTarget < 0 {
+		return fmt.Errorf("sprinkler: Config.GCFreeTarget must be non-negative, got %d", c.GCFreeTarget)
+	}
+	switch c.Scheduler {
+	case VAS, PAS, SPK1, SPK2, SPK3, "":
+	default:
+		return fmt.Errorf("sprinkler: unknown scheduler %q (want one of %v)", c.Scheduler, Schedulers())
+	}
+	switch c.Allocation {
+	case ChannelFirst, WayFirst, PlaneFirst, "":
+	default:
+		return fmt.Errorf("sprinkler: unknown allocation scheme %q", c.Allocation)
+	}
+	if total := c.TotalPages(); c.LogicalPages > total {
+		return fmt.Errorf("sprinkler: Config.LogicalPages %d exceeds the %d physical pages", c.LogicalPages, total)
+	}
+	return nil
+}
+
+// options collects session/run knobs set by Option values.
+type options struct {
+	precondition *Precondition
+}
+
+// Option customizes Open.
+type Option func(*options)
+
+// Precondition describes a device-fragmentation pass: fill FillFrac of
+// the logical space, then overwrite ChurnFrac of the filled pages at
+// random (seeded by Seed), so garbage collection runs under the workload
+// (§5.9 of the paper).
+type Precondition struct {
+	FillFrac  float64
+	ChurnFrac float64
+	Seed      uint64
+}
+
+// WithPrecondition fragments the device before any request is served.
+func WithPrecondition(p Precondition) Option {
+	return func(o *options) { o.precondition = &p }
+}

@@ -46,8 +46,10 @@ type Result struct {
 	P99LatencyNS int64
 	MaxLatencyNS int64
 
-	// QueueStallFraction is how long the device-level queue was full,
-	// relative to the run (Figure 10d's raw quantity).
+	// QueueStallNS is how long the device-level queue was full with the
+	// host blocked behind it; QueueStallFraction normalizes it by the
+	// run duration (Figure 10d's quantity).
+	QueueStallNS       int64
 	QueueStallFraction float64
 
 	// ChipUtilization is the busy-chip fraction while the device had work
@@ -56,6 +58,11 @@ type Result struct {
 	ChipUtilization   float64
 	InterChipIdleness float64
 	IntraChipIdleness float64
+
+	// MemoryLevelIdleness is the idle share of every (die, plane)
+	// resource while the device had work — the Figure 1b curve that
+	// grows as chips are added faster than the workload can use them.
+	MemoryLevelIdleness float64
 
 	// Exec is the Figure 13 execution-time breakdown.
 	Exec ExecBreakdown
@@ -69,13 +76,22 @@ type Result struct {
 	Transactions int64
 	AvgFLPDegree float64
 
-	// GCRuns counts background garbage collections; WriteAmplification is
-	// (host+GC)/host page writes. BadBlocks counts blocks retired by
-	// erase failures; WearLevels counts wear-leveling victim rotations.
+	// GCRuns counts background garbage collections; GCPageMoves and
+	// GCErases its live-page migrations and block erases.
+	// WriteAmplification is (host+GC)/host page writes. BadBlocks counts
+	// blocks retired by erase failures; WearLevels counts wear-leveling
+	// victim rotations.
 	GCRuns             int64
+	GCPageMoves        int64
+	GCErases           int64
 	WriteAmplification float64
 	BadBlocks          int64
 	WearLevels         int64
+
+	// StaleRetranslations counts commit-time address fixups forced by
+	// live-data migration under schedulers without the readdressing
+	// callback (§4.3).
+	StaleRetranslations int64
 
 	// Series is the per-I/O latency series when CollectSeries was set.
 	Series []SeriesPoint
@@ -84,32 +100,37 @@ type Result struct {
 // publicResult flattens the internal result.
 func publicResult(r *metrics.Result) *Result {
 	out := &Result{
-		Scheduler:          r.Scheduler,
-		DurationNS:         int64(r.Duration),
-		IOsCompleted:       r.IOsCompleted,
-		BytesRead:          r.BytesRead,
-		BytesWritten:       r.BytesWritten,
-		BandwidthKBps:      r.BandwidthKBps(),
-		IOPS:               r.IOPS(),
-		AvgLatencyNS:       int64(r.AvgLatency()),
-		P50LatencyNS:       int64(r.Latency.Percentile(50)),
-		P99LatencyNS:       int64(r.Latency.Percentile(99)),
-		MaxLatencyNS:       int64(r.Latency.Max()),
-		QueueStallFraction: r.QueueStallFraction(),
-		ChipUtilization:    r.ChipUtilization,
-		InterChipIdleness:  r.InterChipIdleness,
-		IntraChipIdleness:  r.IntraChipIdleness,
+		Scheduler:           r.Scheduler,
+		DurationNS:          int64(r.Duration),
+		IOsCompleted:        r.IOsCompleted,
+		BytesRead:           r.BytesRead,
+		BytesWritten:        r.BytesWritten,
+		BandwidthKBps:       r.BandwidthKBps(),
+		IOPS:                r.IOPS(),
+		AvgLatencyNS:        int64(r.AvgLatency()),
+		P50LatencyNS:        int64(r.Latency.Percentile(50)),
+		P99LatencyNS:        int64(r.Latency.Percentile(99)),
+		MaxLatencyNS:        int64(r.Latency.Max()),
+		QueueStallNS:        int64(r.QueueFullTime),
+		QueueStallFraction:  r.QueueStallFraction(),
+		ChipUtilization:     r.ChipUtilization,
+		InterChipIdleness:   r.InterChipIdleness,
+		IntraChipIdleness:   r.IntraChipIdleness,
+		MemoryLevelIdleness: r.MemoryLevelIdleness,
 		Exec: ExecBreakdown{
 			BusOp:         r.Exec.BusOp,
 			BusContention: r.Exec.BusContention,
 			CellOp:        r.Exec.CellOp,
 			Idle:          r.Exec.Idle,
 		},
-		Transactions: r.Transactions,
-		AvgFLPDegree: r.AvgFLPDegree,
-		GCRuns:       r.GC.GCRuns,
-		BadBlocks:    r.GC.BadBlocks,
-		WearLevels:   r.GC.WearLevels,
+		Transactions:        r.Transactions,
+		AvgFLPDegree:        r.AvgFLPDegree,
+		GCRuns:              r.GC.GCRuns,
+		GCPageMoves:         r.GC.GCWrites,
+		GCErases:            r.GC.GCErases,
+		BadBlocks:           r.GC.BadBlocks,
+		WearLevels:          r.GC.WearLevels,
+		StaleRetranslations: r.StaleRetranslations,
 	}
 	out.FLPShares = r.FLP.Share
 	if r.GC.HostWrites > 0 {

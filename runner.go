@@ -1,0 +1,165 @@
+package sprinkler
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// Cell is one (config, scheduler, workload) point of a sweep. Cells are
+// independent: each gets a fresh Device, so a Runner can execute them on
+// any number of goroutines with results identical to serial execution.
+type Cell struct {
+	// Name labels the cell in results ("SPK3/msnfs1"). It also feeds the
+	// derived per-cell seed, so give distinct cells distinct names.
+	Name string
+
+	// Config is the platform + scheduler under test.
+	Config Config
+
+	// Source builds the cell's workload. It is called once, on the
+	// worker goroutine, with the cell's deterministic seed — build the
+	// source inside so no mutable state is shared across cells.
+	Source func(seed uint64) (Source, error)
+
+	// Precondition optionally fragments the device before the run.
+	Precondition *Precondition
+
+	// Seed overrides the derived per-cell seed when non-zero. Cells that
+	// must share a trace (the same workload under different schedulers)
+	// set the same non-zero Seed.
+	Seed uint64
+}
+
+// CellResult pairs a cell with its outcome.
+type CellResult struct {
+	Name   string
+	Seed   uint64
+	Result *Result
+	Err    error
+}
+
+// Runner fans sweep cells across worker goroutines. The zero value uses
+// all CPU cores and base seed 0. Per-cell seeds are deterministic
+// functions of (base seed, cell name, cell index), so results do not
+// depend on scheduling order or worker count.
+type Runner struct {
+	// Workers caps concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Seed is mixed into every derived cell seed, so a sweep can be
+	// re-rolled wholesale.
+	Seed uint64
+}
+
+// cellSeed derives a cell's seed: the explicit per-cell seed when set,
+// otherwise an FNV hash of the cell's name and index, both mixed with
+// the runner's base seed.
+func (r Runner) cellSeed(c Cell, i int) uint64 {
+	s := c.Seed
+	if s == 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s#%d", c.Name, i)
+		s = h.Sum64()
+	}
+	if r.Seed != 0 {
+		s = (s ^ r.Seed) * 0x2545F4914F6CDD1D
+		if s == 0 {
+			s = 1
+		}
+	}
+	return s
+}
+
+// Run executes every cell and returns results in cell order. A cell
+// failure is recorded in its CellResult, not returned: one bad cell does
+// not sink a thousand-cell sweep. Cancelling ctx abandons unstarted
+// cells (their Err is ctx.Err()) and interrupts running ones.
+func (r Runner) Run(ctx context.Context, cells []Cell) []CellResult {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]CellResult, len(cells))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = r.runCell(ctx, cells[i], i)
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func (r Runner) runCell(ctx context.Context, c Cell, i int) CellResult {
+	out := CellResult{Name: c.Name, Seed: r.cellSeed(c, i)}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
+	}
+	if c.Source == nil {
+		out.Err = fmt.Errorf("sprinkler: cell %q has no Source", c.Name)
+		return out
+	}
+	dev, err := New(c.Config)
+	if err != nil {
+		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
+		return out
+	}
+	if p := c.Precondition; p != nil {
+		dev.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
+	}
+	src, err := c.Source(out.Seed)
+	if err != nil {
+		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
+		return out
+	}
+	res, err := dev.Run(ctx, src)
+	if err != nil {
+		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
+		return out
+	}
+	out.Result = res
+	return out
+}
+
+// Sweep builds the scheduler × workload cross product on one platform:
+// the paper's evaluation grid. Every scheduler sees the identical trace
+// for a given workload (the cell seed is derived from the workload name
+// alone), so differences between rows are scheduling, not input noise.
+func Sweep(base Config, scheds []SchedulerKind, workloads []string, requests int) []Cell {
+	cells := make([]Cell, 0, len(scheds)*len(workloads))
+	for _, sk := range scheds {
+		for _, w := range workloads {
+			cfg := base
+			cfg.Scheduler = sk
+			h := fnv.New64a()
+			fmt.Fprintf(h, "workload:%s", w)
+			seed := h.Sum64()
+			name, workload := fmt.Sprintf("%s/%s", sk, w), w
+			cells = append(cells, Cell{
+				Name:   name,
+				Config: cfg,
+				Seed:   seed,
+				Source: func(seed uint64) (Source, error) {
+					return cfg.NewWorkloadSource(WorkloadSpec{Name: workload, Requests: requests, Seed: seed})
+				},
+			})
+		}
+	}
+	return cells
+}

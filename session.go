@@ -1,0 +1,241 @@
+package sprinkler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sprinkler/internal/metrics"
+	"sprinkler/internal/ssd"
+)
+
+// Session is an online simulation: callers submit requests while the run
+// is in progress, advance simulated time in windows, observe mid-run
+// metrics with Snapshot, and finish with Drain. Unlike Device.Run — which
+// replays a complete workload — a Session interleaves admission and
+// observation, which is how warmup/measurement-window experiments and
+// live dashboards drive the simulator.
+//
+// A Session is not safe for concurrent use; it advances a single
+// deterministic event loop.
+type Session struct {
+	dev       *ssd.Device
+	cfg       Config
+	nextID    int64
+	submitted int64
+	closed    bool
+}
+
+// Open builds a Session from the configuration, validating it first.
+func Open(cfg Config, opts ...Option) (*Session, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	icfg, sch, err := cfg.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := ssd.New(icfg, sch)
+	if err != nil {
+		return nil, err
+	}
+	if p := o.precondition; p != nil {
+		inner.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
+	}
+	return &Session{dev: inner, cfg: cfg}, nil
+}
+
+// errClosed reports use after Drain.
+var errClosed = errors.New("sprinkler: session already drained")
+
+// Submit admits one request into the running simulation. Arrival times in
+// the simulated past are clamped to the current simulation time, so
+// callers may submit with ArrivalNS zero and let submission order decide.
+func (s *Session) Submit(r Request) error {
+	if s.closed {
+		return errClosed
+	}
+	io, err := toIO(s.nextID, r)
+	if err != nil {
+		return err
+	}
+	s.nextID++
+	s.submitted++
+	s.dev.Submit(io)
+	return nil
+}
+
+// Feed pulls up to n requests from src into the session (all of them when
+// n <= 0), returning how many were admitted. Feeding schedules arrivals;
+// interleave with Advance to bound the number outstanding.
+func (s *Session) Feed(src Source, n int64) (int64, error) {
+	if s.closed {
+		return 0, errClosed
+	}
+	var fed int64
+	for n <= 0 || fed < n {
+		r, ok := src.Next()
+		if !ok {
+			if err := sourceErr(src); err != nil {
+				return fed, err
+			}
+			return fed, nil
+		}
+		if err := s.Submit(r); err != nil {
+			return fed, err
+		}
+		fed++
+	}
+	return fed, nil
+}
+
+// Advance runs the simulation for dNS more nanoseconds of simulated time,
+// then returns with later events still queued. The windowing primitive:
+// submit, advance, snapshot, repeat.
+func (s *Session) Advance(dNS int64) error {
+	if s.closed {
+		return errClosed
+	}
+	if dNS < 0 {
+		return fmt.Errorf("sprinkler: Advance by negative duration %d", dNS)
+	}
+	s.dev.Advance(s.dev.Now() + simTime(dNS))
+	return nil
+}
+
+// NowNS returns the current simulation time in nanoseconds.
+func (s *Session) NowNS() int64 { return int64(s.dev.Now()) }
+
+// Inflight reports how many submitted I/Os have arrived but not yet
+// completed.
+func (s *Session) Inflight() int { return s.dev.Inflight() }
+
+// Drain runs every outstanding event to completion and returns the final
+// measurements. The session cannot be used afterwards. On context
+// cancellation it returns the snapshot so far with ctx's error, and the
+// session stays open.
+func (s *Session) Drain(ctx context.Context) (*Result, error) {
+	if s.closed {
+		return nil, errClosed
+	}
+	res, err := s.dev.Drain(ctx)
+	if err != nil {
+		if res != nil {
+			return publicResult(res), err
+		}
+		return nil, err
+	}
+	s.closed = true
+	return publicResult(res), nil
+}
+
+// Snapshot reports the measurements accumulated so far without advancing
+// the simulation. Successive snapshots are monotone in SimTimeNS,
+// IOsSubmitted, IOsCompleted and byte counts; windowed rates come from
+// Since.
+func (s *Session) Snapshot() Snapshot {
+	r := s.dev.Snapshot()
+	return snapshotOf(r, s.submitted, s.dev.Inflight())
+}
+
+// Snapshot is a cheap point-in-time view of a running simulation.
+// Cumulative counters are exact; rates are averaged from simulation start.
+// Subtract two snapshots with Since for warmup-excluded measurement
+// windows.
+type Snapshot struct {
+	// SimTimeNS is the simulation clock.
+	SimTimeNS int64
+
+	IOsSubmitted int64
+	IOsCompleted int64
+	Inflight     int
+
+	BytesRead    int64
+	BytesWritten int64
+
+	// TotalLatencyNS sums device-level response times over completed
+	// I/Os, so windowed average latency is derivable from deltas.
+	TotalLatencyNS int64
+
+	// BandwidthKBps, IOPS and AvgLatencyNS are cumulative averages.
+	BandwidthKBps float64
+	IOPS          float64
+	AvgLatencyNS  int64
+
+	// ChipUtilization and QueueStallFraction are cumulative fractions.
+	ChipUtilization    float64
+	QueueStallFraction float64
+
+	GCRuns int64
+
+	// Raw integrals for windowed utilization/stall arithmetic.
+	busyChipIntegral float64
+	sysBusyNS        int64
+	queueFullNS      int64
+	chips            int
+}
+
+// snapshotOf flattens an internal mid-run result.
+func snapshotOf(r *metrics.Result, submitted int64, inflight int) Snapshot {
+	snap := Snapshot{
+		SimTimeNS:          int64(r.Duration),
+		IOsSubmitted:       submitted,
+		IOsCompleted:       r.IOsCompleted,
+		Inflight:           inflight,
+		BytesRead:          r.BytesRead,
+		BytesWritten:       r.BytesWritten,
+		TotalLatencyNS:     int64(r.Latency.Sum()),
+		BandwidthKBps:      r.BandwidthKBps(),
+		IOPS:               r.IOPS(),
+		AvgLatencyNS:       int64(r.AvgLatency()),
+		ChipUtilization:    r.ChipUtilization,
+		QueueStallFraction: r.QueueStallFraction(),
+		GCRuns:             r.GC.GCRuns,
+		busyChipIntegral:   r.BusyChipIntegral,
+		sysBusyNS:          int64(r.SysBusyTime),
+		queueFullNS:        int64(r.QueueFullTime),
+		chips:              r.Chips,
+	}
+	return snap
+}
+
+// Since returns the measurement window between prev and s: counters are
+// deltas, rates and fractions are recomputed over the window. Use it to
+// discard warmup:
+//
+//	warm := sess.Snapshot()          // after the warmup window
+//	...                              // measured work
+//	win := sess.Snapshot().Since(warm)
+func (s Snapshot) Since(prev Snapshot) Snapshot {
+	w := Snapshot{
+		SimTimeNS:        s.SimTimeNS - prev.SimTimeNS,
+		IOsSubmitted:     s.IOsSubmitted - prev.IOsSubmitted,
+		IOsCompleted:     s.IOsCompleted - prev.IOsCompleted,
+		Inflight:         s.Inflight,
+		BytesRead:        s.BytesRead - prev.BytesRead,
+		BytesWritten:     s.BytesWritten - prev.BytesWritten,
+		TotalLatencyNS:   s.TotalLatencyNS - prev.TotalLatencyNS,
+		GCRuns:           s.GCRuns - prev.GCRuns,
+		busyChipIntegral: s.busyChipIntegral - prev.busyChipIntegral,
+		sysBusyNS:        s.sysBusyNS - prev.sysBusyNS,
+		queueFullNS:      s.queueFullNS - prev.queueFullNS,
+		chips:            s.chips,
+	}
+	if w.SimTimeNS > 0 {
+		secs := float64(w.SimTimeNS) / 1e9
+		w.BandwidthKBps = float64(w.BytesRead+w.BytesWritten) / 1024 / secs
+		w.IOPS = float64(w.IOsCompleted) / secs
+		w.QueueStallFraction = float64(w.queueFullNS) / float64(w.SimTimeNS)
+	}
+	if w.IOsCompleted > 0 {
+		w.AvgLatencyNS = w.TotalLatencyNS / w.IOsCompleted
+	}
+	if w.sysBusyNS > 0 && w.chips > 0 {
+		w.ChipUtilization = w.busyChipIntegral / (float64(w.chips) * float64(w.sysBusyNS))
+	}
+	return w
+}

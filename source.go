@@ -1,0 +1,317 @@
+package sprinkler
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sprinkler/internal/req"
+	"sprinkler/internal/sim"
+	"sprinkler/internal/trace"
+)
+
+// Source supplies host I/O requests in arrival order, one at a time.
+// Sources are how workloads reach a Device: a slice replay, a CSV trace
+// file, a synthetic generator (possibly infinite), or an open-loop
+// arrival wrapper. The device pulls the source one request ahead of the
+// simulation clock, so the request stream itself needs O(1) memory no
+// matter how long the workload is.
+//
+// A Source may additionally implement `Err() error`; Run and Session.Feed
+// consult it once Next reports exhaustion, so scanning sources (CSV) can
+// surface mid-stream failures.
+type Source interface {
+	// Next returns the next request and true, or false when the workload
+	// is exhausted.
+	Next() (Request, bool)
+}
+
+// errSource is the optional failure-reporting side of a Source.
+type errSource interface{ Err() error }
+
+// sourceErr extracts a source's terminal error, if it reports one.
+func sourceErr(s Source) error {
+	if es, ok := s.(errSource); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// SliceSource replays a fully materialized request list.
+func SliceSource(requests []Request) Source {
+	return &sliceSource{reqs: requests}
+}
+
+type sliceSource struct {
+	reqs []Request
+	i    int
+}
+
+func (s *sliceSource) Next() (Request, bool) {
+	if s.i >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}
+
+// Limit caps a source at n requests. A non-positive n yields an empty
+// source. Use it to take a measurable slice of an infinite generator.
+func Limit(src Source, n int64) Source {
+	return &limitSource{src: src, left: n}
+}
+
+type limitSource struct {
+	src  Source
+	left int64
+}
+
+func (s *limitSource) Next() (Request, bool) {
+	if s.left <= 0 {
+		return Request{}, false
+	}
+	s.left--
+	return s.src.Next()
+}
+
+func (s *limitSource) Err() error { return sourceErr(s.src) }
+
+// CSVSource streams requests from a CSV trace (arrival_ns,op,lpn,pages;
+// '#' comments), parsing one line per Next call — a multi-gigabyte trace
+// file replays in constant memory. Check Err after the run; Device.Run
+// does so automatically.
+type CSVSource struct {
+	rd  *trace.Reader
+	err error
+}
+
+// NewCSVSource wraps an io.Reader producing the repository's CSV trace
+// format.
+func NewCSVSource(r io.Reader) *CSVSource {
+	return &CSVSource{rd: trace.NewReader(r)}
+}
+
+// Next implements Source.
+func (s *CSVSource) Next() (Request, bool) {
+	if s.err != nil {
+		return Request{}, false
+	}
+	rec, err := s.rd.Next()
+	if err == io.EOF {
+		return Request{}, false
+	}
+	if err != nil {
+		s.err = err
+		return Request{}, false
+	}
+	return Request{
+		ArrivalNS: int64(rec.Arrival),
+		Write:     rec.Kind == req.Write,
+		LPN:       int64(rec.LPN),
+		Pages:     rec.Pages,
+	}, true
+}
+
+// Err reports the first parse failure, or nil.
+func (s *CSVSource) Err() error { return s.err }
+
+// WriteCSV emits requests in the CSV trace format read by NewCSVSource.
+func WriteCSV(w io.Writer, requests []Request) error {
+	recs := make([]trace.Record, len(requests))
+	for i, r := range requests {
+		kind := req.Read
+		if r.Write {
+			kind = req.Write
+		}
+		recs[i] = trace.Record{
+			Arrival: simTime(r.ArrivalNS),
+			Kind:    kind,
+			LPN:     req.LPN(r.LPN),
+			Pages:   r.Pages,
+		}
+	}
+	return trace.Write(w, recs)
+}
+
+// WorkloadSpec parameterizes a synthetic Table 1 workload source.
+type WorkloadSpec struct {
+	// Name picks the Table 1 workload (see Workloads()).
+	Name string
+	// Requests bounds the stream; <= 0 makes it infinite (wrap with
+	// Limit, cancel the run's context, or drive it in session windows).
+	Requests int
+	// MaxPages caps one request's length in pages (default 1024).
+	MaxPages int
+	// Seed perturbs generation; 0 derives a stable seed from Name.
+	Seed uint64
+}
+
+// NewWorkloadSource builds an incremental generator for a named Table 1
+// workload, sized for this configuration's logical space. Generation is
+// deterministic and O(1) in memory, so the stream may be unbounded.
+func (c Config) NewWorkloadSource(spec WorkloadSpec) (Source, error) {
+	w, ok := trace.ByName(spec.Name)
+	if !ok {
+		return nil, fmt.Errorf("sprinkler: unknown workload %q (see Workloads())", spec.Name)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	icfg, _, err := c.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	g, err := trace.NewStream(w, trace.GenConfig{
+		Instructions: spec.Requests,
+		LogicalPages: icfg.Geo.TotalPages() * 9 / 10,
+		PageSize:     icfg.Geo.PageSize,
+		MaxPages:     spec.MaxPages,
+		AlignStride:  int64(icfg.Geo.NumChips()),
+		Seed:         spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &streamSource{g: g}, nil
+}
+
+type streamSource struct {
+	g *trace.Stream
+}
+
+func (s *streamSource) Next() (Request, bool) {
+	io, ok := s.g.Next()
+	if !ok {
+		return Request{}, false
+	}
+	return Request{
+		ArrivalNS: int64(io.Arrival),
+		Write:     io.Kind == req.Write,
+		LPN:       int64(io.Start),
+		Pages:     io.Pages,
+		FUA:       io.FUA,
+	}, true
+}
+
+// FixedSpec describes a fixed-transfer-size workload for sensitivity
+// sweeps: Requests same-size requests, sequential or uniformly random
+// over the logical space, all arriving at t=0 (closed loop — the
+// device-level queue's backpressure paces the host).
+type FixedSpec struct {
+	Requests   int
+	Pages      int
+	Write      bool
+	Sequential bool
+	Seed       uint64
+}
+
+// NewFixedSource builds a closed-loop fixed-size source sized for this
+// configuration's logical space.
+func (c Config) NewFixedSource(spec FixedSpec) (Source, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	icfg, _, err := c.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	kind := req.Read
+	if spec.Write {
+		kind = req.Write
+	}
+	ios, err := trace.GenerateFixed(trace.FixedConfig{
+		Count:        spec.Requests,
+		Pages:        spec.Pages,
+		Kind:         kind,
+		Sequential:   spec.Sequential,
+		LogicalPages: logicalSpan(icfg.LogicalPages, icfg.Geo.TotalPages()),
+		Seed:         spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return SliceSource(fromIOs(ios)), nil
+}
+
+// logicalSpan resolves the logical address space (default 90% of
+// physical, leaving over-provisioning headroom).
+func logicalSpan(configured, physical int64) int64 {
+	if configured > 0 {
+		return configured
+	}
+	return physical * 9 / 10
+}
+
+// Poisson turns any source into an open-loop arrival process: request
+// contents pass through unchanged while arrival times are rewritten as a
+// Poisson process with the given mean rate (requests per simulated
+// second). This decouples submission from completion — the paper's
+// heavy-traffic regime, where the host does not wait for the device.
+func Poisson(src Source, requestsPerSec float64, seed uint64) Source {
+	return &poissonSource{src: src, rate: requestsPerSec, rng: sim.NewRand(seed + 0x9E37)}
+}
+
+type poissonSource struct {
+	src  Source
+	rate float64
+	rng  *sim.Rand
+	now  float64 // next arrival, in ns
+}
+
+func (s *poissonSource) Next() (Request, bool) {
+	r, ok := s.src.Next()
+	if !ok {
+		return Request{}, false
+	}
+	r.ArrivalNS = int64(s.now)
+	if s.rate > 0 {
+		// Exponential inter-arrival with mean 1/rate seconds.
+		u := s.rng.Float64()
+		s.now += -math.Log(1-u) / s.rate * 1e9
+	}
+	return r, true
+}
+
+func (s *poissonSource) Err() error { return sourceErr(s.src) }
+
+// ioAdapter bridges a public Source to the internal device feed: it
+// assigns sequential IDs, validates each request, and records the
+// source's terminal error so Run can surface it.
+type ioAdapter struct {
+	src  Source
+	next int64
+	err  error
+}
+
+func (a *ioAdapter) Next() (*req.IO, bool) {
+	r, ok := a.src.Next()
+	if !ok {
+		a.err = sourceErr(a.src)
+		return nil, false
+	}
+	io, err := toIO(a.next, r)
+	if err != nil {
+		a.err = err
+		return nil, false
+	}
+	a.next++
+	return io, true
+}
+
+// toIO converts one public request, validating it.
+func toIO(id int64, r Request) (*req.IO, error) {
+	if r.Pages <= 0 {
+		return nil, fmt.Errorf("sprinkler: request %d has %d pages", id, r.Pages)
+	}
+	if r.LPN < 0 {
+		return nil, fmt.Errorf("sprinkler: request %d has negative LPN %d", id, r.LPN)
+	}
+	kind := req.Read
+	if r.Write {
+		kind = req.Write
+	}
+	io := req.NewIO(id, kind, req.LPN(r.LPN), r.Pages, simTime(r.ArrivalNS))
+	io.FUA = r.FUA
+	return io, nil
+}

@@ -13,18 +13,44 @@
 //	SPK2  Sprinkler with RIOS only (resource-driven I/O scheduling)
 //	SPK3  full Sprinkler (RIOS + FARO)
 //
-// Quick start:
+// Workloads are streams: a Source yields requests one at a time (slice
+// replays, CSV trace files, infinite synthetic generators, open-loop
+// Poisson arrivals), and the device pulls it one request ahead of the
+// simulation clock — the workload itself is never materialized, however
+// long it runs. (Metrics still accumulate a few bytes per completed I/O
+// for exact latency percentiles, and the FTL's mapping table grows with
+// the address space the workload touches.)
+//
+// Quick start (bulk run):
 //
 //	cfg := sprinkler.DefaultConfig()
 //	cfg.Scheduler = sprinkler.SPK3
 //	dev, err := sprinkler.New(cfg)
 //	if err != nil { ... }
-//	res, err := dev.Run(sprinkler.SequentialReads(1000, 8))
+//	src, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{Name: "msnfs1", Requests: 100000})
+//	if err != nil { ... }
+//	res, err := dev.Run(ctx, src)
 //	fmt.Printf("%.1f MB/s\n", res.BandwidthKBps/1024)
+//
+// Online session (submit requests while the simulation runs, observe
+// mid-run metrics):
+//
+//	sess, err := sprinkler.Open(cfg)
+//	for _, r := range batch { sess.Submit(r) }
+//	sess.Advance(10_000_000)          // 10 ms of simulated time
+//	snap := sess.Snapshot()           // bandwidth/latency/utilization so far
+//	res, err := sess.Drain(ctx)       // finish everything, final Result
+//
+// Sweeps (many cells, all CPU cores, deterministic seeds):
+//
+//	cells := sprinkler.Sweep(cfg, sprinkler.Schedulers(), sprinkler.Workloads(), 3000)
+//	results := sprinkler.Runner{}.Run(ctx, cells)
 package sprinkler
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"sprinkler/internal/core"
 	"sprinkler/internal/ftl"
@@ -85,11 +111,33 @@ type Config struct {
 	// ChannelFirst).
 	Allocation AllocationScheme
 
+	// MaxBacklog bounds host-side requests buffered ahead of admission
+	// in source-driven runs; zero means unbounded. Set it for open-loop
+	// overload scenarios (arrival rate above service rate) so the
+	// host-side buffer stays flat: the source is paused at the bound and
+	// resumed as admissions drain. Arrival timestamps — and therefore
+	// measured latencies — are unaffected.
+	MaxBacklog int
+
+	// LogicalPages bounds the logical address space. Zero defaults to
+	// ~90% of the physical pages, leaving over-provisioning headroom.
+	LogicalPages int64
+
+	// GCFreeTarget is the per-plane free-block threshold that triggers
+	// background garbage collection. Zero uses the FTL default.
+	GCFreeTarget int
+
 	// DisableGC turns background garbage collection off.
 	DisableGC bool
 
 	// CollectSeries records a per-I/O latency series in the result.
 	CollectSeries bool
+}
+
+// TotalPages returns the platform's physical page count.
+func (c Config) TotalPages() int64 {
+	return int64(c.Channels) * int64(c.ChipsPerChan) * int64(c.DiesPerChip) *
+		int64(c.PlanesPerDie) * int64(c.BlocksPerPlane) * int64(c.PagesPerBlock)
 }
 
 // DefaultConfig returns the paper's evaluation platform with SPK3.
@@ -119,6 +167,9 @@ func (c Config) toInternal() (ssd.Config, sched.Scheduler, error) {
 	cfg.Geo.PagesPerBlock = c.PagesPerBlock
 	cfg.Geo.PageSize = c.PageSize
 	cfg.QueueDepth = c.QueueDepth
+	cfg.MaxBacklog = c.MaxBacklog
+	cfg.LogicalPages = c.LogicalPages
+	cfg.GCFreeTarget = c.GCFreeTarget
 	cfg.DisableGC = c.DisableGC
 	cfg.CollectSeries = c.CollectSeries
 
@@ -165,14 +216,18 @@ type Request struct {
 }
 
 // Device is a simulated many-chip SSD. A Device runs one workload; build a
-// fresh one per run.
+// fresh one per run. For online submission and mid-run observation, use
+// Open and the Session API instead.
 type Device struct {
 	inner *ssd.Device
 	cfg   Config
 }
 
-// New builds a Device from the configuration.
+// New builds a Device from the configuration, validating it first.
 func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	icfg, s, err := cfg.toInternal()
 	if err != nil {
 		return nil, err
@@ -182,6 +237,30 @@ func New(cfg Config) (*Device, error) {
 		return nil, err
 	}
 	return &Device{inner: inner, cfg: cfg}, nil
+}
+
+// Platform builds the paper's §5.1 evaluation platform for a total chip
+// count, spreading chips over channels the way the paper's platforms do
+// (64 chips = 8 channels × 8; 1024 chips = 32 × 32). Per-plane block
+// counts are kept modest so very large platforms stay within memory;
+// capacity is irrelevant to scheduling behaviour.
+func Platform(chips int) Config {
+	cfg := DefaultConfig()
+	channels := int(math.Round(math.Sqrt(float64(chips))))
+	if channels < 1 {
+		channels = 1
+	}
+	if channels > 32 {
+		channels = 32
+	}
+	for chips%channels != 0 {
+		channels--
+	}
+	cfg.Channels = channels
+	cfg.ChipsPerChan = chips / channels
+	cfg.BlocksPerPlane = 256
+	cfg.PagesPerBlock = 128
+	return cfg
 }
 
 // NumChips returns the platform's total flash chip count.
@@ -194,26 +273,34 @@ func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
 	d.inner.Precondition(fillFrac, churnFrac, seed)
 }
 
-// Run simulates the requests to completion and returns the measurements.
-func (d *Device) Run(requests []Request) (*Result, error) {
-	ios := make([]*req.IO, len(requests))
-	for i, r := range requests {
-		kind := req.Read
-		if r.Write {
-			kind = req.Write
-		}
-		if r.Pages <= 0 {
-			return nil, fmt.Errorf("sprinkler: request %d has %d pages", i, r.Pages)
-		}
-		io := req.NewIO(int64(i), kind, req.LPN(r.LPN), r.Pages, simTime(r.ArrivalNS))
-		io.FUA = r.FUA
-		ios[i] = io
-	}
-	res, err := d.inner.Run(&ssd.SliceSource{IOs: ios})
+// Run streams the source to completion and returns the measurements —
+// the primary entry point. The source is pulled one request ahead of the
+// simulation clock, so the workload itself costs O(1) memory no matter
+// how long it is (per-completed-I/O latency samples for exact
+// percentiles still accumulate ~8 bytes each); bound an infinite source
+// with Limit or cancel ctx.
+//
+// On context cancellation Run returns the measurements accumulated so
+// far together with ctx's error, so a cancelled run is still observable.
+func (d *Device) Run(ctx context.Context, src Source) (*Result, error) {
+	a := &ioAdapter{src: src}
+	res, err := d.inner.RunContext(ctx, a)
 	if err != nil {
+		if res != nil {
+			return publicResult(res), err
+		}
 		return nil, err
 	}
+	if a.err != nil {
+		return nil, a.err
+	}
 	return publicResult(res), nil
+}
+
+// RunRequests replays a fully materialized request list — the original
+// entry point, retained as a thin wrapper over Run.
+func (d *Device) RunRequests(requests []Request) (*Result, error) {
+	return d.Run(context.Background(), SliceSource(requests))
 }
 
 // Workloads returns the names of the paper's Table 1 trace catalogue.
@@ -226,30 +313,24 @@ func Workloads() []string {
 }
 
 // GenerateWorkload synthesizes n requests of a named Table 1 workload
-// sized for this configuration's logical space.
+// sized for this configuration's logical space. It is a materializing
+// wrapper over NewWorkloadSource; prefer the Source for long workloads.
 func (c Config) GenerateWorkload(name string, n int, seed uint64) ([]Request, error) {
-	w, ok := trace.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("sprinkler: unknown workload %q (see Workloads())", name)
+	if n <= 0 {
+		return nil, fmt.Errorf("sprinkler: GenerateWorkload needs a positive request count, got %d", n)
 	}
-	icfg, _, err := c.toInternal()
+	src, err := c.NewWorkloadSource(WorkloadSpec{Name: name, Requests: n, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	if err := icfg.Validate(); err != nil {
-		return nil, err
+	out := make([]Request, 0, n)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
 	}
-	ios, err := trace.Generate(w, trace.GenConfig{
-		Instructions: n,
-		LogicalPages: icfg.Geo.TotalPages() * 9 / 10,
-		PageSize:     icfg.Geo.PageSize,
-		AlignStride:  int64(icfg.Geo.NumChips()),
-		Seed:         seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fromIOs(ios), nil
 }
 
 // SequentialReads builds n back-to-back reads of the given size.

@@ -21,7 +21,7 @@ func TestPublicAPISequentialReads(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := dev.Run(SequentialReads(25, 8))
+			res, err := dev.RunRequests(SequentialReads(25, 8))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,7 +46,7 @@ func TestPublicAPISequentialWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dev.Run(SequentialWrites(20, 4))
+	res, err := dev.RunRequests(SequentialWrites(20, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestPublicAPIRejectsBadRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dev.Run([]Request{{Pages: 0}}); err == nil {
+	if _, err := dev.RunRequests([]Request{{Pages: 0}}); err == nil {
 		t.Fatal("accepted zero-page request")
 	}
 }
@@ -92,7 +92,7 @@ func TestPublicAPIWorkloadCatalogue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dev.Run(reqs)
+	res, err := dev.RunRequests(reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestPublicAPISeriesCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dev.Run(SequentialReads(12, 2))
+	res, err := dev.RunRequests(SequentialReads(12, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestPublicAPIGCPrecondition(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		reqs = append(reqs, Request{Write: true, LPN: int64((i * 37) % 2000), Pages: 4})
 	}
-	res, err := dev.Run(reqs)
+	res, err := dev.RunRequests(reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestPublicAPILatencyPercentilesOrdered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dev.Run(SequentialReads(40, 6))
+	res, err := dev.RunRequests(SequentialReads(40, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestPublicAPIFUAOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dev.Run([]Request{
+	res, err := dev.RunRequests([]Request{
 		{Write: true, LPN: 0, Pages: 4},
 		{Write: true, LPN: 100, Pages: 2, FUA: true},
 		{Write: true, LPN: 200, Pages: 4},
