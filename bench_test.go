@@ -28,6 +28,7 @@ func benchOpts() experiments.Options {
 // BenchmarkTable1Traces regenerates the Table 1 workload catalogue and
 // synthesizes each trace.
 func BenchmarkTable1Traces(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if out := experiments.Table1Report(); len(out) == 0 {
 			b.Fatal("empty report")
@@ -44,6 +45,7 @@ func BenchmarkTable1Traces(b *testing.B) {
 // BenchmarkFig1Stagnation reruns the die-count sensitivity sweep behind
 // Figures 1a and 1b.
 func BenchmarkFig1Stagnation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.RunFig1(benchOpts())
 		if err != nil {
@@ -74,6 +76,7 @@ func evalOnce(b *testing.B) *experiments.Evaluation {
 // BenchmarkFig6Potential regenerates the Figure 6 utilization-potential
 // table.
 func BenchmarkFig6Potential(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -85,6 +88,7 @@ func BenchmarkFig6Potential(b *testing.B) {
 
 // BenchmarkFig10Bandwidth regenerates Figure 10a.
 func BenchmarkFig10Bandwidth(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -96,6 +100,7 @@ func BenchmarkFig10Bandwidth(b *testing.B) {
 
 // BenchmarkFig10IOPS regenerates Figure 10b.
 func BenchmarkFig10IOPS(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -107,6 +112,7 @@ func BenchmarkFig10IOPS(b *testing.B) {
 
 // BenchmarkFig10Latency regenerates Figure 10c.
 func BenchmarkFig10Latency(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -118,6 +124,7 @@ func BenchmarkFig10Latency(b *testing.B) {
 
 // BenchmarkFig10QueueStall regenerates Figure 10d.
 func BenchmarkFig10QueueStall(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -129,6 +136,7 @@ func BenchmarkFig10QueueStall(b *testing.B) {
 
 // BenchmarkFig11Idleness regenerates Figures 11a and 11b.
 func BenchmarkFig11Idleness(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -140,6 +148,7 @@ func BenchmarkFig11Idleness(b *testing.B) {
 
 // BenchmarkFig12TimeSeries reruns the msnfs1 latency time series (§5.4).
 func BenchmarkFig12TimeSeries(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out, err := experiments.RunFig12(benchOpts())
 		if err != nil {
@@ -153,6 +162,7 @@ func BenchmarkFig12TimeSeries(b *testing.B) {
 
 // BenchmarkFig13Breakdown regenerates the execution-time breakdown (§5.5).
 func BenchmarkFig13Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -164,6 +174,7 @@ func BenchmarkFig13Breakdown(b *testing.B) {
 
 // BenchmarkFig14FLP regenerates the FLP breakdown (§5.6).
 func BenchmarkFig14FLP(b *testing.B) {
+	b.ReportAllocs()
 	ev := evalOnce(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -176,6 +187,7 @@ func BenchmarkFig14FLP(b *testing.B) {
 // BenchmarkFig15Utilization reruns the transfer-size × chip-count chip
 // utilization sweep (§5.7); the same points carry Figure 16's counts.
 func BenchmarkFig15Utilization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.RunFig15(benchOpts())
 		if err != nil {
@@ -190,6 +202,7 @@ func BenchmarkFig15Utilization(b *testing.B) {
 // BenchmarkFig16Transactions formats the transaction-reduction tables
 // (§5.8) from a fresh sweep.
 func BenchmarkFig16Transactions(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.RunFig15(benchOpts())
 		if err != nil {
@@ -204,6 +217,7 @@ func BenchmarkFig16Transactions(b *testing.B) {
 // BenchmarkFig17GC reruns the garbage-collection / readdressing-callback
 // bandwidth study (§5.9).
 func BenchmarkFig17GC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.RunFig17(benchOpts())
 		if err != nil {
@@ -218,6 +232,7 @@ func BenchmarkFig17GC(b *testing.B) {
 // BenchmarkAblation reruns the design-choice ablation study (over-commit
 // depth, FARO priority, decision window, allocation scheme).
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunAblation(benchOpts())
 		if err != nil {
@@ -235,6 +250,7 @@ func BenchmarkAblation(b *testing.B) {
 // Limit, with the host-side backlog capped. Scale the same pipeline up
 // (examples/streaming drives >= 1M requests) and memory stays flat.
 func BenchmarkStreamingOpenLoop(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := sprinkler.Platform(64)
 		cfg.Scheduler = sprinkler.SPK3
@@ -262,6 +278,7 @@ func BenchmarkStreamingOpenLoop(b *testing.B) {
 // serving sequential reads under SPK3 (events per wall-second is the
 // simulator's own figure of merit).
 func BenchmarkDeviceSPK3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := sprinkler.DefaultConfig()
 		cfg.BlocksPerPlane = 128
@@ -278,9 +295,11 @@ func BenchmarkDeviceSPK3(b *testing.B) {
 // BenchmarkSchedulers measures per-scheduler simulation cost on the same
 // workload (scheduler algorithmic overhead shows up here).
 func BenchmarkSchedulers(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range sprinkler.Schedulers() {
 		kind := kind
 		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := sprinkler.DefaultConfig()
 				cfg.Channels = 4

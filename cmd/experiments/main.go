@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"sprinkler/internal/experiments"
@@ -26,7 +28,40 @@ func main() {
 	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
 	seed := flag.Uint64("seed", 0, "synthetic trace seed")
 	workers := flag.Int("workers", 0, "concurrent sweep cells (0 = all CPU cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
 	flag.Parse()
+
+	// Profile teardown must run even on fail(): fail routes through
+	// flushProfiles before exiting, so an aborted sweep still leaves a
+	// usable CPU profile and a heap snapshot of the failure point.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		cleanups = append(cleanups, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		cleanups = append(cleanups, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			runtime.GC() // settle live-heap stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+			f.Close()
+		})
+	}
+	defer flushProfiles()
 
 	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers}
 	want := strings.ToLower(*fig)
@@ -112,9 +147,21 @@ func main() {
 	}
 }
 
+// cleanups holds the profile writers; they run exactly once, on normal
+// exit or through fail().
+var cleanups []func()
+
+func flushProfiles() {
+	for _, fn := range cleanups {
+		fn()
+	}
+	cleanups = nil
+}
+
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 }

@@ -14,6 +14,9 @@ type Channel struct {
 	id   int
 	busy bool
 	q    []pending
+	qh   int // queue head index; popped entries leave a reusable prefix
+
+	releaseT *sim.Timer // reusable release event (one hold at a time)
 
 	// Accounting.
 	busyTime sim.TimedCounter
@@ -29,7 +32,9 @@ type pending struct {
 
 // New returns an idle channel bus bound to eng.
 func New(eng *sim.Engine, id int) *Channel {
-	return &Channel{eng: eng, id: id}
+	c := &Channel{eng: eng, id: id}
+	c.releaseT = sim.NewTimer(c.release)
+	return c
 }
 
 // ID returns the channel index.
@@ -43,7 +48,7 @@ func (c *Channel) Acquire(dur sim.Time, granted func(start sim.Time)) {
 		panic("bus: negative duration")
 	}
 	now := c.eng.Now()
-	if !c.busy && len(c.q) == 0 {
+	if !c.busy && c.queueLen() == 0 {
 		c.grant(now, pending{dur: dur, granted: granted, asked: now})
 		return
 	}
@@ -56,25 +61,32 @@ func (c *Channel) grant(now sim.Time, p pending) {
 	c.waitTime += now - p.asked
 	c.grants++
 	p.granted(now)
-	c.eng.At(now+p.dur, c.release)
+	c.eng.AtTimer(now+p.dur, c.releaseT)
 }
 
 func (c *Channel) release(now sim.Time) {
 	c.busy = false
 	c.busyTime.Set(now, false)
-	if len(c.q) > 0 {
-		next := c.q[0]
-		copy(c.q, c.q[1:])
-		c.q = c.q[:len(c.q)-1]
+	if c.queueLen() > 0 {
+		next := c.q[c.qh]
+		c.q[c.qh] = pending{}
+		c.qh++
+		if c.qh == len(c.q) {
+			c.q = c.q[:0]
+			c.qh = 0
+		}
 		c.grant(now, next)
 	}
 }
+
+// queueLen reports how many acquisitions are waiting.
+func (c *Channel) queueLen() int { return len(c.q) - c.qh }
 
 // Busy reports whether the bus is currently held.
 func (c *Channel) Busy() bool { return c.busy }
 
 // QueueLen reports how many acquisitions are waiting.
-func (c *Channel) QueueLen() int { return len(c.q) }
+func (c *Channel) QueueLen() int { return c.queueLen() }
 
 // BusyTime returns the cumulative time the bus was held, through now.
 func (c *Channel) BusyTime(now sim.Time) sim.Time { return c.busyTime.Total(now) }

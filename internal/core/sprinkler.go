@@ -18,6 +18,13 @@
 //
 // The three evaluated variants are constructed with NewSPK1 (FARO only),
 // NewSPK2 (RIOS only) and NewSPK3 (both).
+//
+// Selection is driven by the device's incremental per-chip ready index
+// (sched.ReadyIndex): instead of rescanning every queued I/O's member list
+// on each pump, Sprinkler walks only the chips that hold candidates. The
+// index keeps requests in admission order, so the result is identical to
+// the full-queue scan it replaces; the scan survives as a fallback for
+// fabrics without an index and for queues under a §4.4 FUA barrier.
 package core
 
 import (
@@ -52,6 +59,26 @@ type Sprinkler struct {
 	GroupCap int
 
 	variant string
+
+	// Reusable selection state: Select performs no steady-state heap
+	// allocations. All buffers are valid only within one Select call
+	// (out until the next call, per the Scheduler contract).
+	out       []*req.Mem
+	chipBuf   []*req.Mem
+	remaining []*req.Mem
+	ordered   []*req.Mem
+	groupCur  []*req.Mem
+	groupBest []*req.Mem
+	txn       flash.Transaction
+	chipOrder []flash.ChipID // RIOS traversal order, cached per geometry
+	chipKeys  []chipKey      // non-RIOS chip ordering scratch
+}
+
+// chipKey orders chips by their earliest candidate's admission position.
+type chipKey struct {
+	chip flash.ChipID
+	seq  uint64
+	idx  int32
 }
 
 // NewSPK1 returns Sprinkler using only FARO (§5.1). Composition remains
@@ -90,6 +117,108 @@ func (s *Sprinkler) NeedsReaddressing() bool { return true }
 
 // Select implements sched.Scheduler.
 func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*req.Mem {
+	rx := fab.Ready()
+	if rx == nil || q.HasFUA() {
+		// No index (test fabrics), or an FUA barrier is in effect: scan
+		// the queue, which enforces the §4.4 ordering rules.
+		return s.selectScan(now, q, fab)
+	}
+	g := fab.Geo()
+
+	// Non-RIOS composition is bounded to the Window oldest queue entries:
+	// cap candidates by the admission sequence of the window's last entry.
+	maxSeq := ^uint64(0)
+	if !s.UseRIOS && s.Window > 0 {
+		seq, ok := q.SeqAt(s.Window - 1)
+		if !ok {
+			return nil
+		}
+		maxSeq = seq
+	}
+
+	out := s.out[:0]
+	if s.UseRIOS {
+		// Traversal order: RIOS visits equal chip offsets across channels
+		// first (§4.1).
+		s.ensureChipOrder(g)
+		for _, c := range s.chipOrder {
+			out = s.selectChip(g, fab, rx, c, maxSeq, out)
+		}
+	} else {
+		// Without RIOS the chip order follows first-candidate arrival,
+		// i.e. ascending earliest (admission seq, member index).
+		keys := s.chipKeys[:0]
+		for c := 0; c < rx.NumChips(); c++ {
+			id := flash.ChipID(c)
+			m := rx.First(id)
+			if m == nil || m.IO.Seq > maxSeq {
+				continue
+			}
+			keys = append(keys, chipKey{chip: id, seq: m.IO.Seq, idx: int32(m.Index)})
+		}
+		// Insertion sort: key (seq, idx) is unique per chip, the chip
+		// count is small, and this stays allocation-free.
+		for i := 1; i < len(keys); i++ {
+			k := keys[i]
+			j := i - 1
+			for j >= 0 && (keys[j].seq > k.seq || (keys[j].seq == k.seq && keys[j].idx > k.idx)) {
+				keys[j+1] = keys[j]
+				j--
+			}
+			keys[j+1] = k
+		}
+		s.chipKeys = keys
+		for _, k := range keys {
+			out = s.selectChip(g, fab, rx, k.chip, maxSeq, out)
+		}
+	}
+	s.out = out
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// selectChip commits chip c's candidates up to the free budget, in FARO
+// priority order when enabled.
+func (s *Sprinkler) selectChip(g flash.Geometry, fab sched.Fabric, rx *sched.ReadyIndex, c flash.ChipID, maxSeq uint64, out []*req.Mem) []*req.Mem {
+	if rx.Live(c) == 0 {
+		return out
+	}
+	free := s.Slots - fab.Outstanding(c)
+	if free <= 0 {
+		return out
+	}
+	s.chipBuf = rx.Gather(c, s.chipBuf[:0], s.GroupCap, maxSeq)
+	list := s.chipBuf
+	if len(list) == 0 {
+		return out
+	}
+	if s.UseFARO {
+		list = s.faroOrder(g, list)
+	}
+	if len(list) > free {
+		list = list[:free]
+	}
+	return append(out, list...)
+}
+
+// ensureChipOrder caches the RIOS traversal: offset-major, channel-minor.
+func (s *Sprinkler) ensureChipOrder(g flash.Geometry) {
+	if len(s.chipOrder) == g.NumChips() {
+		return
+	}
+	s.chipOrder = s.chipOrder[:0]
+	for off := 0; off < g.ChipsPerChan; off++ {
+		for ch := 0; ch < g.Channels; ch++ {
+			s.chipOrder = append(s.chipOrder, g.ChipAt(ch, off))
+		}
+	}
+}
+
+// selectScan is the pre-index selection path: gather candidates by
+// scanning the queue (honouring FUA barriers), then group per chip.
+func (s *Sprinkler) selectScan(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*req.Mem {
 	window := 0
 	if !s.UseRIOS {
 		window = s.Window
@@ -129,7 +258,7 @@ func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*re
 			list = list[:s.GroupCap]
 		}
 		if s.UseFARO {
-			list = faroOrder(g, list)
+			list = s.faroOrder(g, list)
 		}
 		if len(list) > free {
 			list = list[:free]
@@ -144,85 +273,89 @@ func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*re
 // depth go first, ties broken by connectivity (§4.2), then by arrival
 // order for determinism. Within the final order, a §4.4 write-after-read
 // hazard (read and write to the same logical page) keeps the read first.
-func faroOrder(g flash.Geometry, cands []*req.Mem) []*req.Mem {
-	remaining := append([]*req.Mem(nil), cands...)
-	out := make([]*req.Mem, 0, len(cands))
+// The returned slice is scheduler-owned scratch, valid until the next call.
+func (s *Sprinkler) faroOrder(g flash.Geometry, cands []*req.Mem) []*req.Mem {
+	remaining := append(s.remaining[:0], cands...)
+	out := s.ordered[:0]
 	for len(remaining) > 0 {
-		gi := bestGroup(g, remaining)
-		out = append(out, gi.members...)
+		s.bestGroup(g, remaining)
+		out = append(out, s.groupBest...)
 		// Remove the chosen members, preserving order.
 		keep := remaining[:0]
-		inGroup := make(map[*req.Mem]bool, len(gi.members))
-		for _, m := range gi.members {
-			inGroup[m] = true
-		}
 		for _, m := range remaining {
-			if !inGroup[m] {
+			inGroup := false
+			for _, b := range s.groupBest {
+				if b == m {
+					inGroup = true
+					break
+				}
+			}
+			if !inGroup {
 				keep = append(keep, m)
 			}
 		}
 		remaining = keep
 	}
+	s.remaining = remaining[:0]
+	s.ordered = out
 	enforceReadFirst(out)
 	return out
 }
 
-// group is a candidate transaction with its FARO metrics.
-type group struct {
-	members      []*req.Mem
-	depth        int // overlap depth: members on distinct (die, plane)
-	connectivity int // max members sharing one parent I/O
-}
-
-// bestGroup greedily builds a group seeded at every candidate and returns
-// the best by (depth, connectivity, earliest seed).
-func bestGroup(g flash.Geometry, remaining []*req.Mem) group {
-	var best group
+// bestGroup greedily builds a group seeded at every candidate and leaves
+// the best by (depth, connectivity, earliest seed) in s.groupBest.
+func (s *Sprinkler) bestGroup(g flash.Geometry, remaining []*req.Mem) {
+	s.groupBest = s.groupBest[:0]
+	bestDepth, bestConn := 0, 0
 	for seed := range remaining {
-		gr := buildGroup(g, remaining, seed)
-		if gr.depth > best.depth ||
-			(gr.depth == best.depth && gr.connectivity > best.connectivity) {
-			best = gr
+		depth, conn := s.buildGroup(g, remaining, seed)
+		if depth > bestDepth || (depth == bestDepth && conn > bestConn) {
+			bestDepth, bestConn = depth, conn
+			s.groupBest, s.groupCur = s.groupCur, s.groupBest
 		}
-		if best.depth >= g.MaxFLP() {
+		if bestDepth >= g.MaxFLP() {
 			break // cannot do better
 		}
 	}
-	return best
 }
 
 // buildGroup coalesces remaining[seed] with every later-compatible
-// candidate, mirroring what the flash controller's transaction builder
-// will do with the committed queue.
-func buildGroup(g flash.Geometry, remaining []*req.Mem, seed int) group {
-	var txn flash.Transaction
-	gr := group{}
-	add := func(m *req.Mem) bool {
-		if err := txn.Add(g, flash.Request{Op: m.Op(), Addr: m.Addr}); err != nil {
-			return false
+// candidate into s.groupCur, mirroring what the flash controller's
+// transaction builder will do with the committed queue. It returns the
+// group's overlap depth and connectivity.
+func (s *Sprinkler) buildGroup(g flash.Geometry, remaining []*req.Mem, seed int) (depth, conn int) {
+	s.txn.Reset()
+	cur := s.groupCur[:0]
+	add := func(m *req.Mem) {
+		if err := s.txn.Add(g, flash.Request{Op: m.Op(), Addr: m.Addr}); err == nil {
+			cur = append(cur, m)
 		}
-		gr.members = append(gr.members, m)
-		return true
 	}
 	add(remaining[seed])
 	for i, m := range remaining {
 		if i == seed {
 			continue
 		}
-		if txn.Len() >= g.MaxFLP() {
+		if s.txn.Len() >= g.MaxFLP() {
 			break
 		}
 		add(m)
 	}
-	gr.depth = txn.Len()
-	perIO := make(map[int64]int)
-	for _, m := range gr.members {
-		perIO[m.IO.ID]++
-		if perIO[m.IO.ID] > gr.connectivity {
-			gr.connectivity = perIO[m.IO.ID]
+	s.groupCur = cur
+	// Connectivity: the largest member count sharing one parent I/O. The
+	// group is at most MaxFLP wide, so the quadratic scan is trivial.
+	for i, m := range cur {
+		n := 1
+		for j := 0; j < i; j++ {
+			if cur[j].IO == m.IO {
+				n++
+			}
+		}
+		if n > conn {
+			conn = n
 		}
 	}
-	return gr
+	return s.txn.Len(), conn
 }
 
 // enforceReadFirst stable-reorders so that a read of an LPN issued by an

@@ -51,6 +51,12 @@ type ChipStats struct {
 //	read:    per member [cmd+addr] on the bus, then the cell phase, then
 //	         per member [data-out], then status;
 //	erase:   per member [cmd+addr], cell phase, status.
+//
+// Because a chip runs exactly one transaction (and holds at most one
+// pending bus acquisition) at a time, the phase walk is a state machine
+// over fields of the Chip itself, driven by reusable timers and bus-grant
+// callbacks bound once at construction — executing a transaction performs
+// no heap allocations.
 type Chip struct {
 	ID    ChipID
 	Geo   Geometry
@@ -59,11 +65,79 @@ type Chip struct {
 	bus   Bus
 	busy  bool
 	stats ChipStats
+
+	// In-flight transaction state.
+	t     *Transaction
+	cb    Callbacks
+	idx   int      // member index in the submit/read-out phase
+	dur   sim.Time // duration of the pending bus hold
+	asked sim.Time // when the pending bus hold was requested
+
+	// Preallocated continuations.
+	grantedSubmit func(start sim.Time)
+	grantedRead   func(start sim.Time)
+	grantedStatus func(start sim.Time)
+	submitEnd     *sim.Timer
+	cellEnd       *sim.Timer
+	readEnd       *sim.Timer
+	statusEnd     *sim.Timer
 }
 
 // NewChip returns an idle chip bound to eng and bus.
 func NewChip(eng *sim.Engine, bus Bus, id ChipID, g Geometry, t Timing) *Chip {
-	return &Chip{ID: id, Geo: g, Tim: t, eng: eng, bus: bus}
+	c := &Chip{ID: id, Geo: g, Tim: t, eng: eng, bus: bus}
+	c.grantedSubmit = func(start sim.Time) {
+		c.stats.BusWait += start - c.asked
+		c.stats.BusActive.Set(start, true)
+		c.eng.AtTimer(start+c.dur, c.submitEnd)
+	}
+	c.submitEnd = sim.NewTimer(func(now sim.Time) {
+		c.stats.BusActive.Set(now, false)
+		c.submitPhase(now, c.idx+1)
+	})
+	c.cellEnd = sim.NewTimer(func(end sim.Time) {
+		c.stats.CellActive.Set(end, false)
+		c.stats.PlaneUse.Set(end, 0)
+		if c.t.Op == OpRead {
+			c.readOutPhase(end, 0)
+			return
+		}
+		// Programs and erases complete at cell end.
+		for _, r := range c.t.Requests {
+			if c.cb.RequestDone != nil {
+				c.cb.RequestDone(end, r)
+			}
+		}
+		c.statusPhase(end)
+	})
+	c.grantedRead = func(start sim.Time) {
+		c.stats.BusWait += start - c.asked
+		c.stats.BusActive.Set(start, true)
+		c.eng.AtTimer(start+c.dur, c.readEnd)
+	}
+	c.readEnd = sim.NewTimer(func(now sim.Time) {
+		c.stats.BusActive.Set(now, false)
+		if c.cb.RequestDone != nil {
+			c.cb.RequestDone(now, c.t.Requests[c.idx])
+		}
+		c.readOutPhase(now, c.idx+1)
+	})
+	c.grantedStatus = func(start sim.Time) {
+		c.stats.BusWait += start - c.asked
+		c.stats.BusActive.Set(start, true)
+		c.eng.AtTimer(start+c.dur, c.statusEnd)
+	}
+	c.statusEnd = sim.NewTimer(func(now sim.Time) {
+		c.stats.BusActive.Set(now, false)
+		c.busy = false
+		c.stats.BusyAll.Set(now, false)
+		t, cb := c.t, c.cb
+		c.t, c.cb = nil, Callbacks{}
+		if cb.TxnDone != nil {
+			cb.TxnDone(now, t)
+		}
+	})
+	return c
 }
 
 // Busy reports the R/B state: true while a transaction is in flight.
@@ -82,21 +156,13 @@ func (c *Chip) busInDur(r Request) sim.Time {
 }
 
 // cellDur is the overlapped cell-phase duration of t: dies operate in
-// parallel, so the phase lasts as long as the slowest involved die. Within
-// a die, plane sharing means one array operation covers all planes (they
-// share the wordline), so the per-die time is the maximum member time.
+// parallel and planes within a die share one array operation, so the phase
+// lasts as long as the slowest member request.
 func (c *Chip) cellDur(t *Transaction) sim.Time {
-	perDie := map[int]sim.Time{}
-	for _, r := range t.Requests {
-		ct := c.Tim.CellTime(r.Op, r.Addr)
-		if ct > perDie[r.Addr.Die] {
-			perDie[r.Addr.Die] = ct
-		}
-	}
 	var max sim.Time
-	for _, d := range perDie {
-		if d > max {
-			max = d
+	for _, r := range t.Requests {
+		if ct := c.Tim.CellTime(r.Op, r.Addr); ct > max {
+			max = ct
 		}
 	}
 	return max
@@ -116,92 +182,52 @@ func (c *Chip) Execute(t *Transaction, cb Callbacks) {
 	c.busy = true
 	c.stats.BusyAll.Set(now, true)
 	c.stats.Txns++
-	c.stats.TxnsByClass[t.Class()]++
-	c.stats.ReqsByClass[t.Class()] += int64(t.Len())
+	cls := t.Class()
+	c.stats.TxnsByClass[cls]++
+	c.stats.ReqsByClass[cls] += int64(t.Len())
 	c.stats.Requests += int64(t.Len())
-	c.submitPhase(t, 0, cb)
+	c.t = t
+	c.cb = cb
+	c.submitPhase(now, 0)
 }
 
 // submitPhase streams member i's command/address(/data-in) cycles.
-func (c *Chip) submitPhase(t *Transaction, i int, cb Callbacks) {
-	if i >= t.Len() {
-		c.cellPhase(t, cb)
+func (c *Chip) submitPhase(now sim.Time, i int) {
+	if i >= c.t.Len() {
+		c.cellPhase(now)
 		return
 	}
-	r := t.Requests[i]
-	dur := c.busInDur(r)
-	asked := c.eng.Now()
-	c.bus.Acquire(dur, func(start sim.Time) {
-		c.stats.BusWait += start - asked
-		c.stats.BusActive.Set(start, true)
-		c.eng.At(start+dur, func(now sim.Time) {
-			c.stats.BusActive.Set(now, false)
-			c.submitPhase(t, i+1, cb)
-		})
-	})
+	c.idx = i
+	c.dur = c.busInDur(c.t.Requests[i])
+	c.asked = now
+	c.bus.Acquire(c.dur, c.grantedSubmit)
 }
 
 // cellPhase runs the overlapped array operation.
-func (c *Chip) cellPhase(t *Transaction, cb Callbacks) {
-	now := c.eng.Now()
-	dur := c.cellDur(t)
+func (c *Chip) cellPhase(now sim.Time) {
+	dur := c.cellDur(c.t)
 	c.stats.CellActive.Set(now, true)
-	c.stats.PlaneUse.Set(now, float64(t.Degree()))
-	c.eng.At(now+dur, func(end sim.Time) {
-		c.stats.CellActive.Set(end, false)
-		c.stats.PlaneUse.Set(end, 0)
-		if t.Op == OpRead {
-			c.readOutPhase(t, 0, cb)
-			return
-		}
-		// Programs and erases complete at cell end.
-		for _, r := range t.Requests {
-			if cb.RequestDone != nil {
-				cb.RequestDone(end, r)
-			}
-		}
-		c.statusPhase(t, cb)
-	})
+	c.stats.PlaneUse.Set(now, float64(c.t.Degree()))
+	c.eng.AtTimer(now+dur, c.cellEnd)
 }
 
 // readOutPhase streams member i's page out of the data register.
-func (c *Chip) readOutPhase(t *Transaction, i int, cb Callbacks) {
-	if i >= t.Len() {
-		c.statusPhase(t, cb)
+func (c *Chip) readOutPhase(now sim.Time, i int) {
+	if i >= c.t.Len() {
+		c.statusPhase(now)
 		return
 	}
-	r := t.Requests[i]
-	dur := c.Tim.DataTransferTime(c.Geo.PageSize)
-	asked := c.eng.Now()
-	c.bus.Acquire(dur, func(start sim.Time) {
-		c.stats.BusWait += start - asked
-		c.stats.BusActive.Set(start, true)
-		c.eng.At(start+dur, func(now sim.Time) {
-			c.stats.BusActive.Set(now, false)
-			if cb.RequestDone != nil {
-				cb.RequestDone(now, r)
-			}
-			c.readOutPhase(t, i+1, cb)
-		})
-	})
+	c.idx = i
+	c.dur = c.Tim.DataTransferTime(c.Geo.PageSize)
+	c.asked = now
+	c.bus.Acquire(c.dur, c.grantedRead)
 }
 
 // statusPhase reads chip status and retires the transaction.
-func (c *Chip) statusPhase(t *Transaction, cb Callbacks) {
-	dur := c.Tim.StatusCycle
-	asked := c.eng.Now()
-	c.bus.Acquire(dur, func(start sim.Time) {
-		c.stats.BusWait += start - asked
-		c.stats.BusActive.Set(start, true)
-		c.eng.At(start+dur, func(now sim.Time) {
-			c.stats.BusActive.Set(now, false)
-			c.busy = false
-			c.stats.BusyAll.Set(now, false)
-			if cb.TxnDone != nil {
-				cb.TxnDone(now, t)
-			}
-		})
-	})
+func (c *Chip) statusPhase(now sim.Time) {
+	c.dur = c.Tim.StatusCycle
+	c.asked = now
+	c.bus.Acquire(c.dur, c.grantedStatus)
 }
 
 // ServiceTime estimates, without simulating, how long t would occupy the

@@ -2,7 +2,6 @@ package flash
 
 import (
 	"fmt"
-	"sort"
 )
 
 // FLPClass labels the degree of flash-level parallelism a transaction
@@ -62,45 +61,34 @@ type Transaction struct {
 // Len returns the number of member requests.
 func (t *Transaction) Len() int { return len(t.Requests) }
 
-// Dies returns the sorted distinct die indices the transaction touches.
-func (t *Transaction) Dies() []int {
-	seen := map[int]bool{}
-	for _, r := range t.Requests {
-		seen[r.Addr.Die] = true
-	}
-	dies := make([]int, 0, len(seen))
-	for d := range seen {
-		dies = append(dies, d)
-	}
-	sort.Ints(dies)
-	return dies
+// Reset empties the transaction, retaining member capacity so a controller
+// can reuse one Transaction value per chip without reallocating.
+func (t *Transaction) Reset() {
+	t.Chip = 0
+	t.Op = 0
+	t.Requests = t.Requests[:0]
 }
 
-// planesOf returns the distinct planes used on die d.
-func (t *Transaction) planesOf(d int) int {
-	seen := map[int]bool{}
-	for _, r := range t.Requests {
-		if r.Addr.Die == d {
-			seen[r.Addr.Plane] = true
-		}
-	}
-	return len(seen)
-}
-
-// Class computes the FLP class from the member addresses.
+// Class computes the FLP class from the member addresses. The pairwise
+// scan is allocation-free and bounded by MaxFLP members: two members on
+// different dies mean die interleaving, two members sharing a die mean
+// plane sharing (CanJoin guarantees they differ in plane).
 func (t *Transaction) Class() FLPClass {
-	dies := t.Dies()
-	multiPlane := false
-	for _, d := range dies {
-		if t.planesOf(d) > 1 {
-			multiPlane = true
-			break
+	multiDie, multiPlane := false, false
+	for i := 1; i < len(t.Requests); i++ {
+		di := t.Requests[i].Addr.Die
+		for j := 0; j < i; j++ {
+			if t.Requests[j].Addr.Die != di {
+				multiDie = true
+			} else {
+				multiPlane = true
+			}
 		}
 	}
 	switch {
-	case len(dies) > 1 && multiPlane:
+	case multiDie && multiPlane:
 		return PAL3
-	case len(dies) > 1:
+	case multiDie:
 		return PAL2
 	case multiPlane:
 		return PAL1
@@ -117,6 +105,18 @@ func (t *Transaction) Degree() int { return len(t.Requests) }
 type CoalesceError struct{ Reason string }
 
 func (e *CoalesceError) Error() string { return "flash: cannot coalesce: " + e.Reason }
+
+// Coalescing rejections are preallocated: CanJoin sits on the transaction
+// builder's hot path, where constructing an error per rejected candidate
+// dominated the allocation profile.
+var (
+	errDifferentChip = &CoalesceError{"different chip"}
+	errDifferentOp   = &CoalesceError{"different op"}
+	errAtMaxFLP      = &CoalesceError{"transaction already at max FLP"}
+	errPlaneOccupied = &CoalesceError{"die/plane already occupied"}
+	errPageMismatch  = &CoalesceError{"plane sharing requires same page offset"}
+	errBlockMismatch = &CoalesceError{"plane sharing requires same block offset"}
+)
 
 // CanJoin reports whether request r may legally be added to t under the
 // flash microarchitecture constraints of §2.2:
@@ -138,25 +138,25 @@ func (t *Transaction) CanJoin(g Geometry, r Request) error {
 		return nil
 	}
 	if r.Addr.Chip != t.Chip {
-		return &CoalesceError{"different chip"}
+		return errDifferentChip
 	}
 	if r.Op != t.Op {
-		return &CoalesceError{fmt.Sprintf("op %v != transaction op %v", r.Op, t.Op)}
+		return errDifferentOp
 	}
 	if len(t.Requests) >= g.MaxFLP() {
-		return &CoalesceError{"transaction already at max FLP"}
+		return errAtMaxFLP
 	}
 	for _, m := range t.Requests {
-		if m.Addr.Die == r.Addr.Die && m.Addr.Plane == r.Addr.Plane {
-			return &CoalesceError{"die/plane already occupied"}
-		}
 		if m.Addr.Die == r.Addr.Die {
+			if m.Addr.Plane == r.Addr.Plane {
+				return errPlaneOccupied
+			}
 			// Plane sharing on this die: shared wordline constraints.
 			if m.Addr.Page != r.Addr.Page {
-				return &CoalesceError{"plane sharing requires same page offset"}
+				return errPageMismatch
 			}
 			if m.Addr.Block != r.Addr.Block {
-				return &CoalesceError{"plane sharing requires same block offset"}
+				return errBlockMismatch
 			}
 		}
 	}
@@ -169,7 +169,7 @@ func (t *Transaction) Add(g Geometry, r Request) error {
 	if len(t.Requests) == 0 {
 		t.Chip = r.Addr.Chip
 		t.Op = r.Op
-		t.Requests = []Request{r}
+		t.Requests = append(t.Requests[:0], r)
 		return nil
 	}
 	if err := t.CanJoin(g, r); err != nil {
@@ -197,7 +197,19 @@ func BuildTransaction(g Geometry, pending []Request) (*Transaction, []int) {
 		return nil, nil
 	}
 	t := &Transaction{}
-	var taken []int
+	return t, BuildTransactionInto(g, pending, t, nil)
+}
+
+// BuildTransactionInto is BuildTransaction with caller-owned storage: t is
+// reset and filled in place, and the consumed indices are appended to taken
+// (reusing its capacity). Controllers on the hot path use this to build
+// every transaction without allocating.
+func BuildTransactionInto(g Geometry, pending []Request, t *Transaction, taken []int) []int {
+	t.Reset()
+	if len(pending) == 0 {
+		return taken[:0]
+	}
+	taken = taken[:0]
 	for i, r := range pending {
 		if err := t.Add(g, r); err == nil {
 			taken = append(taken, i)
@@ -210,5 +222,5 @@ func BuildTransaction(g Geometry, pending []Request) (*Transaction, []int) {
 			panic("flash: BuildTransaction failed to seed transaction")
 		}
 	}
-	return t, taken
+	return taken
 }

@@ -155,13 +155,20 @@ func New(cfg Config) (*FTL, error) {
 		planes: make([]*planeState, nPlanes),
 	}
 	f.rng = sim.NewRand(cfg.Seed + 0x5EED)
+	// All validity bitmaps, plane structs, and block metadata come from
+	// three bulk allocations: building a device is a per-cell cost in
+	// concurrent sweeps, so construction avoids per-block allocations.
+	words := (g.PagesPerBlock + 63) / 64
+	bitmapPool := make([]uint64, nPlanes*g.BlocksPerPlane*words)
+	planePool := make([]planeState, nPlanes)
+	blockPool := make([]blockMeta, nPlanes*g.BlocksPerPlane)
 	for i := range f.planes {
-		ps := &planeState{
-			blocks: make([]blockMeta, g.BlocksPerPlane),
-			active: -1,
-		}
+		ps := &planePool[i]
+		ps.blocks = blockPool[i*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane]
+		ps.active = -1
 		for b := range ps.blocks {
-			ps.blocks[b].valid = req.NewBitmap(g.PagesPerBlock)
+			off := (i*g.BlocksPerPlane + b) * words
+			ps.blocks[b].valid = req.Bitmap(bitmapPool[off : off+words : off+words])
 		}
 		// Free list in descending order so blocks are consumed 0,1,2,...
 		ps.free = make([]int, g.BlocksPerPlane)

@@ -11,13 +11,29 @@ import (
 	"sprinkler/internal/sim"
 )
 
+// slot is one NCQ tag: the occupying I/O plus arrival-order links.
+type slot struct {
+	io         *req.IO
+	prev, next int32
+}
+
 // Queue is the device-level queue. Entries stay in arrival order; an entry
 // is released when its I/O completes. Out-of-order service is expressed by
 // schedulers choosing memory requests from any entry, not by reordering
 // the queue itself — exactly how NCQ tags behave.
+//
+// Tags live in a fixed slot array threaded as a doubly-linked list in
+// arrival order. Each queued I/O records its slot (req.IO.QSlot), so
+// Release is O(1) instead of a scan — completions are the hottest queue
+// operation in a long simulation.
 type Queue struct {
 	capacity int
-	entries  []*req.IO
+	slots    []slot
+	freeSlot int32 // free-list head through slot.next, -1 when empty
+	head     int32 // oldest queued I/O, -1 when empty
+	tail     int32 // newest queued I/O, -1 when empty
+	count    int
+	fuaCount int // queued FUA entries (schedulers honour the §4.4 barrier)
 
 	full     sim.TimedCounter
 	admitted int64
@@ -29,20 +45,35 @@ func NewQueue(capacity int) *Queue {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("nvmhc: queue capacity %d", capacity))
 	}
-	return &Queue{capacity: capacity}
+	q := &Queue{
+		capacity: capacity,
+		slots:    make([]slot, capacity),
+		head:     -1,
+		tail:     -1,
+	}
+	for i := range q.slots {
+		q.slots[i].next = int32(i) + 1
+	}
+	q.slots[capacity-1].next = -1
+	q.freeSlot = 0
+	return q
 }
 
 // Cap returns the tag capacity.
 func (q *Queue) Cap() int { return q.capacity }
 
 // Len returns the number of occupied tags.
-func (q *Queue) Len() int { return len(q.entries) }
+func (q *Queue) Len() int { return q.count }
 
 // Full reports whether every tag is occupied.
-func (q *Queue) Full() bool { return len(q.entries) >= q.capacity }
+func (q *Queue) Full() bool { return q.count >= q.capacity }
 
 // Empty reports whether no tag is occupied.
-func (q *Queue) Empty() bool { return len(q.entries) == 0 }
+func (q *Queue) Empty() bool { return q.count == 0 }
+
+// HasFUA reports whether any queued entry carries the force-unit-access
+// flag, i.e. whether the §4.4 reorder barrier is in effect.
+func (q *Queue) HasFUA() bool { return q.fuaCount > 0 }
 
 // Enqueue secures a tag for io at time now. It returns false when the
 // queue is full (the host must hold the request — that time is the "queue
@@ -52,31 +83,102 @@ func (q *Queue) Enqueue(now sim.Time, io *req.IO) bool {
 		return false
 	}
 	io.Enqueued = now
-	q.entries = append(q.entries, io)
+	io.Seq = uint64(q.admitted)
+	idx := q.freeSlot
+	q.freeSlot = q.slots[idx].next
+	q.slots[idx] = slot{io: io, prev: q.tail, next: -1}
+	if q.tail >= 0 {
+		q.slots[q.tail].next = idx
+	} else {
+		q.head = idx
+	}
+	q.tail = idx
+	io.QSlot = idx
+	q.count++
+	if io.FUA {
+		q.fuaCount++
+	}
 	q.admitted++
 	q.full.Set(now, q.Full())
 	return true
 }
 
-// Release frees io's tag. It panics if io is not queued: releasing an
-// unknown tag is a controller bug.
+// Release frees io's tag in O(1). It panics if io is not queued: releasing
+// an unknown tag is a controller bug.
 func (q *Queue) Release(now sim.Time, io *req.IO) {
-	for i, e := range q.entries {
-		if e == io {
-			copy(q.entries[i:], q.entries[i+1:])
-			q.entries[len(q.entries)-1] = nil
-			q.entries = q.entries[:len(q.entries)-1]
-			q.released++
-			q.full.Set(now, q.Full())
-			return
-		}
+	idx := io.QSlot
+	if idx < 0 || int(idx) >= len(q.slots) || q.slots[idx].io != io {
+		panic(fmt.Sprintf("nvmhc: release of unqueued %v", io))
 	}
-	panic(fmt.Sprintf("nvmhc: release of unqueued %v", io))
+	s := q.slots[idx]
+	if s.prev >= 0 {
+		q.slots[s.prev].next = s.next
+	} else {
+		q.head = s.next
+	}
+	if s.next >= 0 {
+		q.slots[s.next].prev = s.prev
+	} else {
+		q.tail = s.prev
+	}
+	q.slots[idx] = slot{next: q.freeSlot}
+	q.freeSlot = idx
+	io.QSlot = -1
+	q.count--
+	if io.FUA {
+		q.fuaCount--
+	}
+	q.released++
+	q.full.Set(now, q.Full())
 }
 
-// Entries returns the queued I/Os in arrival order. Callers must not
-// mutate the returned slice.
-func (q *Queue) Entries() []*req.IO { return q.entries }
+// Head returns the oldest queued I/O, or nil when the queue is empty.
+func (q *Queue) Head() *req.IO {
+	if q.head < 0 {
+		return nil
+	}
+	return q.slots[q.head].io
+}
+
+// Next returns the I/O queued immediately after io (arrival order), or nil
+// at the tail. io must be queued.
+func (q *Queue) Next(io *req.IO) *req.IO {
+	n := q.slots[io.QSlot].next
+	if n < 0 {
+		return nil
+	}
+	return q.slots[n].io
+}
+
+// SeqAt returns the admission sequence number of the i-th oldest queued
+// entry (0-based), capped at the newest entry. It reports false when the
+// queue is empty. Schedulers use it to bound candidate windows without
+// materializing the entry list.
+func (q *Queue) SeqAt(i int) (uint64, bool) {
+	io := q.Head()
+	if io == nil {
+		return 0, false
+	}
+	for ; i > 0; i-- {
+		n := q.Next(io)
+		if n == nil {
+			break
+		}
+		io = n
+	}
+	return io.Seq, true
+}
+
+// Entries returns the queued I/Os in arrival order. It allocates a fresh
+// slice per call — a diagnostic/test helper; hot paths iterate with
+// Head/Next instead.
+func (q *Queue) Entries() []*req.IO {
+	out := make([]*req.IO, 0, q.count)
+	for io := q.Head(); io != nil; io = q.Next(io) {
+		out = append(out, io)
+	}
+	return out
+}
 
 // FullTime returns the cumulative time the queue spent full, through now.
 func (q *Queue) FullTime(now sim.Time) sim.Time { return q.full.Total(now) }

@@ -1,9 +1,12 @@
 package nvmhc
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"sprinkler/internal/req"
+	"sprinkler/internal/sim"
 )
 
 func TestQueueEnqueueRelease(t *testing.T) {
@@ -50,11 +53,88 @@ func TestQueueFullTimeAccounting(t *testing.T) {
 func TestQueueReleaseUnknownPanics(t *testing.T) {
 	q := NewQueue(1)
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("release of unknown IO did not panic")
+		}
+		// The diagnostic must keep naming the offending I/O.
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "release of unqueued") {
+			t.Fatalf("panic message lost its diagnostic: %q", msg)
 		}
 	}()
 	q.Release(0, req.NewIO(9, req.Read, 0, 1, 0))
+}
+
+// TestQueueDoubleReleasePanics covers the O(1) slot-indexed release: a
+// second release of the same I/O must be rejected even though its old slot
+// may have been handed to a newer I/O in the meantime.
+func TestQueueDoubleReleasePanics(t *testing.T) {
+	q := NewQueue(2)
+	a := req.NewIO(1, req.Read, 0, 1, 0)
+	q.Enqueue(0, a)
+	q.Release(5, a)
+	b := req.NewIO(2, req.Read, 8, 1, 0)
+	q.Enqueue(10, b) // reuses a's slot
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "release of unqueued") {
+			t.Fatalf("panic message lost its diagnostic: %q", msg)
+		}
+		if got := q.Entries(); len(got) != 1 || got[0] != b {
+			t.Fatal("double release corrupted the queue")
+		}
+	}()
+	q.Release(20, a)
+}
+
+// TestQueueOrderSurvivesMiddleReleases churns enqueues with releases from
+// the middle and verifies arrival order, Head/Next iteration, and SeqAt
+// stay consistent through slot reuse.
+func TestQueueOrderSurvivesMiddleReleases(t *testing.T) {
+	q := NewQueue(8)
+	rng := sim.NewRand(42)
+	var live []*req.IO
+	next := int64(0)
+	for step := 0; step < 500; step++ {
+		if !q.Full() && (len(live) == 0 || rng.Bool(0.6)) {
+			io := req.NewIO(next, req.Read, req.LPN(next), 1, 0)
+			next++
+			if !q.Enqueue(sim.Time(step), io) {
+				t.Fatal("enqueue into non-full queue failed")
+			}
+			live = append(live, io)
+		} else {
+			i := rng.Intn(len(live))
+			q.Release(sim.Time(step), live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if q.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d want %d", step, q.Len(), len(live))
+		}
+		i := 0
+		for io := q.Head(); io != nil; io = q.Next(io) {
+			if io != live[i] {
+				t.Fatalf("step %d: position %d holds io#%d, want io#%d",
+					step, i, io.ID, live[i].ID)
+			}
+			i++
+		}
+		if i != len(live) {
+			t.Fatalf("step %d: iterated %d entries, want %d", step, i, len(live))
+		}
+		if len(live) > 0 {
+			if seq, ok := q.SeqAt(len(live) - 1); !ok || seq != live[len(live)-1].Seq {
+				t.Fatalf("step %d: SeqAt tail = %d,%v want %d", step, seq, ok, live[len(live)-1].Seq)
+			}
+			// SeqAt beyond the tail clamps to the newest entry.
+			if seq, _ := q.SeqAt(100); seq != live[len(live)-1].Seq {
+				t.Fatalf("step %d: SeqAt(100) did not clamp", step)
+			}
+		}
+	}
 }
 
 func TestQueueZeroCapacityPanics(t *testing.T) {

@@ -87,6 +87,13 @@ type IO struct {
 	Arrival sim.Time
 	FUA     bool // force-unit-access: must not be reordered (§4.4)
 
+	// QSlot is the tag slot this I/O occupies in the device-level queue
+	// (-1 when unqueued) and Seq its admission sequence number. Both are
+	// owned by nvmhc.Queue; QSlot makes tag release O(1) and Seq gives
+	// schedulers a total admission order without rescanning the queue.
+	QSlot int32
+	Seq   uint64
+
 	// Lifecycle timestamps, filled by the device model.
 	Enqueued  sim.Time // secured a tag in the device-level queue
 	FirstData sim.Time // first memory request composed
@@ -94,6 +101,7 @@ type IO struct {
 
 	Mem          []*Mem
 	doneMask     Bitmap
+	maskBuf      [1]uint64 // inline doneMask storage for I/Os <= 64 pages
 	nDone        int
 	firstDataSet bool
 }
@@ -113,11 +121,17 @@ func NewIO(id int64, kind Kind, start LPN, pages int, arrival sim.Time) *IO {
 	if pages <= 0 {
 		panic(fmt.Sprintf("req: IO %d with %d pages", id, pages))
 	}
-	io := &IO{ID: id, Kind: kind, Start: start, Pages: pages, Arrival: arrival}
+	io := &IO{ID: id, Kind: kind, Start: start, Pages: pages, Arrival: arrival, QSlot: -1}
 	io.Mem = make([]*Mem, pages)
-	io.doneMask = NewBitmap(pages)
+	if pages <= 64 {
+		io.doneMask = io.maskBuf[:]
+	} else {
+		io.doneMask = NewBitmap(pages)
+	}
+	mems := make([]Mem, pages)
 	for i := 0; i < pages; i++ {
-		io.Mem[i] = &Mem{IO: io, Index: i, LPN: start + LPN(i)}
+		mems[i] = Mem{IO: io, Index: i, LPN: start + LPN(i), ReadySlot: -1}
+		io.Mem[i] = &mems[i]
 	}
 	return io
 }
@@ -173,6 +187,11 @@ type Mem struct {
 	// records that preprocessing completed (writes allocate exactly once).
 	Addr     flash.Addr
 	Resolved bool
+
+	// ReadySlot is this request's position in the per-chip ready index
+	// while it awaits scheduling (-1 when not indexed). Owned by
+	// sched.ReadyIndex; it makes removal on commitment O(1).
+	ReadySlot int32
 
 	Composed  sim.Time
 	Committed sim.Time

@@ -15,7 +15,8 @@ import (
 )
 
 // Fabric is the scheduler's read-only view of the SSD internals: physical
-// layout and per-chip commitment pressure. The device model implements it.
+// layout, per-chip commitment pressure, and the incremental ready index.
+// The device model implements it.
 type Fabric interface {
 	// Geo returns the flash geometry (the "internal resource layout").
 	Geo() flash.Geometry
@@ -24,6 +25,11 @@ type Fabric interface {
 	Outstanding(c flash.ChipID) int
 	// ChipBusy reports the chip's R/B state.
 	ChipBusy(c flash.ChipID) bool
+	// Ready returns the per-chip index of still-queued memory requests,
+	// maintained incrementally by the device as I/Os are admitted,
+	// selected, and readdressed. A nil index tells schedulers to fall
+	// back to scanning the queue (test fabrics do this).
+	Ready() *ReadyIndex
 }
 
 // Scheduler selects which memory requests to compose and commit next.
@@ -33,6 +39,10 @@ type Fabric interface {
 // them to the flash controllers. Select is invoked whenever commitment
 // capacity or queue contents change. Requests already selected are in
 // states beyond StateQueued and must not be returned again.
+//
+// The returned slice is owned by the scheduler and valid only until the
+// next Select call: schedulers reuse it to keep the hot path free of
+// allocations, and callers must consume it before invoking Select again.
 type Scheduler interface {
 	Name() string
 	Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem
@@ -43,6 +53,152 @@ type Scheduler interface {
 	NeedsReaddressing() bool
 }
 
+// ReadyIndex is the incremental per-chip index of still-queued memory
+// requests. The device feeds it on every queue transition — admission
+// appends, commitment removes, readdressing moves — so schedulers can
+// enumerate each chip's candidates directly instead of rescanning every
+// queued I/O's member list on every pump.
+//
+// Per-chip lists hold requests in admission order (parent I/O admission
+// sequence, then member index) — exactly the order a full queue scan would
+// discover them, which keeps index-driven scheduling bit-identical to the
+// scan it replaces. Removal just nils the slot (O(1), via
+// req.Mem.ReadySlot); holes are compacted away during Gather.
+type ReadyIndex struct {
+	lists [][]*req.Mem
+	live  []int32
+}
+
+// NewReadyIndex returns an empty index over numChips chips.
+func NewReadyIndex(numChips int) *ReadyIndex {
+	return &ReadyIndex{
+		lists: make([][]*req.Mem, numChips),
+		live:  make([]int32, numChips),
+	}
+}
+
+// NumChips returns the number of chips the index covers.
+func (x *ReadyIndex) NumChips() int { return len(x.lists) }
+
+// Live reports how many queued requests chip c holds.
+func (x *ReadyIndex) Live(c flash.ChipID) int { return int(x.live[c]) }
+
+// Add indexes m under its current chip. Admission calls this in queue
+// order, so plain appends keep each list sorted by admission order.
+func (x *ReadyIndex) Add(m *req.Mem) {
+	c := m.Addr.Chip
+	m.ReadySlot = int32(len(x.lists[c]))
+	x.lists[c] = append(x.lists[c], m)
+	x.live[c]++
+}
+
+// Remove unindexes m in O(1), leaving a hole. Gather compacts holes on
+// the Sprinkler path; for schedulers that never Gather (VAS, PAS, or a
+// queue under a sustained FUA barrier) the list is compacted here once
+// holes dominate, so index memory tracks the live queue depth for every
+// scheduler instead of growing with total admissions.
+func (x *ReadyIndex) Remove(m *req.Mem) {
+	c := x.drop(m)
+	if l := x.lists[c]; len(l) >= 64 && int(x.live[c])*2 < len(l) {
+		x.lists[c] = compactList(l)
+	}
+}
+
+// drop nils m's slot without compacting — safe while the chip's list is
+// being iterated (Readdress during an applyMigrations walk).
+func (x *ReadyIndex) drop(m *req.Mem) flash.ChipID {
+	c := m.Addr.Chip
+	x.lists[c][m.ReadySlot] = nil
+	m.ReadySlot = -1
+	x.live[c]--
+	return c
+}
+
+// Readdress re-points m at dst (live-data migration, §4.3), moving it
+// between chip lists when the migration crossed chips. The destination
+// insert restores admission order, so index-driven selection stays
+// identical to a queue scan even after migration.
+func (x *ReadyIndex) Readdress(m *req.Mem, dst flash.Addr) {
+	if m.Addr.Chip == dst.Chip {
+		m.Addr = dst
+		return
+	}
+	x.drop(m)
+	m.Addr = dst
+	l := compactList(x.lists[dst.Chip])
+	pos := sort.Search(len(l), func(i int) bool {
+		o := l[i]
+		if o.IO.Seq != m.IO.Seq {
+			return o.IO.Seq > m.IO.Seq
+		}
+		return o.Index > m.Index
+	})
+	l = append(l, nil)
+	copy(l[pos+1:], l[pos:])
+	l[pos] = m
+	for i := pos; i < len(l); i++ {
+		l[i].ReadySlot = int32(i)
+	}
+	x.lists[dst.Chip] = l
+	x.live[dst.Chip]++
+}
+
+// compactList squeezes out nil holes, fixing ReadySlot positions.
+func compactList(l []*req.Mem) []*req.Mem {
+	w := 0
+	for _, m := range l {
+		if m == nil {
+			continue
+		}
+		l[w] = m
+		m.ReadySlot = int32(w)
+		w++
+	}
+	return l[:w]
+}
+
+// List returns chip c's indexed requests in admission order. Entries may
+// be nil (removed); callers must skip them and must not mutate or retain
+// the slice.
+func (x *ReadyIndex) List(c flash.ChipID) []*req.Mem { return x.lists[c] }
+
+// First returns chip c's oldest queued request, or nil when the chip has
+// none.
+func (x *ReadyIndex) First(c flash.ChipID) *req.Mem {
+	for _, m := range x.lists[c] {
+		if m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Gather compacts chip c's list and appends up to max of its requests
+// (all of them when max <= 0) whose parent I/O was admitted at or before
+// maxSeq to dst, returning the extended slice.
+func (x *ReadyIndex) Gather(c flash.ChipID, dst []*req.Mem, max int, maxSeq uint64) []*req.Mem {
+	l := x.lists[c]
+	w := 0
+	taken := 0
+	for _, m := range l {
+		if m == nil {
+			continue
+		}
+		l[w] = m
+		m.ReadySlot = int32(w)
+		w++
+		if (max <= 0 || taken < max) && m.IO.Seq <= maxSeq {
+			dst = append(dst, m)
+			taken++
+		}
+	}
+	for i := w; i < len(l); i++ {
+		l[i] = nil
+	}
+	x.lists[c] = l[:w]
+	return dst
+}
+
 // CandidateWindow gathers still-queued memory requests from the first
 // window I/Os of the queue (window <= 0 means every entry), honouring the
 // force-unit-access barrier of §4.4: an FUA I/O must not be reordered, so
@@ -50,7 +206,8 @@ type Scheduler interface {
 // blocks the scan after it until fully selected.
 func CandidateWindow(q *nvmhc.Queue, window int) []*req.Mem {
 	var out []*req.Mem
-	for i, io := range q.Entries() {
+	i := 0
+	for io := q.Head(); io != nil; io = q.Next(io) {
 		if window > 0 && i >= window {
 			break
 		}
@@ -68,39 +225,79 @@ func CandidateWindow(q *nvmhc.Queue, window int) []*req.Mem {
 			// FUA head: serve it alone, in order.
 			break
 		}
+		i++
 	}
 	return out
 }
 
-// budget tracks per-chip commitment capacity within one Select call.
-type budget struct {
+// Budget tracks per-chip commitment capacity within one Select call. It is
+// owned by a scheduler and reused across calls: Reset bumps an epoch
+// counter instead of clearing (or allocating) per-chip state, so a Select
+// pass touches only the chips it budgets against.
+type Budget struct {
 	fab   Fabric
 	slots int
-	used  map[flash.ChipID]int
+
+	used  []int16
+	epoch []uint32
+	cur   uint32
+
+	// fits scratch: per-call need counts, epoch-guarded the same way.
+	need      []int16
+	needEpoch []uint32
+	needCur   uint32
+	needChips []flash.ChipID
 }
 
-func newBudget(fab Fabric, slots int) *budget {
-	return &budget{fab: fab, slots: slots, used: make(map[flash.ChipID]int)}
+// Reset rebinds the budget to fab with the given per-chip slot depth and
+// forgets all prior reservations.
+func (b *Budget) Reset(fab Fabric, slots int) {
+	n := fab.Geo().NumChips()
+	if len(b.used) < n {
+		b.used = make([]int16, n)
+		b.epoch = make([]uint32, n)
+		b.need = make([]int16, n)
+		b.needEpoch = make([]uint32, n)
+	}
+	b.fab, b.slots = fab, slots
+	b.cur++
 }
 
-// take reserves one slot on m's chip if capacity remains.
-func (b *budget) take(m *req.Mem) bool {
+// usedOn returns the reservations taken on chip c this epoch.
+func (b *Budget) usedOn(c flash.ChipID) int16 {
+	if b.epoch[c] != b.cur {
+		return 0
+	}
+	return b.used[c]
+}
+
+// Take reserves one slot on m's chip if capacity remains.
+func (b *Budget) Take(m *req.Mem) bool {
 	c := m.Addr.Chip
-	if b.fab.Outstanding(c)+b.used[c] >= b.slots {
+	u := b.usedOn(c)
+	if b.fab.Outstanding(c)+int(u) >= b.slots {
 		return false
 	}
-	b.used[c]++
+	b.epoch[c] = b.cur
+	b.used[c] = u + 1
 	return true
 }
 
-// fits reports whether every request in ms can be taken together.
-func (b *budget) fits(ms []*req.Mem) bool {
-	need := make(map[flash.ChipID]int)
+// Fits reports whether every request in ms can be taken together.
+func (b *Budget) Fits(ms []*req.Mem) bool {
+	b.needCur++
+	b.needChips = b.needChips[:0]
 	for _, m := range ms {
-		need[m.Addr.Chip]++
+		c := m.Addr.Chip
+		if b.needEpoch[c] != b.needCur {
+			b.needEpoch[c] = b.needCur
+			b.need[c] = 0
+			b.needChips = append(b.needChips, c)
+		}
+		b.need[c]++
 	}
-	for c, n := range need {
-		if b.fab.Outstanding(c)+b.used[c]+n > b.slots {
+	for _, c := range b.needChips {
+		if b.fab.Outstanding(c)+int(b.usedOn(c))+int(b.need[c]) > b.slots {
 			return false
 		}
 	}
@@ -118,6 +315,9 @@ type VAS struct {
 	// the previously committed request to complete before committing the
 	// next one to the same chip (Figure 4b), i.e. depth 1.
 	Slots int
+
+	budget Budget
+	out    []*req.Mem
 }
 
 // NewVAS returns a VAS with the default commitment depth.
@@ -131,13 +331,9 @@ func (v *VAS) NeedsReaddressing() bool { return false }
 
 // Select implements Scheduler.
 func (v *VAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
-	entries := q.Entries()
-	if len(entries) == 0 {
-		return nil
-	}
 	// Find the oldest I/O with unselected requests: that is the head VAS
 	// is working on. If any of its requests cannot commit now, VAS stalls.
-	for _, io := range entries {
+	for io := q.Head(); io != nil; io = q.Next(io) {
 		pending := false
 		for _, m := range io.Mem {
 			if m.State == req.StateQueued {
@@ -148,17 +344,21 @@ func (v *VAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
 		if !pending {
 			continue
 		}
-		b := newBudget(fab, v.Slots)
-		var out []*req.Mem
+		v.budget.Reset(fab, v.Slots)
+		out := v.out[:0]
 		for _, m := range io.Mem {
 			if m.State != req.StateQueued {
 				continue
 			}
-			if b.take(m) {
+			if v.budget.Take(m) {
 				out = append(out, m)
 			}
 			// Requests that do not fit stay queued; VAS will not look past
 			// this I/O regardless (head-of-line blocking).
+		}
+		v.out = out
+		if len(out) == 0 {
+			return nil
 		}
 		return out
 	}
@@ -175,6 +375,10 @@ func (v *VAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
 type PAS struct {
 	// Slots is the per-chip extra queue depth.
 	Slots int
+
+	budget  Budget
+	out     []*req.Mem
+	pending []*req.Mem
 }
 
 // NewPAS returns a PAS with the default extra-queue depth.
@@ -196,33 +400,36 @@ func (p *PAS) NeedsReaddressing() bool { return false }
 // (it may commit partially) so oversized I/Os — more requests to one chip
 // than the extra queue holds — still make progress.
 func (p *PAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
-	b := newBudget(fab, p.Slots)
-	var out []*req.Mem
+	p.budget.Reset(fab, p.Slots)
+	out := p.out[:0]
 	head := true
-	for i, io := range q.Entries() {
+	i := 0
+	for io := q.Head(); io != nil; io = q.Next(io) {
 		if io.FUA && i > 0 {
 			break
 		}
-		var pending []*req.Mem
+		i++
+		pending := p.pending[:0]
 		for _, m := range io.Mem {
 			if m.State == req.StateQueued {
 				pending = append(pending, m)
 			}
 		}
+		p.pending = pending
 		if len(pending) == 0 {
 			continue
 		}
 		if head {
 			// Progress guarantee: commit whatever fits of the head.
 			for _, m := range pending {
-				if b.take(m) {
+				if p.budget.Take(m) {
 					out = append(out, m)
 				}
 			}
 			head = false
-		} else if b.fits(pending) {
+		} else if p.budget.Fits(pending) {
 			for _, m := range pending {
-				if !b.take(m) {
+				if !p.budget.Take(m) {
 					panic("sched: PAS fits/take mismatch")
 				}
 				out = append(out, m)
@@ -231,6 +438,10 @@ func (p *PAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
 		if io.FUA {
 			break
 		}
+	}
+	p.out = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

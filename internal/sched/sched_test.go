@@ -29,6 +29,7 @@ func newFakeFabric() *fakeFabric {
 func (f *fakeFabric) Geo() flash.Geometry            { return f.geo }
 func (f *fakeFabric) Outstanding(c flash.ChipID) int { return f.out[c] }
 func (f *fakeFabric) ChipBusy(c flash.ChipID) bool   { return f.busy[c] }
+func (f *fakeFabric) Ready() *ReadyIndex             { return nil }
 
 // makeIO builds an I/O whose memory requests target the given chips, one
 // request per chip entry, with distinct die/plane/pages.
@@ -227,5 +228,24 @@ func TestSchedulerNames(t *testing.T) {
 	}
 	if NewVAS().NeedsReaddressing() || NewPAS().NeedsReaddressing() {
 		t.Fatal("baselines must not subscribe to readdressing")
+	}
+}
+
+// TestReadyIndexBoundedUnderChurn: schedulers that never Gather (VAS/PAS)
+// still feed the index through admissions and removals; the nil holes left
+// by Remove must be compacted so list memory tracks live depth, not total
+// admissions.
+func TestReadyIndexBoundedUnderChurn(t *testing.T) {
+	x := NewReadyIndex(1)
+	for i := 0; i < 10000; i++ {
+		io := makeIO(int64(i), req.Read, 0)
+		x.Add(io.Mem[0])
+		x.Remove(io.Mem[0])
+		if n := len(x.List(0)); n > 128 {
+			t.Fatalf("iteration %d: index list grew to %d slots with 0 live", i, n)
+		}
+	}
+	if x.Live(0) != 0 {
+		t.Fatalf("live = %d, want 0", x.Live(0))
 	}
 }

@@ -7,10 +7,15 @@
 // its inputs: the same configuration and trace always produce the same
 // timeline. Events scheduled for the same instant fire in the order they
 // were scheduled (FIFO tie-breaking by sequence number).
+//
+// The event queue is a slab-backed 4-ary heap of event values: scheduling
+// reuses slab slots through a free list, so steady-state operation performs
+// no heap allocations. Components that schedule on the hot path own
+// reusable Timer structs (AtTimer/AfterTimer) whose callbacks are bound
+// once at construction, eliminating per-event closure allocations too.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -47,58 +52,89 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // time when the event fires.
 type Event func(now Time)
 
-// event is an internal heap entry.
+// event is one slab slot. A slot is either scheduled (pos >= 0, linked into
+// the heap) or free (pos == -1, linked into the free list through next).
+// gen increments every time the slot is released, invalidating outstanding
+// Handles to the previous occupant.
 type event struct {
-	at   Time
-	seq  uint64 // schedule order, breaks ties deterministically
-	fn   Event
-	dead bool // cancelled
+	at    Time
+	seq   uint64 // schedule order, breaks ties deterministically
+	fn    Event
+	timer *Timer // owning timer, cleared on fire/cancel; nil for At/After
+	gen   uint32
+	pos   int32 // heap index, -1 when free
+	next  int32 // free-list link while free
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and refers to nothing.
+type Handle struct {
+	e   *Engine
+	idx int32
+	gen uint32
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ e *event }
-
-// Cancel marks the event dead; it will be skipped when popped. Cancelling an
-// already-fired or already-cancelled event is a no-op.
+// Cancel removes the event from the queue. Cancelling an already-fired or
+// already-cancelled event (or the zero Handle) is a no-op.
 func (h Handle) Cancel() {
-	if h.e != nil {
-		h.e.dead = true
+	if h.e == nil {
+		return
 	}
+	ev := &h.e.slab[h.idx]
+	if ev.gen != h.gen || ev.pos < 0 {
+		return
+	}
+	if ev.timer != nil {
+		ev.timer.h = Handle{}
+	}
+	h.e.removeAt(ev.pos)
+	h.e.release(h.idx)
+}
+
+// active reports whether the handle still refers to a scheduled event.
+func (h Handle) active() bool {
+	if h.e == nil {
+		return false
+	}
+	ev := &h.e.slab[h.idx]
+	return ev.gen == h.gen && ev.pos >= 0
+}
+
+// Timer is a reusable scheduling slot for components that fire the same
+// callback over and over: the callback is bound once, so scheduling through
+// AtTimer/AfterTimer allocates nothing. A Timer tracks at most one pending
+// schedule at a time.
+type Timer struct {
+	fn Event
+	h  Handle
+}
+
+// NewTimer returns a Timer that runs fn when it fires.
+func NewTimer(fn Event) *Timer { return &Timer{fn: fn} }
+
+// Pending reports whether the timer is currently scheduled.
+func (t *Timer) Pending() bool { return t.h.active() }
+
+// Stop cancels the pending schedule, if any.
+func (t *Timer) Stop() {
+	t.h.Cancel()
+	t.h = Handle{}
 }
 
 // Engine is the simulation event loop.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	slab    []event
+	free    int32   // free-list head, -1 when empty
+	heap    []int32 // 4-ary heap of slab indices, ordered by (at, seq)
 	fired   uint64
 	stopped bool
 }
 
 // NewEngine returns an Engine at time zero with an empty event queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{free: -1}
 }
 
 // Now returns the current simulation time.
@@ -107,20 +143,119 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are queued (including cancelled ones not
-// yet reaped).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many events are queued. Cancelled events are removed
+// immediately, so every pending event is live.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// schedule allocates a slab slot and pushes it onto the heap.
+func (e *Engine) schedule(at Time, fn Event, t *Timer) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	var idx int32
+	if e.free >= 0 {
+		idx = e.free
+		e.free = e.slab[idx].next
+	} else {
+		e.slab = append(e.slab, event{})
+		idx = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[idx]
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.timer = t
+	e.seq++
+	ev.pos = int32(len(e.heap))
+	e.heap = append(e.heap, idx)
+	e.siftUp(int(ev.pos))
+	return Handle{e: e, idx: idx, gen: ev.gen}
+}
+
+// release returns a slab slot to the free list and invalidates handles.
+func (e *Engine) release(idx int32) {
+	ev := &e.slab[idx]
+	ev.gen++
+	ev.fn = nil
+	ev.timer = nil
+	ev.pos = -1
+	ev.next = e.free
+	e.free = idx
+}
+
+// less orders heap entries by (at, seq).
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.slab[a], &e.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(idx, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		e.slab[h[i]].pos = int32(i)
+		i = p
+	}
+	h[i] = idx
+	e.slab[idx].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		e.slab[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = idx
+	e.slab[idx].pos = int32(i)
+}
+
+// removeAt deletes the heap entry at position pos, restoring heap order.
+func (e *Engine) removeAt(pos int32) {
+	h := e.heap
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if int(pos) < n {
+		h[pos] = last
+		e.slab[last].pos = pos
+		e.siftDown(int(pos))
+		e.siftUp(int(e.slab[last].pos))
+	}
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // that is always a model bug, and silently clamping would corrupt causality.
 func (e *Engine) At(at Time, fn Event) Handle {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return Handle{ev}
+	return e.schedule(at, fn, nil)
 }
 
 // After schedules fn to run delay nanoseconds from now.
@@ -128,28 +263,58 @@ func (e *Engine) After(delay Time, fn Event) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	return e.At(e.now+delay, fn)
+	return e.schedule(e.now+delay, fn, nil)
+}
+
+// AtTimer schedules t's callback at absolute time at. The timer must not
+// already be pending: components that reuse a timer are responsible for one
+// schedule at a time, and double-scheduling is always a model bug.
+func (e *Engine) AtTimer(at Time, t *Timer) {
+	if t.Pending() {
+		panic("sim: timer already pending")
+	}
+	t.h = e.schedule(at, t.fn, t)
+}
+
+// AfterTimer schedules t's callback delay nanoseconds from now.
+func (e *Engine) AfterTimer(delay Time, t *Timer) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.AtTimer(e.now+delay, t)
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// pop removes and returns the earliest event's payload, releasing its slot
+// before the caller runs the callback (so the callback can schedule new
+// events into the freed slot, and handles to the fired event go stale).
+func (e *Engine) pop() (Time, Event) {
+	idx := e.heap[0]
+	ev := &e.slab[idx]
+	at, fn, timer := ev.at, ev.fn, ev.timer
+	e.removeAt(0)
+	e.release(idx)
+	if timer != nil {
+		timer.h = Handle{}
+	}
+	return at, fn
+}
 
 // Run executes events until the queue drains, the event budget is exhausted,
 // or Stop is called. A budget of 0 means unlimited. It returns the time of
 // the last executed event.
 func (e *Engine) Run(budget uint64) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.dead {
-			continue
-		}
-		if ev.at < e.now {
+	for len(e.heap) > 0 && !e.stopped {
+		at, fn := e.pop()
+		if at < e.now {
 			panic("sim: event queue went backwards")
 		}
-		e.now = ev.at
+		e.now = at
 		e.fired++
-		ev.fn(e.now)
+		fn(e.now)
 		if budget != 0 && e.fired >= budget {
 			break
 		}
@@ -161,33 +326,22 @@ func (e *Engine) Run(budget uint64) Time {
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events[0]
-		if ev.at > deadline {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.slab[e.heap[0]].at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
+		at, fn := e.pop()
+		e.now = at
 		e.fired++
-		ev.fn(e.now)
+		fn(e.now)
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 }
 
-// Drained reports whether the queue holds no live events.
-func (e *Engine) Drained() bool {
-	for _, ev := range e.events {
-		if !ev.dead {
-			return false
-		}
-	}
-	return true
-}
+// Drained reports whether the queue holds no events.
+func (e *Engine) Drained() bool { return len(e.heap) == 0 }
 
 // MaxTime is the largest representable simulation time.
 const MaxTime = Time(math.MaxInt64)

@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleFire measures the steady-state schedule+fire cycle: each
+// fired event schedules its successor, so the queue stays at a constant
+// depth and the slab free list is exercised every event. The target is zero
+// allocations per event once the slab is warm.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var step Event
+	step = func(now Time) {
+		n++
+		if n < b.N {
+			e.After(1, step)
+		}
+	}
+	// Keep a realistic queue depth: 64 chains interleaved.
+	const chains = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < chains && i < b.N; i++ {
+		e.After(Time(i+1), step)
+	}
+	e.Run(0)
+	if n < b.N && b.N > chains {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkTimerFire is the same steady-state cycle through the reusable
+// Timer API — the hot-path pattern model components use.
+func BenchmarkTimerFire(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var t *Timer
+	t = NewTimer(func(now Time) {
+		n++
+		if n < b.N {
+			e.AfterTimer(1, t)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.AfterTimer(1, t)
+	e.Run(0)
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule+cancel mix: half the
+// scheduled events are cancelled before they fire, exercising the eager
+// heap removal path.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.At(e.Now()+Time(i%100)+1, fn)
+		if i%2 == 0 {
+			h.Cancel()
+		}
+		if e.Pending() > 128 {
+			e.Run(e.Fired() + 64)
+		}
+	}
+	e.Run(0)
+}

@@ -20,16 +20,25 @@ import (
 // next transaction — the temporal transactional-locality limit. The depth
 // of the committed queue is therefore what bounds achievable FLP, which is
 // exactly the lever FARO's over-commitment pulls.
+//
+// All per-chip state is stored in offset-indexed slices, and the build
+// timers, chip callbacks, and transaction values are bound once at
+// construction, so the commit→build→execute cycle allocates nothing in
+// steady state.
 type controller struct {
 	eng     *sim.Engine
 	geo     flash.Geometry
 	tim     flash.Timing
 	channel int
 	bus     *bus.Channel
-	chips   map[flash.ChipID]*flash.Chip
+	chips   []*flash.Chip // by chip offset within the channel
 
-	pending    map[flash.ChipID][]flash.Request
-	buildArmed map[flash.ChipID]bool
+	pending    [][]flash.Request // by chip offset
+	buildArmed []bool
+	buildT     []*sim.Timer         // fires build after the decision window
+	txns       []*flash.Transaction // reused: one in flight per chip
+	cbs        []flash.Callbacks
+	taken      []int // BuildTransactionInto scratch (build is synchronous)
 
 	// onReqDone routes member-request completions back to the device.
 	onReqDone func(now sim.Time, r flash.Request)
@@ -39,90 +48,110 @@ type controller struct {
 }
 
 func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, channel int) *controller {
+	n := geo.ChipsPerChan
 	ctl := &controller{
 		eng:        eng,
 		geo:        geo,
 		tim:        tim,
 		channel:    channel,
 		bus:        bus.New(eng, channel),
-		chips:      make(map[flash.ChipID]*flash.Chip),
-		pending:    make(map[flash.ChipID][]flash.Request),
-		buildArmed: make(map[flash.ChipID]bool),
+		chips:      make([]*flash.Chip, n),
+		pending:    make([][]flash.Request, n),
+		buildArmed: make([]bool, n),
+		buildT:     make([]*sim.Timer, n),
+		txns:       make([]*flash.Transaction, n),
+		cbs:        make([]flash.Callbacks, n),
 	}
-	for off := 0; off < geo.ChipsPerChan; off++ {
+	for off := 0; off < n; off++ {
+		off := off
 		id := geo.ChipAt(channel, off)
-		ctl.chips[id] = flash.NewChip(eng, ctl.bus, id, geo, tim)
+		ctl.chips[off] = flash.NewChip(eng, ctl.bus, id, geo, tim)
+		ctl.txns[off] = &flash.Transaction{}
+		ctl.buildT[off] = sim.NewTimer(func(now sim.Time) {
+			ctl.buildArmed[off] = false
+			ctl.build(now, off)
+		})
+		ctl.cbs[off] = flash.Callbacks{
+			RequestDone: func(t sim.Time, r flash.Request) {
+				if ctl.onReqDone != nil {
+					ctl.onReqDone(t, r)
+				}
+			},
+			TxnDone: func(t sim.Time, _ *flash.Transaction) {
+				if ctl.onTxnDone != nil {
+					ctl.onTxnDone(t, id)
+				}
+				ctl.armBuild(id)
+			},
+		}
 	}
 	return ctl
 }
 
-// chip returns the chip object, panicking on foreign IDs.
-func (ctl *controller) chip(id flash.ChipID) *flash.Chip {
-	c, ok := ctl.chips[id]
-	if !ok {
+// offset maps a chip ID to its offset on this channel, panicking on
+// foreign IDs.
+func (ctl *controller) offset(id flash.ChipID) int {
+	if ctl.geo.Channel(id) != ctl.channel {
 		panic(fmt.Sprintf("ssd: chip %d not on channel %d", id, ctl.channel))
 	}
-	return c
+	return ctl.geo.ChipOffset(id)
+}
+
+// chip returns the chip object, panicking on foreign IDs.
+func (ctl *controller) chip(id flash.ChipID) *flash.Chip {
+	return ctl.chips[ctl.offset(id)]
 }
 
 // commit appends a memory request to the chip's committed queue and arms
 // the transaction builder if the chip is ready.
 func (ctl *controller) commit(r flash.Request) {
 	id := r.Addr.Chip
-	ctl.pending[id] = append(ctl.pending[id], r)
+	off := ctl.offset(id)
+	ctl.pending[off] = append(ctl.pending[off], r)
 	ctl.armBuild(id)
 }
 
 // pendingLen reports the committed-but-unissued depth for a chip.
-func (ctl *controller) pendingLen(id flash.ChipID) int { return len(ctl.pending[id]) }
+func (ctl *controller) pendingLen(id flash.ChipID) int {
+	return len(ctl.pending[ctl.offset(id)])
+}
 
 // armBuild schedules a transaction build for an idle chip after the
 // decision window. Requests committed within the window still make the
 // cut; later ones join the next transaction.
 func (ctl *controller) armBuild(id flash.ChipID) {
-	if ctl.buildArmed[id] || ctl.chip(id).Busy() || len(ctl.pending[id]) == 0 {
+	off := ctl.offset(id)
+	if ctl.buildArmed[off] || ctl.chips[off].Busy() || len(ctl.pending[off]) == 0 {
 		return
 	}
-	ctl.buildArmed[id] = true
-	ctl.eng.After(ctl.tim.DecisionWindow, func(now sim.Time) {
-		ctl.buildArmed[id] = false
-		ctl.build(now, id)
-	})
+	ctl.buildArmed[off] = true
+	ctl.eng.AfterTimer(ctl.tim.DecisionWindow, ctl.buildT[off])
 }
 
 // build coalesces the committed queue into one transaction and executes it.
-func (ctl *controller) build(now sim.Time, id flash.ChipID) {
-	chip := ctl.chip(id)
-	if chip.Busy() || len(ctl.pending[id]) == 0 {
+func (ctl *controller) build(now sim.Time, off int) {
+	chip := ctl.chips[off]
+	if chip.Busy() || len(ctl.pending[off]) == 0 {
 		return
 	}
-	txn, taken := flash.BuildTransaction(ctl.geo, ctl.pending[id])
+	// The previous transaction for this chip has retired (the chip is
+	// idle), so its value can be reused.
+	txn := ctl.txns[off]
+	ctl.taken = flash.BuildTransactionInto(ctl.geo, ctl.pending[off], txn, ctl.taken)
 	// Remove the consumed requests, preserving order of the rest.
-	rest := ctl.pending[id][:0]
+	rest := ctl.pending[off][:0]
 	ti := 0
-	for i, r := range ctl.pending[id] {
-		if ti < len(taken) && taken[ti] == i {
+	for i, r := range ctl.pending[off] {
+		if ti < len(ctl.taken) && ctl.taken[ti] == i {
 			ti++
 			continue
 		}
 		rest = append(rest, r)
 	}
-	ctl.pending[id] = rest
+	ctl.pending[off] = rest
 
 	if ctl.onTxnStart != nil {
-		ctl.onTxnStart(now, id)
+		ctl.onTxnStart(now, chip.ID)
 	}
-	chip.Execute(txn, flash.Callbacks{
-		RequestDone: func(t sim.Time, r flash.Request) {
-			if ctl.onReqDone != nil {
-				ctl.onReqDone(t, r)
-			}
-		},
-		TxnDone: func(t sim.Time, _ *flash.Transaction) {
-			if ctl.onTxnDone != nil {
-				ctl.onTxnDone(t, id)
-			}
-			ctl.armBuild(id)
-		},
-	})
+	chip.Execute(txn, ctl.cbs[off])
 }

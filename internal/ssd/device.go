@@ -48,9 +48,19 @@ type Device struct {
 
 	outstanding []int // per chip: selected-but-unserved memory requests
 
-	// DMA engine: memory request composition serializes here (§2.1).
-	composeQ  []*req.Mem
-	composing bool
+	// ready is the incremental per-chip index of still-queued memory
+	// requests: fed on admission, drained on commitment, re-pointed on
+	// readdressing. Schedulers read it through the Fabric interface.
+	ready *sched.ReadyIndex
+
+	// DMA engine: memory request composition serializes here (§2.1). The
+	// compose queue is head-indexed like the backlog, and the in-flight
+	// composition uses a reusable timer (one composition at a time).
+	composeQ     []*req.Mem
+	composeHead  int
+	composing    bool
+	composeM     *req.Mem
+	composeTimer *sim.Timer
 
 	// Host front end. The backlog is a head-indexed queue: popping is
 	// O(1) so admission stays linear even when an open-loop burst backs
@@ -60,14 +70,16 @@ type Device struct {
 	backlog     []*req.IO
 	srcStalled  bool // source pull paused at the MaxBacklog bound
 
+	// Source arrivals chain one at a time through a reusable timer.
+	arrivalIO    *req.IO
+	arrivalTimer *sim.Timer
+
 	pumping bool
 
-	// Readdressing support: queued (not yet composed) reads by LPN.
-	queuedReads map[req.LPN][]*req.Mem
-
-	gcActive     map[flash.ChipID]bool
-	emergencyGCs int64
-	staleFixes   int64
+	gcActive      []bool // per chip: background GC job in flight
+	gcActiveCount int
+	emergencyGCs  int64
+	staleFixes    int64
 
 	// Accounting.
 	busyChips      int
@@ -102,9 +114,21 @@ func New(cfg Config, scheduler sched.Scheduler) (*Device, error) {
 		queue:       nvmhc.NewQueue(cfg.QueueDepth),
 		fl:          fl,
 		outstanding: make([]int, cfg.Geo.NumChips()),
-		queuedReads: make(map[req.LPN][]*req.Mem),
-		gcActive:    make(map[flash.ChipID]bool),
+		ready:       sched.NewReadyIndex(cfg.Geo.NumChips()),
+		gcActive:    make([]bool, cfg.Geo.NumChips()),
 	}
+	d.composeTimer = sim.NewTimer(func(t sim.Time) {
+		m := d.composeM
+		d.composeM = nil
+		d.composing = false
+		d.finishCompose(t, m)
+		d.kickComposer(t)
+	})
+	d.arrivalTimer = sim.NewTimer(func(now sim.Time) {
+		io := d.arrivalIO
+		d.arrivalIO = nil
+		d.arrive(now, io)
+	})
 	d.ctrls = make([]*controller, cfg.Geo.Channels)
 	for ch := range d.ctrls {
 		ctl := newController(d.eng, cfg.Geo, cfg.Tim, ch)
@@ -142,6 +166,9 @@ func (d *Device) Outstanding(c flash.ChipID) int { return d.outstanding[int(c)] 
 func (d *Device) ChipBusy(c flash.ChipID) bool {
 	return d.ctrls[d.cfg.Geo.Channel(c)].chip(c).Busy()
 }
+
+// Ready implements sched.Fabric: the per-chip ready index.
+func (d *Device) Ready() *sched.ReadyIndex { return d.ready }
 
 // account advances the gated busy-chip integral to now. The gate is
 // "system busy": at least one host I/O outstanding (arrived, incomplete).
@@ -283,7 +310,8 @@ func (d *Device) scheduleNextArrival() {
 	if at < d.eng.Now() {
 		at = d.eng.Now()
 	}
-	d.eng.At(at, func(now sim.Time) { d.arrive(now, io) })
+	d.arrivalIO = io
+	d.eng.AtTimer(at, d.arrivalTimer)
 }
 
 func (d *Device) arrive(now sim.Time, io *req.IO) {
@@ -341,10 +369,8 @@ func (d *Device) drainBacklog(now sim.Time) {
 		}
 		d.popBacklog()
 		d.queue.Enqueue(now, io)
-		if io.Kind == req.Read {
-			for _, m := range io.Mem {
-				d.queuedReads[m.LPN] = append(d.queuedReads[m.LPN], m)
-			}
+		for _, m := range io.Mem {
+			d.ready.Add(m)
 		}
 		admitted = true
 	}
@@ -393,7 +419,7 @@ func (d *Device) preprocess(m *req.Mem) bool {
 			}
 		}
 		if !reclaimed {
-			if len(d.gcActive) > 0 {
+			if d.gcActiveCount > 0 {
 				return false // wait for background GC to finish
 			}
 			panic(fmt.Sprintf("ssd: out of flash space with no GC in flight: %v", err))
@@ -420,7 +446,7 @@ func (d *Device) pump(now sim.Time) {
 			m.State = req.StateComposed
 			m.Composed = now
 			d.outstanding[int(m.Addr.Chip)]++
-			d.unindexQueuedRead(m)
+			d.ready.Remove(m)
 			d.composeQ = append(d.composeQ, m)
 		}
 	}
@@ -428,40 +454,23 @@ func (d *Device) pump(now sim.Time) {
 	d.kickComposer(now)
 }
 
-func (d *Device) unindexQueuedRead(m *req.Mem) {
-	if m.IO.Kind != req.Read {
-		return
-	}
-	list := d.queuedReads[m.LPN]
-	for i, x := range list {
-		if x == m {
-			list[i] = list[len(list)-1]
-			list = list[:len(list)-1]
-			break
-		}
-	}
-	if len(list) == 0 {
-		delete(d.queuedReads, m.LPN)
-	} else {
-		d.queuedReads[m.LPN] = list
-	}
-}
-
-// kickComposer runs the DMA engine: one composition at a time.
+// kickComposer runs the DMA engine: one composition at a time. The queue
+// is head-indexed so popping is O(1); the slice is reclaimed whenever it
+// fully drains, which it does constantly at steady state.
 func (d *Device) kickComposer(now sim.Time) {
-	if d.composing || len(d.composeQ) == 0 {
+	if d.composing || d.composeHead >= len(d.composeQ) {
 		return
 	}
 	d.composing = true
-	m := d.composeQ[0]
-	copy(d.composeQ, d.composeQ[1:])
-	d.composeQ[len(d.composeQ)-1] = nil
-	d.composeQ = d.composeQ[:len(d.composeQ)-1]
-	d.eng.After(d.cfg.ComposeLatency, func(t sim.Time) {
-		d.composing = false
-		d.finishCompose(t, m)
-		d.kickComposer(t)
-	})
+	m := d.composeQ[d.composeHead]
+	d.composeQ[d.composeHead] = nil
+	d.composeHead++
+	if d.composeHead == len(d.composeQ) {
+		d.composeQ = d.composeQ[:0]
+		d.composeHead = 0
+	}
+	d.composeM = m
+	d.eng.AfterTimer(d.cfg.ComposeLatency, d.composeTimer)
 }
 
 // finishCompose commits a composed request to its flash controller,

@@ -51,9 +51,23 @@ func (d *Device) maybeStartGC(now sim.Time, addr flash.Addr) {
 	if err != nil || job == nil {
 		return
 	}
-	d.gcActive[addr.Chip] = true
+	d.setGCActive(addr.Chip, true)
 	run := &gcRun{dev: d, chip: addr.Chip, planeIdx: pi, job: job}
 	run.startReads(now)
+}
+
+// setGCActive flips a chip's background-GC flag, keeping the active count
+// current (admission stalls consult the count).
+func (d *Device) setGCActive(c flash.ChipID, on bool) {
+	if d.gcActive[c] == on {
+		return
+	}
+	d.gcActive[c] = on
+	if on {
+		d.gcActiveCount++
+	} else {
+		d.gcActiveCount--
+	}
 }
 
 func (d *Device) planeIndex(a flash.Addr) int {
@@ -125,12 +139,12 @@ func (r *gcRun) finish(now sim.Time) {
 	d := r.dev
 	applied := d.fl.CommitGC(r.job)
 	d.applyMigrations(applied)
-	delete(d.gcActive, r.chip)
+	d.setGCActive(r.chip, false)
 	// Chain another pass while the plane stays pressured.
 	chip, die, plane := r.planeAddr()
 	if d.fl.PlaneUnderPressure(chip, die, plane) {
 		if job, err := d.fl.PlanGC(r.planeIdx); err == nil && job != nil {
-			d.gcActive[r.chip] = true
+			d.setGCActive(r.chip, true)
 			next := &gcRun{dev: d, chip: r.chip, planeIdx: r.planeIdx, job: job}
 			next.startReads(now)
 		}
@@ -153,14 +167,20 @@ func (r *gcRun) planeAddr() (flash.ChipID, int, int) {
 // whose physical address just moved are re-pointed at the new location —
 // but only for schedulers that subscribe; the rest discover staleness at
 // commit time and pay the penalty.
+//
+// A migration's source chip is known, so the ready index localizes the
+// lookup to that chip's queued requests — no standing LPN map needs to be
+// maintained on the admission path. Readdress keeps the index consistent
+// when a migration crosses chips.
 func (d *Device) applyMigrations(applied []ftl.Migration) {
 	if !d.sch.NeedsReaddressing() {
 		return
 	}
 	for _, mg := range applied {
-		for _, m := range d.queuedReads[mg.LPN] {
-			if m.State == req.StateQueued && m.Addr == mg.Src {
-				m.Addr = mg.Dst
+		for _, m := range d.ready.List(mg.Src.Chip) {
+			if m != nil && m.LPN == mg.LPN && m.Addr == mg.Src &&
+				m.IO.Kind == req.Read && m.State == req.StateQueued {
+				d.ready.Readdress(m, mg.Dst)
 			}
 		}
 	}

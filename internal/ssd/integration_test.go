@@ -141,7 +141,7 @@ func TestReaddressingRepointsQueuedReads(t *testing.T) {
 		t.Fatal("preprocess failed")
 	}
 	old := m.Addr
-	d.queuedReads[m.LPN] = append(d.queuedReads[m.LPN], m)
+	d.ready.Add(m)
 
 	// Write the LPN so a real mapping exists, then fake a migration.
 	wio := req.NewIO(2, req.Write, 500, 1, 0)
@@ -167,7 +167,7 @@ func TestReaddressingRepointsQueuedReads(t *testing.T) {
 		t.Fatal("preprocess failed")
 	}
 	old2 := m2.Addr
-	d2.queuedReads[m2.LPN] = append(d2.queuedReads[m2.LPN], m2)
+	d2.ready.Add(m2)
 	d2.applyMigrations([]ftl.Migration{{LPN: 500, Src: old2, Dst: newAddr}})
 	if m2.Addr != old2 {
 		t.Fatal("VAS received readdressing it never subscribed to")
