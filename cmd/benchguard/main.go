@@ -1,0 +1,151 @@
+// Command benchguard diffs two `go test -bench` output files and fails
+// (exit 1) when a named benchmark regressed beyond a tolerance. CI runs
+// it after the bench sweep to hold the line against the archived PR 2
+// baseline:
+//
+//	go run ./cmd/benchguard -baseline bench/BENCH_pr2_baseline.txt \
+//	    -current BENCH_pr.txt -metric allocs -max-regress 0.15 \
+//	    BenchmarkStreamingOpenLoop BenchmarkSchedulers/SPK3
+//
+// Metrics: "allocs" (allocs/op — deterministic across machines, the CI
+// default), "bytes" (B/op) and "ns" (ns/op — only meaningful when both
+// files came from the same machine class).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// measurement is one benchmark line's parsed metrics.
+type measurement struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasNS       bool
+	hasBytes    bool
+	hasAllocs   bool
+}
+
+// parseBench reads a `go test -bench` output file into name → measurement.
+// Names are normalized with the -N GOMAXPROCS suffix stripped.
+func parseBench(path string) (map[string]measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var m measurement
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.nsPerOp, m.hasNS = v, true
+			case "B/op":
+				m.bytesPerOp, m.hasBytes = v, true
+			case "allocs/op":
+				m.allocsPerOp, m.hasAllocs = v, true
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// metricOf extracts the requested metric, reporting whether it was present.
+func metricOf(m measurement, metric string) (float64, bool) {
+	switch metric {
+	case "ns":
+		return m.nsPerOp, m.hasNS
+	case "bytes":
+		return m.bytesPerOp, m.hasBytes
+	case "allocs":
+		return m.allocsPerOp, m.hasAllocs
+	}
+	return 0, false
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline bench output file")
+	current := flag.String("current", "", "current bench output file")
+	metric := flag.String("metric", "allocs", "metric to guard: allocs, bytes, or ns")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed relative regression (0.15 = +15%)")
+	flag.Parse()
+	benches := flag.Args()
+	if *baseline == "" || *current == "" || len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline FILE -current FILE [-metric allocs|bytes|ns] [-max-regress F] Benchmark...")
+		os.Exit(2)
+	}
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, name := range benches {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline %s\n", name, *baseline)
+			failed = true
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from current %s\n", name, *current)
+			failed = true
+			continue
+		}
+		bv, bok := metricOf(b, *metric)
+		cv, cok := metricOf(c, *metric)
+		if !bok || !cok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s lacks %s/op in one of the files\n", name, *metric)
+			failed = true
+			continue
+		}
+		if bv == 0 {
+			// A zero baseline cannot regress relatively; require zero.
+			if cv > 0 {
+				fmt.Fprintf(os.Stderr, "FAIL %s: %s/op %v, baseline 0\n", name, *metric, cv)
+				failed = true
+			}
+			continue
+		}
+		ratio := cv/bv - 1
+		status := "ok"
+		if ratio > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %s: %s/op %v -> %v (%+.1f%%, limit +%.0f%%)\n",
+			status, name, *metric, bv, cv, ratio*100, *maxRegress*100)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -69,9 +69,28 @@ type Sprinkler struct {
 	ordered   []*req.Mem
 	groupCur  []*req.Mem
 	groupBest []*req.Mem
-	txn       flash.Transaction
-	chipOrder []flash.ChipID // RIOS traversal order, cached per geometry
-	chipKeys  []chipKey      // non-RIOS chip ordering scratch
+	dies      []dieGroupState // per-die occupancy scratch for buildGroup
+	chipOrder []flash.ChipID  // RIOS traversal order, cached per geometry
+	chipKeys  []chipKey       // non-RIOS chip ordering scratch
+
+	// caches holds the per-chip incremental FARO grouping state: the
+	// memoized selection order, keyed by the ready index's membership
+	// version. A chip whose candidate set did not change since the last
+	// Select (the common case — each pump touches a handful of chips)
+	// reuses its cached order instead of rebuilding the O(GroupCap²)
+	// grouping, which was the dominant SPK3 scheduling cost. Because the
+	// version covers every admit/commit/readdress, the cached order is
+	// bit-identical to what a rebuild would produce.
+	caches  []faroCache
+	cacheRx *sched.ReadyIndex // index the caches were built against
+}
+
+// faroCache is one chip's memoized selection order.
+type faroCache struct {
+	version uint64
+	maxSeq  uint64
+	valid   bool
+	order   []*req.Mem
 }
 
 // chipKey orders chips by their earliest candidate's admission position.
@@ -124,6 +143,18 @@ func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*re
 		return s.selectScan(now, q, fab)
 	}
 	g := fab.Geo()
+	if s.cacheRx != rx || len(s.caches) != rx.NumChips() {
+		// New device/index: every memoized order is meaningless (version
+		// counters restart per index), so start from scratch.
+		s.cacheRx = rx
+		if len(s.caches) != rx.NumChips() {
+			s.caches = make([]faroCache, rx.NumChips())
+		} else {
+			for i := range s.caches {
+				s.caches[i] = faroCache{}
+			}
+		}
+	}
 
 	// Non-RIOS composition is bounded to the Window oldest queue entries:
 	// cap candidates by the admission sequence of the window's last entry.
@@ -181,6 +212,13 @@ func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*re
 
 // selectChip commits chip c's candidates up to the free budget, in FARO
 // priority order when enabled.
+//
+// With FARO the ordering is memoized per chip and reused verbatim while
+// the chip's ready-index version (and SPK1's window bound) are
+// unchanged; only chips whose candidate set actually changed since
+// their last selection pay the grouping cost. Without FARO (SPK2) the
+// order is just the gathered admission order — linear anyway — so the
+// memo would only add a copy and is skipped.
 func (s *Sprinkler) selectChip(g flash.Geometry, fab sched.Fabric, rx *sched.ReadyIndex, c flash.ChipID, maxSeq uint64, out []*req.Mem) []*req.Mem {
 	if rx.Live(c) == 0 {
 		return out
@@ -189,13 +227,24 @@ func (s *Sprinkler) selectChip(g flash.Geometry, fab sched.Fabric, rx *sched.Rea
 	if free <= 0 {
 		return out
 	}
-	s.chipBuf = rx.Gather(c, s.chipBuf[:0], s.GroupCap, maxSeq)
-	list := s.chipBuf
+	var list []*req.Mem
+	if s.UseFARO {
+		cc := &s.caches[c]
+		if !cc.valid || cc.version != rx.Version(c) || cc.maxSeq != maxSeq {
+			s.chipBuf = rx.Gather(c, s.chipBuf[:0], s.GroupCap, maxSeq)
+			ordered := s.faroOrder(g, s.chipBuf)
+			cc.order = append(cc.order[:0], ordered...)
+			cc.version = rx.Version(c)
+			cc.maxSeq = maxSeq
+			cc.valid = true
+		}
+		list = cc.order
+	} else {
+		s.chipBuf = rx.Gather(c, s.chipBuf[:0], s.GroupCap, maxSeq)
+		list = s.chipBuf
+	}
 	if len(list) == 0 {
 		return out
-	}
-	if s.UseFARO {
-		list = s.faroOrder(g, list)
 	}
 	if len(list) > free {
 		list = list[:free]
@@ -319,27 +368,61 @@ func (s *Sprinkler) bestGroup(g flash.Geometry, remaining []*req.Mem) {
 	}
 }
 
+// dieGroupState is one die's occupancy while a group is being built: the
+// planes taken so far and the shared-wordline (block, page) the die's
+// first member fixed. mask == 0 means the die is untouched.
+type dieGroupState struct {
+	mask  uint32
+	block int32
+	page  int32
+}
+
 // buildGroup coalesces remaining[seed] with every later-compatible
 // candidate into s.groupCur, mirroring what the flash controller's
-// transaction builder will do with the committed queue. It returns the
-// group's overlap depth and connectivity.
+// transaction builder will do with the committed queue (the §2.2 rules
+// flash.Transaction.CanJoin enforces: one request per (die, plane);
+// plane sharing needs matching block and page offsets; same operation;
+// at most MaxFLP members). The checks run against per-die occupancy
+// state instead of a Transaction value, so each candidate costs O(1)
+// rather than a scan of the group built so far. It returns the group's
+// overlap depth and connectivity.
 func (s *Sprinkler) buildGroup(g flash.Geometry, remaining []*req.Mem, seed int) (depth, conn int) {
-	s.txn.Reset()
-	cur := s.groupCur[:0]
-	add := func(m *req.Mem) {
-		if err := s.txn.Add(g, flash.Request{Op: m.Op(), Addr: m.Addr}); err == nil {
-			cur = append(cur, m)
-		}
+	if len(s.dies) < g.DiesPerChip {
+		s.dies = make([]dieGroupState, g.DiesPerChip)
 	}
-	add(remaining[seed])
+	dies := s.dies[:g.DiesPerChip]
+	for i := range dies {
+		dies[i] = dieGroupState{}
+	}
+	cur := s.groupCur[:0]
+	sm := remaining[seed]
+	op := sm.IO.Kind
+	ds := &dies[sm.Addr.Die]
+	ds.mask = 1 << uint(sm.Addr.Plane)
+	ds.block, ds.page = int32(sm.Addr.Block), int32(sm.Addr.Page)
+	cur = append(cur, sm)
+	maxFLP := g.MaxFLP()
 	for i, m := range remaining {
 		if i == seed {
 			continue
 		}
-		if s.txn.Len() >= g.MaxFLP() {
+		if len(cur) >= maxFLP {
 			break
 		}
-		add(m)
+		if m.IO.Kind != op {
+			continue
+		}
+		d := &dies[m.Addr.Die]
+		bit := uint32(1) << uint(m.Addr.Plane)
+		if d.mask == 0 {
+			d.mask = bit
+			d.block, d.page = int32(m.Addr.Block), int32(m.Addr.Page)
+		} else if d.mask&bit != 0 || d.block != int32(m.Addr.Block) || d.page != int32(m.Addr.Page) {
+			continue
+		} else {
+			d.mask |= bit
+		}
+		cur = append(cur, m)
 	}
 	s.groupCur = cur
 	// Connectivity: the largest member count sharing one parent I/O. The
@@ -355,7 +438,7 @@ func (s *Sprinkler) buildGroup(g flash.Geometry, remaining []*req.Mem, seed int)
 			conn = n
 		}
 	}
-	return s.txn.Len(), conn
+	return len(cur), conn
 }
 
 // enforceReadFirst stable-reorders so that a read of an LPN issued by an

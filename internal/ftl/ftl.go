@@ -57,6 +57,13 @@ type Config struct {
 	// (erased) block count drops to this value or below.
 	GCFreeTarget int
 
+	// LogicalPages hints the size of the logical address space, sizing
+	// the L2P mapping table: small spaces get a flat dense table, large
+	// ones a paged table that allocates only touched chunks. Zero falls
+	// back to the physical page count. The hint is not a bound — LPNs
+	// beyond it still map correctly.
+	LogicalPages int64
+
 	// MigrateCrossPlane lets the GC allocate migration destinations on a
 	// sibling plane (the one with the most free space) instead of the
 	// victim's plane. Cross-resource migration is what makes the
@@ -114,8 +121,8 @@ type planeState struct {
 type FTL struct {
 	cfg    Config
 	geo    flash.Geometry
-	l2p    map[req.LPN]flash.PPN
-	p2l    map[flash.PPN]req.LPN
+	l2p    pageTable // LPN -> PPN
+	p2l    pageTable // PPN -> LPN
 	planes []*planeState
 
 	// cursor implements the channel-first stripe for write allocation:
@@ -147,11 +154,15 @@ func New(cfg Config) (*FTL, error) {
 	}
 	g := cfg.Geo
 	nPlanes := g.NumChips() * g.DiesPerChip * g.PlanesPerDie
+	logical := cfg.LogicalPages
+	if logical <= 0 {
+		logical = g.TotalPages()
+	}
 	f := &FTL{
 		cfg:    cfg,
 		geo:    g,
-		l2p:    make(map[req.LPN]flash.PPN),
-		p2l:    make(map[flash.PPN]req.LPN),
+		l2p:    newTable(logical),
+		p2l:    newTable(g.TotalPages()),
 		planes: make([]*planeState, nPlanes),
 	}
 	f.rng = sim.NewRand(cfg.Seed + 0x5EED)
@@ -285,8 +296,8 @@ func (f *FTL) markValid(a flash.Addr, lpn req.LPN) {
 	blk.valid.Set(a.Page)
 	blk.validCount++
 	p := f.geo.ToPPN(a)
-	f.l2p[lpn] = p
-	f.p2l[p] = lpn
+	f.l2p.set(int64(lpn), int64(p))
+	f.p2l.set(int64(p), int64(lpn))
 }
 
 // invalidate drops the live mapping at a.
@@ -298,17 +309,17 @@ func (f *FTL) invalidate(a flash.Addr) {
 	}
 	blk.valid.Clear(a.Page)
 	blk.validCount--
-	delete(f.p2l, f.geo.ToPPN(a))
+	f.p2l.del(int64(f.geo.ToPPN(a)))
 	f.invalidated++
 }
 
 // Lookup returns the physical address currently mapped for lpn.
 func (f *FTL) Lookup(lpn req.LPN) (flash.Addr, bool) {
-	p, ok := f.l2p[lpn]
+	p, ok := f.l2p.get(int64(lpn))
 	if !ok {
 		return flash.Addr{}, false
 	}
-	return f.geo.FromPPN(p), true
+	return f.geo.FromPPN(flash.PPN(p)), true
 }
 
 // VirtualAddr is the deterministic physical placement of a logical page
@@ -463,10 +474,11 @@ func (f *FTL) PlanGC(planeIdx int) (*GCJob, error) {
 			continue
 		}
 		src := flash.Addr{Chip: chip, Die: die, Plane: plane, Block: victim, Page: pg}
-		lpn, ok := f.p2l[f.geo.ToPPN(src)]
+		rawLPN, ok := f.p2l.get(int64(f.geo.ToPPN(src)))
 		if !ok {
 			panic(fmt.Sprintf("ftl: valid page %v with no reverse mapping", src))
 		}
+		lpn := req.LPN(rawLPN)
 		dstPlane := planeIdx
 		if f.cfg.MigrateCrossPlane {
 			dstPlane = f.bestPlaneOnChip(chip, planeIdx)
@@ -520,8 +532,8 @@ func (f *FTL) CommitGC(job *GCJob) []Migration {
 	f.gcRuns++
 	var applied []Migration
 	for _, mg := range job.Migrations {
-		cur, ok := f.l2p[mg.LPN]
-		if !ok || cur != f.geo.ToPPN(mg.Src) {
+		cur, ok := f.l2p.get(int64(mg.LPN))
+		if !ok || flash.PPN(cur) != f.geo.ToPPN(mg.Src) {
 			// The host overwrote this LPN mid-GC; its new location wins and
 			// the pre-allocated destination page is simply wasted (it will
 			// be reclaimed as invalid later) — matching real FTL behaviour.
@@ -607,7 +619,7 @@ func (f *FTL) Stats() Stats {
 		GCErases:    f.gcErases,
 		GCRuns:      f.gcRuns,
 		Invalidated: f.invalidated,
-		MappedPages: int64(len(f.l2p)),
+		MappedPages: int64(f.l2p.len()),
 		BadBlocks:   f.badBlocks,
 		WearLevels:  f.wlRuns,
 	}
@@ -630,18 +642,25 @@ func (f *FTL) WriteAmplification() float64 {
 // CheckInvariants verifies internal consistency; tests call it after
 // workloads. It returns the first violation found.
 func (f *FTL) CheckInvariants() error {
-	if len(f.l2p) != len(f.p2l) {
-		return fmt.Errorf("ftl: l2p has %d entries, p2l has %d", len(f.l2p), len(f.p2l))
+	if f.l2p.len() != f.p2l.len() {
+		return fmt.Errorf("ftl: l2p has %d entries, p2l has %d", f.l2p.len(), f.p2l.len())
 	}
-	for lpn, p := range f.l2p {
-		if back, ok := f.p2l[p]; !ok || back != lpn {
-			return fmt.Errorf("ftl: mapping lpn %d -> ppn %d not mirrored", lpn, p)
+	var ierr error
+	f.l2p.forEach(func(lpn, p int64) bool {
+		if back, ok := f.p2l.get(p); !ok || back != lpn {
+			ierr = fmt.Errorf("ftl: mapping lpn %d -> ppn %d not mirrored", lpn, p)
+			return false
 		}
-		a := f.geo.FromPPN(p)
+		a := f.geo.FromPPN(flash.PPN(p))
 		ps := f.planes[f.planeIndex(a.Chip, a.Die, a.Plane)]
 		if !ps.blocks[a.Block].valid.Get(a.Page) {
-			return fmt.Errorf("ftl: mapped page %v not marked valid", a)
+			ierr = fmt.Errorf("ftl: mapped page %v not marked valid", a)
+			return false
 		}
+		return true
+	})
+	if ierr != nil {
+		return ierr
 	}
 	for i, ps := range f.planes {
 		counted := 0

@@ -1,0 +1,276 @@
+package ftl
+
+// pageTable is the FTL's mapping-table abstraction: a partial map from
+// one page-number space to another (LPN→PPN and PPN→LPN), tuned for the
+// translate/commit/GC-relocate hot path. Both implementations replace the
+// Go maps the FTL used to carry — map probes were ~10% of hot-path CPU —
+// with direct slice indexing.
+//
+// Keys and values are non-negative; the tables use -1 internally as the
+// "unmapped" sentinel.
+type pageTable interface {
+	// get returns the value mapped for k.
+	get(k int64) (int64, bool)
+	// set maps k to v, reporting whether k was previously mapped.
+	set(k int64, v int64) bool
+	// del removes k's mapping, reporting whether it existed.
+	del(k int64) bool
+	// len returns the number of live mappings.
+	len() int
+	// forEach visits every live mapping until fn returns false.
+	forEach(fn func(k, v int64) bool)
+	// footprint returns the table's resident entry count (capacity
+	// actually allocated), for memory accounting and tests.
+	footprint() int64
+}
+
+// denseTableMax is the page-count threshold up to which newTable picks
+// the flat dense layout: 1<<22 entries × 8 bytes = 32 MB worst case. Past
+// it the paged variant allocates only the chunks the workload touches —
+// the scale-aware choice the ROADMAP called for.
+const denseTableMax = 1 << 22
+
+// newTable picks a table for a space of `span` pages. The span is a
+// sizing hint, not a bound: keys past it still map correctly (hosts may
+// address LPNs beyond the configured logical space in tests), but keys
+// far past it — beyond boundedTable's ceiling — spill into a plain map,
+// so one pathological huge key costs a map entry, never a
+// proportionally huge array.
+func newTable(span int64) pageTable {
+	var main pageTable
+	if span <= denseTableMax {
+		main = &denseTable{}
+	} else {
+		main = &pagedTable{}
+	}
+	// Twice the hinted span tolerates mildly out-of-range addressing in
+	// the slice tables; anything past that is pathological input.
+	ceiling := 2 * span
+	if ceiling < denseTableMax {
+		ceiling = denseTableMax
+	}
+	return &boundedTable{main: main, ceiling: ceiling}
+}
+
+// boundedTable routes keys below the ceiling to the slice-backed main
+// table and everything above into an overflow map. The hot path (every
+// key a well-formed workload produces) pays one extra compare; outliers
+// get the old map semantics at O(touched) memory.
+type boundedTable struct {
+	main     pageTable
+	ceiling  int64
+	overflow map[int64]int64
+}
+
+func (t *boundedTable) get(k int64) (int64, bool) {
+	if k < t.ceiling {
+		return t.main.get(k)
+	}
+	v, ok := t.overflow[k]
+	return v, ok
+}
+
+func (t *boundedTable) set(k int64, v int64) bool {
+	if k < t.ceiling {
+		return t.main.set(k, v)
+	}
+	if t.overflow == nil {
+		t.overflow = make(map[int64]int64)
+	}
+	_, had := t.overflow[k]
+	t.overflow[k] = v
+	return had
+}
+
+func (t *boundedTable) del(k int64) bool {
+	if k < t.ceiling {
+		return t.main.del(k)
+	}
+	_, had := t.overflow[k]
+	delete(t.overflow, k)
+	return had
+}
+
+func (t *boundedTable) len() int { return t.main.len() + len(t.overflow) }
+
+func (t *boundedTable) forEach(fn func(k, v int64) bool) {
+	done := false
+	t.main.forEach(func(k, v int64) bool {
+		if !fn(k, v) {
+			done = true
+			return false
+		}
+		return true
+	})
+	if done {
+		return
+	}
+	for k, v := range t.overflow {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func (t *boundedTable) footprint() int64 {
+	return t.main.footprint() + int64(len(t.overflow))
+}
+
+// denseTable is a flat slice indexed by key, grown on demand. Lookups are
+// one bounds check and one load.
+type denseTable struct {
+	v    []int64
+	live int
+}
+
+func (t *denseTable) grow(k int64) {
+	n := int64(len(t.v))
+	for n <= k {
+		if n == 0 {
+			n = 1024
+		} else {
+			n *= 2
+		}
+	}
+	nv := make([]int64, n)
+	copy(nv, t.v)
+	for i := len(t.v); i < len(nv); i++ {
+		nv[i] = -1
+	}
+	t.v = nv
+}
+
+func (t *denseTable) get(k int64) (int64, bool) {
+	if k >= int64(len(t.v)) {
+		return 0, false
+	}
+	v := t.v[k]
+	return v, v >= 0
+}
+
+func (t *denseTable) set(k int64, v int64) bool {
+	if k >= int64(len(t.v)) {
+		t.grow(k)
+	}
+	had := t.v[k] >= 0
+	t.v[k] = v
+	if !had {
+		t.live++
+	}
+	return had
+}
+
+func (t *denseTable) del(k int64) bool {
+	if k >= int64(len(t.v)) || t.v[k] < 0 {
+		return false
+	}
+	t.v[k] = -1
+	t.live--
+	return true
+}
+
+func (t *denseTable) len() int { return t.live }
+
+func (t *denseTable) forEach(fn func(k, v int64) bool) {
+	for k, v := range t.v {
+		if v >= 0 && !fn(int64(k), v) {
+			return
+		}
+	}
+}
+
+func (t *denseTable) footprint() int64 { return int64(cap(t.v)) }
+
+// pagedTable chunks the key space into fixed pages allocated on first
+// touch, so huge but sparsely-addressed spaces (a 1024-chip platform's
+// PPN space, a mostly-cold logical space) cost memory proportional to
+// what the workload actually maps.
+const (
+	tableChunkBits = 12 // 4096 entries (32 KB) per chunk
+	tableChunkSize = 1 << tableChunkBits
+	tableChunkMask = tableChunkSize - 1
+)
+
+type pagedTable struct {
+	chunks [][]int64
+	live   int
+}
+
+func (t *pagedTable) get(k int64) (int64, bool) {
+	ci := k >> tableChunkBits
+	if ci >= int64(len(t.chunks)) {
+		return 0, false
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		return 0, false
+	}
+	v := c[k&tableChunkMask]
+	return v, v >= 0
+}
+
+func (t *pagedTable) chunk(k int64) []int64 {
+	ci := k >> tableChunkBits
+	for ci >= int64(len(t.chunks)) {
+		t.chunks = append(t.chunks, nil)
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		c = make([]int64, tableChunkSize)
+		for i := range c {
+			c[i] = -1
+		}
+		t.chunks[ci] = c
+	}
+	return c
+}
+
+func (t *pagedTable) set(k int64, v int64) bool {
+	c := t.chunk(k)
+	had := c[k&tableChunkMask] >= 0
+	c[k&tableChunkMask] = v
+	if !had {
+		t.live++
+	}
+	return had
+}
+
+func (t *pagedTable) del(k int64) bool {
+	ci := k >> tableChunkBits
+	if ci >= int64(len(t.chunks)) || t.chunks[ci] == nil {
+		return false
+	}
+	c := t.chunks[ci]
+	if c[k&tableChunkMask] < 0 {
+		return false
+	}
+	c[k&tableChunkMask] = -1
+	t.live--
+	return true
+}
+
+func (t *pagedTable) len() int { return t.live }
+
+func (t *pagedTable) forEach(fn func(k, v int64) bool) {
+	for ci, c := range t.chunks {
+		if c == nil {
+			continue
+		}
+		base := int64(ci) << tableChunkBits
+		for i, v := range c {
+			if v >= 0 && !fn(base+int64(i), v) {
+				return
+			}
+		}
+	}
+}
+
+func (t *pagedTable) footprint() int64 {
+	var n int64
+	for _, c := range t.chunks {
+		if c != nil {
+			n += tableChunkSize
+		}
+	}
+	return n
+}

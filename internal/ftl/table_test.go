@@ -1,0 +1,132 @@
+package ftl
+
+import (
+	"testing"
+
+	"sprinkler/internal/sim"
+)
+
+// TestPageTableParity drives both table variants through a randomized
+// op sequence mirrored against a Go map; every observable (get/set/del
+// results, live count, iteration contents) must agree.
+func TestPageTableParity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tab  pageTable
+	}{
+		{"dense", &denseTable{}},
+		{"paged", &pagedTable{}},
+		// Ceiling below the key range: every op splits between the main
+		// table and the overflow map.
+		{"bounded", &boundedTable{main: &denseTable{}, ceiling: 1 << 15}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := sim.NewRand(17)
+			ref := map[int64]int64{}
+			const span = 1 << 16
+			for op := 0; op < 200_000; op++ {
+				k := rng.Int63n(span)
+				switch rng.Intn(3) {
+				case 0:
+					v := rng.Int63n(1 << 30)
+					had := tc.tab.set(k, v)
+					_, refHad := ref[k]
+					if had != refHad {
+						t.Fatalf("op %d: set(%d) had=%v ref=%v", op, k, had, refHad)
+					}
+					ref[k] = v
+				case 1:
+					had := tc.tab.del(k)
+					_, refHad := ref[k]
+					if had != refHad {
+						t.Fatalf("op %d: del(%d) had=%v ref=%v", op, k, had, refHad)
+					}
+					delete(ref, k)
+				default:
+					v, ok := tc.tab.get(k)
+					rv, rok := ref[k]
+					if ok != rok || (ok && v != rv) {
+						t.Fatalf("op %d: get(%d) = %d,%v ref %d,%v", op, k, v, ok, rv, rok)
+					}
+				}
+				if tc.tab.len() != len(ref) {
+					t.Fatalf("op %d: len %d, ref %d", op, tc.tab.len(), len(ref))
+				}
+			}
+			seen := map[int64]int64{}
+			tc.tab.forEach(func(k, v int64) bool {
+				seen[k] = v
+				return true
+			})
+			if len(seen) != len(ref) {
+				t.Fatalf("forEach visited %d, ref %d", len(seen), len(ref))
+			}
+			for k, v := range ref {
+				if seen[k] != v {
+					t.Fatalf("forEach missed %d -> %d", k, v)
+				}
+			}
+		})
+	}
+}
+
+// TestPageTableSparseFootprint pins the scale-aware choice: a huge space
+// touched sparsely must not allocate proportional memory.
+func TestPageTableSparseFootprint(t *testing.T) {
+	tab := newTable(1 << 30)
+	if _, ok := tab.(*boundedTable).main.(*pagedTable); !ok {
+		t.Fatalf("large span chose %T, want *pagedTable", tab.(*boundedTable).main)
+	}
+	// Touch 100 keys scattered over the full 2^30 space.
+	for i := int64(0); i < 100; i++ {
+		tab.set(i*(1<<23), i)
+	}
+	if fp := tab.footprint(); fp > 100*tableChunkSize {
+		t.Fatalf("sparse footprint %d entries for 100 keys", fp)
+	}
+	if small := newTable(1 << 16); func() bool { _, ok := small.(*boundedTable).main.(*denseTable); return !ok }() {
+		t.Fatalf("small span chose %T, want *denseTable", small.(*boundedTable).main)
+	}
+}
+
+// TestPageTableGrowsPastHint: the sizing hint is not a bound.
+func TestPageTableGrowsPastHint(t *testing.T) {
+	tab := newTable(128)
+	tab.set(1_000_000, 7)
+	if v, ok := tab.get(1_000_000); !ok || v != 7 {
+		t.Fatal("dense table lost a key beyond its hint")
+	}
+	if tab.del(2_000_000) {
+		t.Fatal("del of never-set key past capacity reported true")
+	}
+}
+
+// TestPageTableHugeKeyCostsOneEntry: one pathological write at an
+// enormous LPN must land in the overflow map, not allocate an array
+// proportional to the key (the regression a key-indexed table invites
+// versus the old Go maps).
+func TestPageTableHugeKeyCostsOneEntry(t *testing.T) {
+	for _, span := range []int64{1 << 16, 1 << 30} {
+		tab := newTable(span)
+		tab.set(1<<40, 7)
+		if v, ok := tab.get(1 << 40); !ok || v != 7 {
+			t.Fatal("huge key lost")
+		}
+		if fp := tab.footprint(); fp > denseTableMax {
+			t.Fatalf("span %d: huge key grew footprint to %d entries", span, fp)
+		}
+		if tab.len() != 1 {
+			t.Fatalf("len = %d, want 1", tab.len())
+		}
+		if !tab.del(1 << 40) {
+			t.Fatal("huge key not deletable")
+		}
+		seen := 0
+		tab.set(1<<41, 9)
+		tab.set(3, 4)
+		tab.forEach(func(k, v int64) bool { seen++; return true })
+		if seen != 2 {
+			t.Fatalf("forEach visited %d, want 2", seen)
+		}
+	}
+}

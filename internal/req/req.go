@@ -100,6 +100,7 @@ type IO struct {
 	Done      sim.Time // all memory requests served and data returned
 
 	Mem          []*Mem
+	mems         []Mem // backing storage for Mem, kept for Reset reuse
 	doneMask     Bitmap
 	maskBuf      [1]uint64 // inline doneMask storage for I/Os <= 64 pages
 	nDone        int
@@ -118,22 +119,60 @@ func (io *IO) NoteFirstData(now sim.Time) {
 // NewIO builds an I/O and its memory requests. Physical addresses are
 // attached later by the FTL preprocessor.
 func NewIO(id int64, kind Kind, start LPN, pages int, arrival sim.Time) *IO {
+	io := &IO{}
+	io.Reset(id, kind, start, pages, arrival)
+	return io
+}
+
+// Reset re-initializes io in place for a new request, reusing the member
+// array, member-pointer slice and completion bitmap when their capacity
+// suffices — the free-list primitive that makes steady-state streaming
+// allocation-free. The caller must guarantee the previous request fully
+// completed (no queue slot, no ready-index slot, no in-flight member).
+// FUA is cleared; set it after Reset if needed.
+func (io *IO) Reset(id int64, kind Kind, start LPN, pages int, arrival sim.Time) {
 	if pages <= 0 {
 		panic(fmt.Sprintf("req: IO %d with %d pages", id, pages))
 	}
-	io := &IO{ID: id, Kind: kind, Start: start, Pages: pages, Arrival: arrival, QSlot: -1}
-	io.Mem = make([]*Mem, pages)
-	if pages <= 64 {
+	io.ID, io.Kind, io.Start, io.Pages, io.Arrival = id, kind, start, pages, arrival
+	io.FUA = false
+	io.QSlot, io.Seq = -1, 0
+	io.Enqueued, io.FirstData, io.Done = 0, 0, 0
+	io.nDone = 0
+	io.firstDataSet = false
+	// Round grown capacities up so a recycled I/O converges on the
+	// workload's largest request size after a few reuses instead of
+	// reallocating on every size change.
+	rounded := 8
+	for rounded < pages {
+		rounded *= 2
+	}
+	// Prefer a previously grown heap bitmap (cap > 1) over the inline
+	// word so mixed-size reuse doesn't reallocate it for every large
+	// request; fall back to maskBuf for small I/Os without one.
+	words := (pages + 63) / 64
+	if cap(io.doneMask) >= words && cap(io.doneMask) > 1 {
+		io.doneMask = io.doneMask[:words]
+		for i := range io.doneMask {
+			io.doneMask[i] = 0
+		}
+	} else if pages <= 64 {
+		io.maskBuf[0] = 0
 		io.doneMask = io.maskBuf[:]
 	} else {
-		io.doneMask = NewBitmap(pages)
+		io.doneMask = NewBitmap(rounded)[:words]
 	}
-	mems := make([]Mem, pages)
+	if cap(io.mems) >= pages && cap(io.Mem) >= pages {
+		io.mems = io.mems[:pages]
+		io.Mem = io.Mem[:pages]
+	} else {
+		io.mems = make([]Mem, pages, rounded)
+		io.Mem = make([]*Mem, pages, rounded)
+	}
 	for i := 0; i < pages; i++ {
-		mems[i] = Mem{IO: io, Index: i, LPN: start + LPN(i), ReadySlot: -1}
-		io.Mem[i] = &mems[i]
+		io.mems[i] = Mem{IO: io, Index: i, LPN: start + LPN(i), ReadySlot: -1}
+		io.Mem[i] = &io.mems[i]
 	}
-	return io
 }
 
 // End returns one past the last LPN.

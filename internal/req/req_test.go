@@ -149,3 +149,75 @@ func TestStringers(t *testing.T) {
 		t.Fatal("String() should be non-empty")
 	}
 }
+
+// TestIOResetReuse pins the free-list primitive: a recycled I/O must be
+// indistinguishable from a fresh one — state, bitmap, timestamps, member
+// identity — and must reuse its member storage when capacity allows.
+func TestIOResetReuse(t *testing.T) {
+	io := NewIO(1, Write, 100, 8, 50)
+	io.FUA = true
+	// Dirty every resettable field as a completed run would.
+	io.Seq = 99
+	io.QSlot = 3
+	io.NoteFirstData(60)
+	for i := 0; i < 8; i++ {
+		io.Mem[i].State = StateDone
+		io.Mem[i].Resolved = true
+		io.Mem[i].Composed = 55
+		io.MarkDone(i)
+	}
+	io.Done = 70
+
+	before := &io.mems[0]
+	io.Reset(2, Read, 500, 4, 80)
+	if &io.mems[0] != before {
+		t.Fatal("Reset reallocated member storage despite sufficient capacity")
+	}
+	fresh := NewIO(2, Read, 500, 4, 80)
+	if io.ID != fresh.ID || io.Kind != fresh.Kind || io.Start != fresh.Start ||
+		io.Pages != fresh.Pages || io.Arrival != fresh.Arrival || io.FUA ||
+		io.QSlot != -1 || io.Seq != 0 || io.Done != 0 || io.FirstData != 0 ||
+		io.NumDone() != 0 || io.Complete() {
+		t.Fatalf("recycled header differs from fresh: %+v", io)
+	}
+	if len(io.Mem) != 4 {
+		t.Fatalf("member count %d, want 4", len(io.Mem))
+	}
+	for i, m := range io.Mem {
+		f := fresh.Mem[i]
+		if m.IO != io || m.Index != f.Index || m.LPN != f.LPN ||
+			m.State != StateQueued || m.Resolved || m.ReadySlot != -1 ||
+			m.Composed != 0 || m.Committed != 0 || m.Finished != 0 {
+			t.Fatalf("recycled member %d differs from fresh: %+v", i, m)
+		}
+	}
+	// The done bitmap must have been cleared: completing the recycled
+	// request must not trip the double-completion panic.
+	for i := 0; i < 4; i++ {
+		done := io.MarkDone(i)
+		if done != (i == 3) {
+			t.Fatalf("MarkDone(%d) = %v", i, done)
+		}
+	}
+}
+
+// TestIOResetGrowsForLargerRequest covers the capacity-miss path and the
+// >64-page bitmap reuse.
+func TestIOResetGrowsForLargerRequest(t *testing.T) {
+	io := NewIO(1, Read, 0, 2, 0)
+	io.Reset(2, Read, 0, 100, 0)
+	if len(io.Mem) != 100 {
+		t.Fatalf("member count %d, want 100", len(io.Mem))
+	}
+	io.MarkDone(99)
+	io.Reset(3, Write, 0, 70, 0)
+	if io.doneMask.Get(69) || io.doneMask.Count() != 0 {
+		t.Fatal("done bitmap not cleared on >64-page reuse")
+	}
+	for i := 0; i < 70; i++ {
+		io.MarkDone(i)
+	}
+	if !io.Complete() {
+		t.Fatal("recycled 70-page I/O did not complete")
+	}
+}

@@ -67,15 +67,28 @@ type Scheduler interface {
 type ReadyIndex struct {
 	lists [][]*req.Mem
 	live  []int32
+
+	// version counts membership/address changes per chip: admission,
+	// removal, and readdressing all bump it (housekeeping like hole
+	// compaction does not). Schedulers key incremental per-chip state —
+	// Sprinkler's memoized FARO grouping — on it: an unchanged version
+	// guarantees the chip's candidate set, order and physical addresses
+	// are exactly as they were, so cached selection output stays
+	// bit-identical to a recomputation.
+	version []uint64
 }
 
 // NewReadyIndex returns an empty index over numChips chips.
 func NewReadyIndex(numChips int) *ReadyIndex {
 	return &ReadyIndex{
-		lists: make([][]*req.Mem, numChips),
-		live:  make([]int32, numChips),
+		lists:   make([][]*req.Mem, numChips),
+		live:    make([]int32, numChips),
+		version: make([]uint64, numChips),
 	}
 }
+
+// Version returns chip c's membership version (see the field comment).
+func (x *ReadyIndex) Version(c flash.ChipID) uint64 { return x.version[c] }
 
 // NumChips returns the number of chips the index covers.
 func (x *ReadyIndex) NumChips() int { return len(x.lists) }
@@ -90,6 +103,7 @@ func (x *ReadyIndex) Add(m *req.Mem) {
 	m.ReadySlot = int32(len(x.lists[c]))
 	x.lists[c] = append(x.lists[c], m)
 	x.live[c]++
+	x.version[c]++
 }
 
 // Remove unindexes m in O(1), leaving a hole. Gather compacts holes on
@@ -111,6 +125,7 @@ func (x *ReadyIndex) drop(m *req.Mem) flash.ChipID {
 	x.lists[c][m.ReadySlot] = nil
 	m.ReadySlot = -1
 	x.live[c]--
+	x.version[c]++
 	return c
 }
 
@@ -120,6 +135,10 @@ func (x *ReadyIndex) drop(m *req.Mem) flash.ChipID {
 // identical to a queue scan even after migration.
 func (x *ReadyIndex) Readdress(m *req.Mem, dst flash.Addr) {
 	if m.Addr.Chip == dst.Chip {
+		// Same chip, new die/plane/block/page: membership and order are
+		// untouched but the address feeds FARO grouping, so cached
+		// selection state must still be invalidated.
+		x.version[dst.Chip]++
 		m.Addr = dst
 		return
 	}
@@ -141,6 +160,7 @@ func (x *ReadyIndex) Readdress(m *req.Mem, dst flash.Addr) {
 	}
 	x.lists[dst.Chip] = l
 	x.live[dst.Chip]++
+	x.version[dst.Chip]++
 }
 
 // compactList squeezes out nil holes, fixing ReadySlot positions.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -131,6 +132,182 @@ func TestHistogramStdDev(t *testing.T) {
 	if got := h.StdDev(); math.Abs(got-2) > 1e-9 {
 		t.Fatalf("StdDev = %v, want 2", got)
 	}
+}
+
+// Regression for the sorted-flag interplay: monotone Observe streams
+// interleaved with Percentile queries must never invalidate the sorted
+// invariant, so no Percentile call after the first pays a re-sort. An
+// out-of-order sample must still invalidate it.
+func TestHistogramInterleavedObservePercentileKeepsSorted(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i))
+		if p := h.Percentile(50); p < 0 {
+			t.Fatal("bogus percentile")
+		}
+		if !h.sorted {
+			t.Fatalf("sorted invariant lost after in-order sample %d", i)
+		}
+	}
+	h.Observe(-1) // out of order: now a re-sort is genuinely required
+	if h.sorted {
+		t.Fatal("out-of-order sample left histogram marked sorted")
+	}
+	if got := h.Percentile(0); got != -1 {
+		t.Fatalf("p0 = %v, want -1", got)
+	}
+	if got := h.Percentile(50); got != 499 {
+		t.Fatalf("p50 = %v, want 499", got)
+	}
+	if !h.sorted {
+		t.Fatal("rank percentile did not restore the sorted invariant")
+	}
+}
+
+// TestHistogramSpillsAtCap pins the hybrid switch: at the cap the
+// histogram converts to fixed-memory buckets, keeps exact count/sum/
+// min/max, estimates percentiles within the bucket relative error, and
+// stops growing.
+func TestHistogramSpillsAtCap(t *testing.T) {
+	var h Histogram
+	h.SetCap(1000)
+	rng := NewRand(3)
+	var exact []float64
+	for i := 0; i < 50_000; i++ {
+		v := float64(100 + rng.Int63n(10_000_000))
+		exact = append(exact, v)
+		h.Observe(v)
+	}
+	if !h.Bucketed() {
+		t.Fatal("histogram did not spill past its cap")
+	}
+	if h.Count() != len(exact) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(exact))
+	}
+	var sum, min, max float64
+	min, max = exact[0], exact[0]
+	for _, v := range exact {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if h.Sum() != sum || h.Min() != min || h.Max() != max {
+		t.Fatalf("exact scalars drifted: sum %v/%v min %v/%v max %v/%v",
+			h.Sum(), sum, h.Min(), min, h.Max(), max)
+	}
+	sorted := append([]float64(nil), exact...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+		want := sorted[int(p/100*float64(len(sorted))+0.999)-1]
+		got := h.Percentile(p)
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			t.Fatalf("p%v = %v, exact %v (rel err %.4f > 1%%)", p, got, want, rel)
+		}
+	}
+	if fp := h.MemFootprint(); fp > 64*1024 {
+		t.Fatalf("bucketed footprint %d bytes, want <= 64 KB", fp)
+	}
+}
+
+// TestHistogramBucketedRange pins the bucket coverage: multi-second
+// latencies (overloaded open-loop runs routinely exceed 4.3e9 ns) must
+// estimate within the error bound, not clamp at a range edge.
+func TestHistogramBucketedRange(t *testing.T) {
+	var h Histogram
+	h.SetCap(-1)
+	h.Observe(1e3)
+	h.Observe(60e9) // 60 s
+	h.Observe(60e9)
+	if got, want := h.Percentile(99), 60e9; math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("p99 = %v, want ~%v (multi-second latency clamped?)", got, want)
+	}
+	if got := h.Percentile(1); math.Abs(got-1e3)/1e3 > 0.01 {
+		t.Fatalf("p1 = %v, want ~1e3", got)
+	}
+	// Out-of-range values clamp to the exact extremes, not garbage.
+	var lo Histogram
+	lo.SetCap(-1)
+	lo.Observe(0.25)
+	if got := lo.Percentile(50); got != 0.25 {
+		t.Fatalf("sub-unit sample p50 = %v, want clamped 0.25", got)
+	}
+}
+
+// TestHistogramSiblingCloneIsolation: one clone's percentile query (which
+// sorts) must not disturb another clone of the same histogram.
+func TestHistogramSiblingCloneIsolation(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(1000 + i)) // in order: h stays sorted
+	}
+	c1 := h.Clone()
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // out of order: h becomes unsorted
+	}
+	c2 := h.Clone()
+	if got := c2.Percentile(1); got != 1 {
+		t.Fatalf("c2 p1 = %v, want 1", got)
+	}
+	// c2's sort must not have leaked the late 1s into c1's window.
+	if got := c1.Percentile(1); got != 1000 {
+		t.Fatalf("c1 p1 = %v, want 1000 (sibling clone corrupted)", got)
+	}
+	if got := h.Percentile(1); got != 1 {
+		t.Fatalf("original p1 = %v, want 1", got)
+	}
+}
+
+// TestHistogramNegativeCapStartsBucketed covers the immediate-streaming
+// mode used by unbounded soak runs.
+func TestHistogramNegativeCapStartsBucketed(t *testing.T) {
+	var h Histogram
+	h.SetCap(-1)
+	h.Observe(42)
+	if !h.Bucketed() {
+		t.Fatal("negative cap should bucket from the first sample")
+	}
+	if h.Count() != 1 || h.Sum() != 42 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatal("scalar stats wrong in immediate bucketed mode")
+	}
+	if got := h.Percentile(50); math.Abs(got-42)/42 > 0.01 {
+		t.Fatalf("p50 = %v, want ~42", got)
+	}
+}
+
+// TestHistogramCloneIsolation: a Clone taken mid-run must not see later
+// observations, in either mode.
+func TestHistogramCloneIsolation(t *testing.T) {
+	var h Histogram
+	h.SetCap(4)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	snap := h.Clone()
+	for i := 0; i < 1000; i++ {
+		h.Observe(1e9)
+	}
+	if snap.Count() != 10 {
+		t.Fatalf("clone count %d, want 10", snap.Count())
+	}
+	if p := snap.Percentile(99); p > 11 {
+		t.Fatalf("clone saw later samples: p99 = %v", p)
+	}
+}
+
+// TestHistogramSetCapAfterObservePanics pins the misuse guard.
+func TestHistogramSetCapAfterObservePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCap after Observe must panic")
+		}
+	}()
+	var h Histogram
+	h.Observe(1)
+	h.SetCap(10)
 }
 
 func TestRandDeterministic(t *testing.T) {

@@ -59,6 +59,14 @@ type Config struct {
 	// spread exceeds it (§4.3). Zero disables.
 	WearDeltaMax int
 
+	// MetricsSampleCap bounds the exact latency samples the device
+	// retains: runs shorter than the cap report exact percentiles, longer
+	// runs switch to a fixed-memory log-bucketed estimator so metrics
+	// memory is O(1) however long the run. Zero selects
+	// sim.DefaultHistogramCap; negative streams into buckets from the
+	// first sample.
+	MetricsSampleCap int
+
 	// DisableGC turns background garbage collection off (pristine-state
 	// experiments).
 	DisableGC bool
@@ -122,6 +130,7 @@ func (c *Config) ftlConfig() ftl.Config {
 	if c.GCFreeTarget > 0 {
 		fc.GCFreeTarget = c.GCFreeTarget
 	}
+	fc.LogicalPages = c.logicalPages()
 	fc.Allocation = c.Allocation
 	fc.EraseFailProb = c.EraseFailProb
 	fc.WearDeltaMax = c.WearDeltaMax

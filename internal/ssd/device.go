@@ -76,6 +76,11 @@ type Device struct {
 
 	pumping bool
 
+	// onRetire, installed with SetIORetire, observes each host I/O after
+	// it has fully completed and left every device structure — the
+	// free-list recycling hook for the session/source layer.
+	onRetire func(*req.IO)
+
 	gcActive      []bool // per chip: background GC job in flight
 	gcActiveCount int
 	emergencyGCs  int64
@@ -117,6 +122,7 @@ func New(cfg Config, scheduler sched.Scheduler) (*Device, error) {
 		ready:       sched.NewReadyIndex(cfg.Geo.NumChips()),
 		gcActive:    make([]bool, cfg.Geo.NumChips()),
 	}
+	d.latency.SetCap(cfg.MetricsSampleCap)
 	d.composeTimer = sim.NewTimer(func(t sim.Time) {
 		m := d.composeM
 		d.composeM = nil
@@ -189,8 +195,11 @@ func (d *Device) account(now sim.Time) {
 func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
 	logical := d.cfg.logicalPages()
 	fill := int64(float64(logical) * fillFrac)
+	// One reusable I/O for the whole fill+churn: preconditioning touches
+	// millions of pages and would otherwise allocate three objects each.
+	io := req.NewIO(-1, req.Write, 0, 1, 0)
 	for lpn := int64(0); lpn < fill; lpn++ {
-		io := req.NewIO(-1, req.Write, req.LPN(lpn), 1, 0)
+		io.Reset(-1, req.Write, req.LPN(lpn), 1, 0)
 		d.preprocess(io.Mem[0])
 	}
 	rng := sim.NewRand(seed + 11)
@@ -202,7 +211,7 @@ func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
 		if i%512 == 0 {
 			d.mappingGCSweep()
 		}
-		io := req.NewIO(-1, req.Write, req.LPN(rng.Int63n(fill)), 1, 0)
+		io.Reset(-1, req.Write, req.LPN(rng.Int63n(fill)), 1, 0)
 		d.preprocess(io.Mem[0])
 	}
 	d.fl.ResetStats()
@@ -285,6 +294,12 @@ func (d *Device) Advance(to sim.Time) {
 
 // Now returns the current simulation time.
 func (d *Device) Now() sim.Time { return d.eng.Now() }
+
+// SetIORetire installs the completed-I/O observer. The device calls it
+// once per host I/O after the tag is released and all accounting is done,
+// so the request object (and its member requests) may be recycled. Call
+// before the run starts; passing nil removes the hook.
+func (d *Device) SetIORetire(fn func(*req.IO)) { d.onRetire = fn }
 
 // Inflight reports how many host I/Os have arrived but not completed.
 func (d *Device) Inflight() int { return d.inflight }
@@ -522,11 +537,15 @@ func (d *Device) finishMem(now sim.Time, m *req.Mem) {
 	m.Finished = now
 	d.outstanding[int(m.Addr.Chip)]--
 	io := m.IO
+	// Capture the kind before completion: completeIO may retire the I/O
+	// into a free list, after which io must not be read.
+	kind := io.Kind
+	addr := m.Addr
 	if io.MarkDone(m.Index) {
 		d.completeIO(now, io)
 	}
-	if io.Kind == req.Write && !d.cfg.DisableGC {
-		d.maybeStartGC(now, m.Addr)
+	if kind == req.Write && !d.cfg.DisableGC {
+		d.maybeStartGC(now, addr)
 	}
 	// No pump here: member completions arrive in bursts within one
 	// transaction, and the controller's TxnDone callback pumps once for
@@ -551,6 +570,14 @@ func (d *Device) completeIO(now sim.Time, io *req.IO) {
 	d.queue.Release(now, io)
 	d.account(now)
 	d.inflight--
+	if d.onRetire != nil {
+		// The I/O has left the queue, the ready index, and every
+		// controller; the hook's owner may recycle it from here on.
+		// Retire before resuming admission: with a bounded backlog the
+		// next source pull happens synchronously inside drainBacklog,
+		// and it should find this object in the free list.
+		d.onRetire(io)
+	}
 	d.drainBacklog(now)
 }
 
@@ -580,7 +607,7 @@ func (d *Device) resultAt(end sim.Time) *metrics.Result {
 		IOsCompleted:        d.iosDone,
 		BytesRead:           d.bytesRead,
 		BytesWritten:        d.bytesWritten,
-		Latency:             d.latency,
+		Latency:             d.latency.Clone(),
 		QueueFullTime:       d.queue.FullTime(end),
 		StaleRetranslations: d.staleFixes,
 		EmergencyGCs:        d.emergencyGCs,

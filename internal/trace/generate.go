@@ -134,10 +134,24 @@ func NewStream(w Workload, cfg GenConfig) (*Stream, error) {
 // Emitted reports how many requests the stream has produced.
 func (g *Stream) Emitted() int64 { return g.emitted }
 
-// Next produces the next request, or false when a bounded stream is done.
+// Next produces the next request as a host I/O object, or false when a
+// bounded stream is done. Streaming consumers that only need the request
+// parameters should use NextRecord, which allocates nothing.
 func (g *Stream) Next() (*req.IO, bool) {
-	if g.limit > 0 && g.emitted >= int64(g.limit) {
+	id := g.emitted
+	r, ok := g.NextRecord()
+	if !ok {
 		return nil, false
+	}
+	return req.NewIO(id, r.Kind, r.LPN, r.Pages, r.Arrival), true
+}
+
+// NextRecord produces the next request's parameters without materializing
+// a req.IO — the allocation-free generation path behind streaming
+// sources. The sequence is identical to Next's.
+func (g *Stream) NextRecord() (Record, bool) {
+	if g.limit > 0 && g.emitted >= int64(g.limit) {
+		return Record{}, false
 	}
 	if g.b >= g.burst {
 		if g.started {
@@ -183,11 +197,11 @@ func (g *Stream) Next() (*req.IO, bool) {
 		g.seqWrite = start + req.LPN(pages)
 	}
 
-	io := req.NewIO(g.emitted, kind, start, pages, g.now)
+	rec := Record{Arrival: g.now, Kind: kind, LPN: start, Pages: pages}
 	g.emitted++
 	g.b++
 	g.now += g.cfg.IntraBurstGap
-	return io, true
+	return rec, true
 }
 
 // Generate synthesizes the workload as a list of host I/O requests in

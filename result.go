@@ -41,10 +41,15 @@ type Result struct {
 	IOPS          float64
 
 	// Latency statistics over per-I/O device-level response times.
-	AvgLatencyNS int64
-	P50LatencyNS int64
-	P99LatencyNS int64
-	MaxLatencyNS int64
+	// Percentiles are exact while the run is within Config's
+	// MetricsSampleCap; longer runs report fixed-memory estimates
+	// (<= 0.8% relative error) and set LatencyEstimated. Avg and Max are
+	// exact in both modes.
+	AvgLatencyNS     int64
+	P50LatencyNS     int64
+	P99LatencyNS     int64
+	MaxLatencyNS     int64
+	LatencyEstimated bool
 
 	// QueueStallNS is how long the device-level queue was full with the
 	// host blocked behind it; QueueStallFraction normalizes it by the
@@ -111,6 +116,7 @@ func publicResult(r *metrics.Result) *Result {
 		P50LatencyNS:        int64(r.Latency.Percentile(50)),
 		P99LatencyNS:        int64(r.Latency.Percentile(99)),
 		MaxLatencyNS:        int64(r.Latency.Max()),
+		LatencyEstimated:    r.Latency.Bucketed(),
 		QueueStallNS:        int64(r.QueueFullTime),
 		QueueStallFraction:  r.QueueStallFraction(),
 		ChipUtilization:     r.ChipUtilization,

@@ -24,6 +24,10 @@ type Session struct {
 	nextID    int64
 	submitted int64
 	closed    bool
+
+	// pool recycles completed request objects so long-lived sessions
+	// admit at zero steady-state allocations per I/O.
+	pool ioPool
 }
 
 // Open builds a Session from the configuration, validating it first.
@@ -46,7 +50,9 @@ func Open(cfg Config, opts ...Option) (*Session, error) {
 	if p := o.precondition; p != nil {
 		inner.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
 	}
-	return &Session{dev: inner, cfg: cfg}, nil
+	s := &Session{dev: inner, cfg: cfg}
+	inner.SetIORetire(s.pool.put)
+	return s, nil
 }
 
 // errClosed reports use after Drain.
@@ -59,7 +65,7 @@ func (s *Session) Submit(r Request) error {
 	if s.closed {
 		return errClosed
 	}
-	io, err := toIO(s.nextID, r)
+	io, err := s.pool.build(s.nextID, r)
 	if err != nil {
 		return err
 	}

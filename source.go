@@ -181,16 +181,15 @@ type streamSource struct {
 }
 
 func (s *streamSource) Next() (Request, bool) {
-	io, ok := s.g.Next()
+	rec, ok := s.g.NextRecord()
 	if !ok {
 		return Request{}, false
 	}
 	return Request{
-		ArrivalNS: int64(io.Arrival),
-		Write:     io.Kind == req.Write,
-		LPN:       int64(io.Start),
-		Pages:     io.Pages,
-		FUA:       io.FUA,
+		ArrivalNS: int64(rec.Arrival),
+		Write:     rec.Kind == req.Write,
+		LPN:       int64(rec.LPN),
+		Pages:     rec.Pages,
 	}, true
 }
 
@@ -275,32 +274,25 @@ func (s *poissonSource) Next() (Request, bool) {
 
 func (s *poissonSource) Err() error { return sourceErr(s.src) }
 
-// ioAdapter bridges a public Source to the internal device feed: it
-// assigns sequential IDs, validates each request, and records the
-// source's terminal error so Run can surface it.
-type ioAdapter struct {
-	src  Source
-	next int64
-	err  error
+// ioPool recycles retired request objects. The device hands each host
+// I/O back (SetIORetire) once it has fully completed and left every
+// internal structure; the next admission reuses it via req.IO.Reset, so
+// steady-state streaming performs zero per-request heap allocations —
+// the request working set is bounded by the peak in-flight count, not
+// the workload length.
+type ioPool struct {
+	free []*req.IO
 }
 
-func (a *ioAdapter) Next() (*req.IO, bool) {
-	r, ok := a.src.Next()
-	if !ok {
-		a.err = sourceErr(a.src)
-		return nil, false
-	}
-	io, err := toIO(a.next, r)
-	if err != nil {
-		a.err = err
-		return nil, false
-	}
-	a.next++
-	return io, true
-}
+// ioPoolMax bounds retained free objects. In-flight requests are bounded
+// by the device queue plus the admission backlog, so the pool rarely
+// grows past a few hundred; the cap just keeps a pathological burst from
+// pinning memory forever.
+const ioPoolMax = 4096
 
-// toIO converts one public request, validating it.
-func toIO(id int64, r Request) (*req.IO, error) {
+// build converts one public request, validating it, recycling a retired
+// I/O when one is available.
+func (p *ioPool) build(id int64, r Request) (*req.IO, error) {
 	if r.Pages <= 0 {
 		return nil, fmt.Errorf("sprinkler: request %d has %d pages", id, r.Pages)
 	}
@@ -311,7 +303,48 @@ func toIO(id int64, r Request) (*req.IO, error) {
 	if r.Write {
 		kind = req.Write
 	}
-	io := req.NewIO(id, kind, req.LPN(r.LPN), r.Pages, simTime(r.ArrivalNS))
+	var io *req.IO
+	if n := len(p.free); n > 0 {
+		io = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		io.Reset(id, kind, req.LPN(r.LPN), r.Pages, simTime(r.ArrivalNS))
+	} else {
+		io = req.NewIO(id, kind, req.LPN(r.LPN), r.Pages, simTime(r.ArrivalNS))
+	}
 	io.FUA = r.FUA
 	return io, nil
+}
+
+// put returns a retired I/O to the pool (the device's SetIORetire hook).
+func (p *ioPool) put(io *req.IO) {
+	if len(p.free) < ioPoolMax {
+		p.free = append(p.free, io)
+	}
+}
+
+// ioAdapter bridges a public Source to the internal device feed: it
+// assigns sequential IDs, validates each request, recycles retired
+// request objects, and records the source's terminal error so Run can
+// surface it.
+type ioAdapter struct {
+	src  Source
+	next int64
+	err  error
+	pool ioPool
+}
+
+func (a *ioAdapter) Next() (*req.IO, bool) {
+	r, ok := a.src.Next()
+	if !ok {
+		a.err = sourceErr(a.src)
+		return nil, false
+	}
+	io, err := a.pool.build(a.next, r)
+	if err != nil {
+		a.err = err
+		return nil, false
+	}
+	a.next++
+	return io, true
 }

@@ -17,9 +17,12 @@
 // replays, CSV trace files, infinite synthetic generators, open-loop
 // Poisson arrivals), and the device pulls it one request ahead of the
 // simulation clock — the workload itself is never materialized, however
-// long it runs. (Metrics still accumulate a few bytes per completed I/O
-// for exact latency percentiles, and the FTL's mapping table grows with
-// the address space the workload touches.)
+// long it runs. Metrics memory is O(1): latency percentiles are exact up
+// to Config's MetricsSampleCap and then stream into a fixed-size
+// log-bucketed estimator, and completed request objects are recycled.
+// The FTL's mapping tables cost ~8 bytes per logical/physical page over
+// the touched address-space span (the same dense-page-table budget real
+// FTL DRAM pays), independent of how long the workload runs.
 //
 // Quick start (bulk run):
 //
@@ -127,6 +130,15 @@ type Config struct {
 	// background garbage collection. Zero uses the FTL default.
 	GCFreeTarget int
 
+	// MetricsSampleCap bounds the exact latency samples a run retains.
+	// Below the cap percentiles are exact (and byte-identical to earlier
+	// releases); past it the run switches to a fixed-memory log-bucketed
+	// estimator with <= 0.8% relative quantile error, so arbitrarily long
+	// runs hold O(1) metrics memory. Zero selects the default cap (2^20
+	// samples, ~8 MB); negative streams into buckets from the first
+	// sample.
+	MetricsSampleCap int
+
 	// DisableGC turns background garbage collection off.
 	DisableGC bool
 
@@ -170,6 +182,7 @@ func (c Config) toInternal() (ssd.Config, sched.Scheduler, error) {
 	cfg.MaxBacklog = c.MaxBacklog
 	cfg.LogicalPages = c.LogicalPages
 	cfg.GCFreeTarget = c.GCFreeTarget
+	cfg.MetricsSampleCap = c.MetricsSampleCap
 	cfg.DisableGC = c.DisableGC
 	cfg.CollectSeries = c.CollectSeries
 
@@ -284,6 +297,12 @@ func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
 // far together with ctx's error, so a cancelled run is still observable.
 func (d *Device) Run(ctx context.Context, src Source) (*Result, error) {
 	a := &ioAdapter{src: src}
+	// Recycle completed request objects into the adapter's free list:
+	// steady-state streaming reuses them instead of allocating per I/O.
+	// Uninstall afterwards so the pool (up to 4096 grown request
+	// objects) is not pinned for the device's remaining lifetime.
+	d.inner.SetIORetire(a.pool.put)
+	defer d.inner.SetIORetire(nil)
 	res, err := d.inner.RunContext(ctx, a)
 	if err != nil {
 		if res != nil {
