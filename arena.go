@@ -1,0 +1,107 @@
+package sprinkler
+
+import "sync"
+
+// DeviceArena is a pool of reusable Devices keyed by platform topology.
+// Building a device is the dominant per-cell cost of a mass sweep —
+// controller, chip, FTL and kernel state all scale with the geometry — so
+// the arena hands a drained device back out for the next cell on the same
+// topology, Reset in place, instead of constructing a fresh one. Per-run
+// knobs (scheduler, queue depth, GC policy, metrics options) may differ
+// freely between the checkout's config and the device's previous run;
+// only the seven geometry fields key the pool.
+//
+// Reuse is behaviour-preserving: a recycled device produces byte-identical
+// Results to a fresh one (the reuse-parity tests pin this across every
+// scheduler), so callers can treat Get/Put purely as an allocation
+// optimization. The zero value is ready to use; a nil *DeviceArena is
+// also valid and degrades to fresh construction, which is how Runner
+// implements its NoReuse mode.
+//
+// A DeviceArena is safe for concurrent use. The devices themselves are
+// not: a checked-out device belongs to one goroutine until Put.
+type DeviceArena struct {
+	mu   sync.Mutex
+	free map[topology][]*Device
+}
+
+// topology is the arena key: the geometry fields a Device cannot change
+// after construction.
+type topology struct {
+	channels, chipsPerChan, diesPerChip, planesPerDie int
+	blocksPerPlane, pagesPerBlock, pageSize           int
+}
+
+func topologyOf(cfg Config) topology {
+	return topology{
+		channels:       cfg.Channels,
+		chipsPerChan:   cfg.ChipsPerChan,
+		diesPerChip:    cfg.DiesPerChip,
+		planesPerDie:   cfg.PlanesPerDie,
+		blocksPerPlane: cfg.BlocksPerPlane,
+		pagesPerBlock:  cfg.PagesPerBlock,
+		pageSize:       cfg.PageSize,
+	}
+}
+
+// NewDeviceArena returns an empty arena.
+func NewDeviceArena() *DeviceArena { return &DeviceArena{} }
+
+// Get checks a device out of the arena for cfg: a pooled device on the
+// same topology is Reset to cfg and returned; otherwise a fresh one is
+// built. On a nil arena Get always builds fresh.
+func (a *DeviceArena) Get(cfg Config) (*Device, error) {
+	if a == nil {
+		return New(cfg)
+	}
+	key := topologyOf(cfg)
+	a.mu.Lock()
+	var d *Device
+	if l := a.free[key]; len(l) > 0 {
+		d = l[len(l)-1]
+		l[len(l)-1] = nil
+		a.free[key] = l[:len(l)-1]
+	}
+	a.mu.Unlock()
+	if d != nil {
+		if err := d.Reset(cfg); err != nil {
+			// An invalid config fails identically through New below; a
+			// pooled device is never lost to a config it could serve.
+			return nil, err
+		}
+		return d, nil
+	}
+	return New(cfg)
+}
+
+// Put returns a device to the arena for reuse. Only hand back devices
+// whose run completed (drained) — a device abandoned mid-run holds live
+// simulation state and must simply be dropped instead. Put on a nil
+// arena discards the device.
+func (a *DeviceArena) Put(d *Device) {
+	if a == nil || d == nil {
+		return
+	}
+	key := topologyOf(d.cfg)
+	a.mu.Lock()
+	if a.free == nil {
+		a.free = make(map[topology][]*Device)
+	}
+	a.free[key] = append(a.free[key], d)
+	a.mu.Unlock()
+}
+
+// Size reports how many devices are pooled (checked in) across all
+// topologies.
+func (a *DeviceArena) Size() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, l := range a.free {
+		n += len(l)
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+package sprinkler_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"sprinkler"
+)
+
+// runOn drives one workload cell on dev and returns the JSON-rendered
+// Result, the byte-exact fingerprint reuse must preserve.
+func runOn(t *testing.T, dev *sprinkler.Device, cfg sprinkler.Config, workload string, requests int, seed uint64, pre *sprinkler.Precondition) string {
+	t.Helper()
+	if pre != nil {
+		dev.Precondition(pre.FillFrac, pre.ChurnFrac, pre.Seed)
+	}
+	src, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{Name: workload, Requests: requests, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestArenaReuseParityRandomized is the reuse-correctness pin: randomized
+// cells — every scheduler, varying queue depths, backlog bounds, series
+// modes, GC preconditioning and workloads — each run once on a fresh
+// device and once on a single arena-recycled device chain. The
+// JSON-rendered Results must be byte-identical, proving Reset reproduces
+// New exactly across every layer's retained state.
+func TestArenaReuseParityRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	workloads := sprinkler.Workloads()
+	arena := sprinkler.NewDeviceArena()
+
+	queueDepths := []int{16, 32, 64}
+	backlogs := []int{0, 0, 256}
+	cells := 0
+	for _, kind := range sprinkler.Schedulers() {
+		for i := 0; i < 6; i++ {
+			cfg := smallConfig(kind)
+			cfg.QueueDepth = queueDepths[rng.Intn(len(queueDepths))]
+			cfg.MaxBacklog = backlogs[rng.Intn(len(backlogs))]
+			cfg.CollectSeries = rng.Intn(2) == 0
+			if cfg.CollectSeries && rng.Intn(2) == 0 {
+				cfg.SeriesWindow = 16
+			}
+			var pre *sprinkler.Precondition
+			if rng.Intn(3) == 0 {
+				pre = &sprinkler.Precondition{FillFrac: 0.9, ChurnFrac: 0.4, Seed: rng.Uint64()}
+			}
+			workload := workloads[rng.Intn(len(workloads))]
+			requests := 60 + rng.Intn(120)
+			seed := rng.Uint64()
+
+			fresh, err := sprinkler.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runOn(t, fresh, cfg, workload, requests, seed, pre)
+
+			reused, err := arena.Get(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runOn(t, reused, cfg, workload, requests, seed, pre)
+			arena.Put(reused)
+
+			if got != want {
+				t.Fatalf("%s cell %d (%s qd=%d backlog=%d pre=%v): reused result diverged\nfresh:  %s\nreused: %s",
+					kind, i, workload, cfg.QueueDepth, cfg.MaxBacklog, pre != nil, want, got)
+			}
+			cells++
+		}
+	}
+	if cells < 25 {
+		t.Fatalf("parity covered only %d cells", cells)
+	}
+	// Every reused cell after the first of a topology must actually have
+	// recycled: one device per distinct topology remains pooled.
+	if n := arena.Size(); n != 1 {
+		t.Fatalf("arena pooled %d devices, want 1 (single topology, serial checkouts)", n)
+	}
+}
+
+// TestRunnerArenaMatchesNoReuse runs one grid through the Runner twice —
+// arena-recycled and NoReuse — and requires identical results, the
+// Runner-level face of the reuse-parity guarantee.
+func TestRunnerArenaMatchesNoReuse(t *testing.T) {
+	grid := sprinkler.Grid{
+		Base:        smallConfig(sprinkler.SPK3),
+		Schedulers:  sprinkler.Schedulers(),
+		Workloads:   []string{"cfs0", "msnfs1"},
+		Requests:    120,
+		QueueDepths: []int{16, 64},
+	}
+	reused := sprinkler.Runner{Workers: 2}.Run(context.Background(), grid.Cells())
+	freshly := sprinkler.Runner{Workers: 2, NoReuse: true}.Run(context.Background(), grid.Cells())
+	if len(reused) != len(freshly) {
+		t.Fatalf("result counts differ: %d vs %d", len(reused), len(freshly))
+	}
+	for i := range reused {
+		a, b := reused[i], freshly[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("cell %q failed: arena=%v fresh=%v", a.Name, a.Err, b.Err)
+		}
+		aj, _ := json.Marshal(a.Result)
+		bj, _ := json.Marshal(b.Result)
+		if string(aj) != string(bj) {
+			t.Fatalf("cell %q diverged between arena and fresh paths:\narena: %s\nfresh: %s", a.Name, aj, bj)
+		}
+	}
+}
+
+// TestDeviceResetRejectsGeometryChange: the arena key exists because a
+// device cannot change shape in place.
+func TestDeviceResetRejectsGeometryChange(t *testing.T) {
+	cfg := smallConfig(sprinkler.SPK3)
+	dev, err := sprinkler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger := cfg
+	bigger.Channels = 4
+	if err := dev.Reset(bigger); err == nil {
+		t.Fatal("Reset accepted a geometry change")
+	}
+	// Same geometry, different run knobs: fine.
+	again := cfg
+	again.Scheduler = sprinkler.VAS
+	again.QueueDepth = 16
+	if err := dev.Reset(again); err != nil {
+		t.Fatalf("Reset rejected a per-run change: %v", err)
+	}
+	if dev.Config().Scheduler != sprinkler.VAS {
+		t.Fatalf("Config not updated after Reset: %+v", dev.Config())
+	}
+}

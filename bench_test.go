@@ -274,6 +274,59 @@ func BenchmarkStreamingOpenLoop(b *testing.B) {
 	}
 }
 
+// sweepBenchCells declares the sweep-bench grid: all five schedulers ×
+// five workloads on one 16-chip topology (25 cells), the shape whose
+// per-cell device-construction cost the arena exists to amortize.
+func sweepBenchCells() []sprinkler.Cell {
+	cfg := sprinkler.Platform(16)
+	cfg.BlocksPerPlane = 64
+	return sprinkler.Grid{
+		Base:       cfg,
+		Schedulers: sprinkler.Schedulers(),
+		Workloads:  []string{"cfs0", "cfs4", "msnfs1", "hm0", "proj4"},
+		Requests:   150,
+	}.Cells()
+}
+
+// runSweepBench executes the grid serially (one worker keeps allocs/op a
+// deterministic property of the code, not goroutine interleaving) and
+// sanity-checks the results.
+func runSweepBench(b *testing.B, r sprinkler.Runner, cells []sprinkler.Cell) {
+	b.Helper()
+	for _, cr := range r.Run(context.Background(), cells) {
+		if cr.Err != nil {
+			b.Fatal(cr.Err)
+		}
+		if cr.Result.IOsCompleted == 0 {
+			b.Fatalf("cell %s completed nothing", cr.Name)
+		}
+	}
+}
+
+// BenchmarkSweepFresh is the reference path: every cell builds a fresh
+// device (Runner.NoReuse), paying full construction per cell.
+func BenchmarkSweepFresh(b *testing.B) {
+	b.ReportAllocs()
+	cells := sweepBenchCells()
+	for i := 0; i < b.N; i++ {
+		runSweepBench(b, sprinkler.Runner{Workers: 1, NoReuse: true}, cells)
+	}
+}
+
+// BenchmarkSweepArena runs the identical 25-cell grid through a shared
+// DeviceArena: one device is built on the first cell and Reset-recycled
+// for the other 24 (and for every subsequent iteration). CI guards this
+// bench's allocs/op against bench/BENCH_pr4_baseline.txt — a regression
+// here means device reuse started re-allocating per-cell state.
+func BenchmarkSweepArena(b *testing.B) {
+	b.ReportAllocs()
+	cells := sweepBenchCells()
+	arena := sprinkler.NewDeviceArena()
+	for i := 0; i < b.N; i++ {
+		runSweepBench(b, sprinkler.Runner{Workers: 1, Arena: arena}, cells)
+	}
+}
+
 // BenchmarkDeviceSPK3 measures raw simulator throughput: one 64-chip SSD
 // serving sequential reads under SPK3 (events per wall-second is the
 // simulator's own figure of merit).

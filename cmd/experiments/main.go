@@ -28,6 +28,7 @@ func main() {
 	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
 	seed := flag.Uint64("seed", 0, "synthetic trace seed")
 	workers := flag.Int("workers", 0, "concurrent sweep cells (0 = all CPU cores)")
+	noreuse := flag.Bool("noreuse", false, "build a fresh device per sweep cell instead of recycling through the device arena (results are identical; useful for profiling construction cost)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 	}
 	defer flushProfiles()
 
-	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse}
 	want := strings.ToLower(*fig)
 	has := func(names ...string) bool {
 		if want == "all" {

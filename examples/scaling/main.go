@@ -1,24 +1,63 @@
 // Scaling: the paper's motivating observation (Figure 1) — adding flash
 // chips to a conventionally-scheduled SSD stops paying off, while
-// Sprinkler keeps the added resources busy. The program sweeps the chip
-// count and prints read bandwidth and chip utilization for VAS and SPK3.
+// Sprinkler keeps the added resources busy. The program declares the
+// sweep as one experiment grid (chip-count axis × {VAS, SPK3}), runs it
+// across every CPU core with devices recycled per topology, and prints
+// read bandwidth and chip utilization for both schedulers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"sprinkler"
 )
 
 func main() {
+	chipCounts := []int{8, 16, 32, 64, 128, 256}
+
+	chipsAxis := sprinkler.Axis{Name: "chips"}
+	for _, chips := range chipCounts {
+		chips := chips
+		chipsAxis.Values = append(chipsAxis.Values, sprinkler.AxisValue{
+			Label: fmt.Sprintf("%dc", chips),
+			Apply: func(c *sprinkler.Config) { *c = platform(chips) },
+		})
+	}
+
+	// A fixed amount of random 32 KB read work: if added chips were
+	// perfectly utilized, bandwidth would scale linearly. Both schedulers
+	// replay the identical workload per chip count (the grid derives one
+	// seed per axis point, scheduler excluded).
+	grid := sprinkler.Grid{
+		Name:       "scaling",
+		Base:       platform(chipCounts[0]),
+		Schedulers: []sprinkler.SchedulerKind{sprinkler.VAS, sprinkler.SPK3},
+		Vary:       []sprinkler.Axis{chipsAxis},
+		Sources: []sprinkler.SourceSpec{{
+			Label: "rand32K",
+			New: func(cfg sprinkler.Config, seed uint64) (sprinkler.Source, error) {
+				return cfg.NewFixedSource(sprinkler.FixedSpec{
+					Requests: 1500, Pages: 16, Seed: seed,
+				})
+			},
+		}},
+	}
+
+	byCell := map[string]*sprinkler.Result{} // "scheduler/chips" -> result
+	for _, cr := range (sprinkler.Runner{}).Run(context.Background(), grid.Cells()) {
+		if cr.Err != nil {
+			log.Fatal(cr.Err)
+		}
+		byCell[cr.Labels["scheduler"]+"/"+cr.Labels["chips"]] = cr.Result
+	}
+
 	fmt.Printf("%6s %6s | %12s %12s | %8s %8s\n",
 		"chips", "dies", "VAS MB/s", "SPK3 MB/s", "VAS ut%", "SPK3 ut%")
-
-	for _, chips := range []int{8, 16, 32, 64, 128, 256} {
-		vas := measure(chips, sprinkler.VAS)
-		spk := measure(chips, sprinkler.SPK3)
+	for _, chips := range chipCounts {
+		key := fmt.Sprintf("%dc", chips)
+		vas, spk := byCell["VAS/"+key], byCell["SPK3/"+key]
 		fmt.Printf("%6d %6d | %12.1f %12.1f | %8.1f %8.1f\n",
 			chips, chips*2,
 			vas.BandwidthKBps/1024, spk.BandwidthKBps/1024,
@@ -26,10 +65,10 @@ func main() {
 	}
 }
 
-func measure(chips int, kind sprinkler.SchedulerKind) *sprinkler.Result {
+// platform spreads chips over channels roughly square, like the paper's
+// platforms (64 chips = 8x8, 256 = 16x16).
+func platform(chips int) sprinkler.Config {
 	cfg := sprinkler.DefaultConfig()
-	// Spread chips over channels roughly square, like the paper's
-	// platforms (64 chips = 8x8, 256 = 16x16).
 	ch := 1
 	for ch*ch < chips {
 		ch *= 2
@@ -40,24 +79,5 @@ func measure(chips int, kind sprinkler.SchedulerKind) *sprinkler.Result {
 	cfg.Channels = ch
 	cfg.ChipsPerChan = chips / ch
 	cfg.BlocksPerPlane = 128
-	cfg.Scheduler = kind
-
-	dev, err := sprinkler.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// A fixed amount of random 32 KB read work: if added chips were
-	// perfectly utilized, bandwidth would scale linearly.
-	rng := rand.New(rand.NewSource(3))
-	logical := int64(chips) * 2 * 4 * 128 * 128 * 9 / 10
-	reqs := make([]sprinkler.Request, 1500)
-	for i := range reqs {
-		reqs[i] = sprinkler.Request{LPN: rng.Int63n(logical - 16), Pages: 16}
-	}
-	res, err := dev.RunRequests(reqs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res
+	return cfg
 }

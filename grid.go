@@ -1,0 +1,292 @@
+package sprinkler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Grid declares a sweep as a cross product of axes over one base
+// configuration: schedulers × workloads (or arbitrary sources) × topology
+// knobs × custom axes. Cells() expands it into the concrete cell list a
+// Runner executes, with a stable name and a deterministic seed per cell.
+//
+// Seeds are derived from everything except the scheduler axis, so every
+// scheduler replays the identical trace for a given (workload, topology)
+// point — differences between scheduler rows are scheduling, not input
+// noise — while distinct workloads and topology points get distinct
+// streams. Mix Seed (or Runner.Seed) to re-roll a whole grid.
+//
+//	cells := sprinkler.Grid{
+//	    Base:       sprinkler.DefaultConfig(),
+//	    Schedulers: sprinkler.Schedulers(),
+//	    Workloads:  []string{"cfs0", "msnfs1"},
+//	    Requests:   3000,
+//	    QueueDepths: []int{32, 64, 128},
+//	}.Cells()
+//	results := sprinkler.Runner{}.Run(ctx, cells)
+type Grid struct {
+	// Name, when set, prefixes every cell name ("fig15/...").
+	Name string
+
+	// Base is the platform every cell starts from. Axes mutate copies.
+	Base Config
+
+	// Schedulers is the scheduler axis; empty keeps Base.Scheduler.
+	Schedulers []SchedulerKind
+
+	// Workloads names Table 1 synthetic workloads, each generating
+	// Requests requests (MaxPages caps request length; 0 = generator
+	// default). Workload cells and Sources cells together form the
+	// workload axis; at least one of the two must be non-empty.
+	Workloads []string
+	Requests  int
+	MaxPages  int
+
+	// Sources adds custom workload-axis points: each builds its source
+	// from the cell's final config and seed (so a source can size itself
+	// from the topology the cell landed on).
+	Sources []SourceSpec
+
+	// Topology axes; an empty slice keeps the Base value. These are the
+	// knobs a DeviceArena can absorb per-run (QueueDepths) or that key
+	// separate pooled devices (Channels, ChipsPerChan).
+	Channels     []int
+	ChipsPerChan []int
+	QueueDepths  []int
+
+	// Vary appends custom axes, applied to the config in listed order
+	// after the built-in topology axes and before the scheduler is set.
+	Vary []Axis
+
+	// Precondition fragments every cell's device before its run. An
+	// AxisValue's Precondition overrides it for cells on that point
+	// (later axes win).
+	Precondition *Precondition
+
+	// Seed is mixed into every derived cell seed, re-rolling the grid's
+	// traces wholesale without renaming cells.
+	Seed uint64
+}
+
+// SourceSpec is one point of a Grid's workload axis: a label plus a
+// factory invoked with the cell's final configuration and seed.
+type SourceSpec struct {
+	Label string
+	New   func(cfg Config, seed uint64) (Source, error)
+}
+
+// Axis is one custom grid dimension.
+type Axis struct {
+	// Name keys the axis in Cell.Labels.
+	Name   string
+	Values []AxisValue
+}
+
+// AxisValue is one point of a custom Axis.
+type AxisValue struct {
+	// Label names the point in cell names and Cell.Labels.
+	Label string
+	// Apply mutates the cell's configuration.
+	Apply func(*Config)
+	// Precondition, when non-nil, replaces the grid-level precondition
+	// for cells on this point.
+	Precondition *Precondition
+}
+
+// intAxis lifts a built-in []int knob into a labelled axis.
+func intAxis(name, short string, vals []int, apply func(*Config, int)) (Axis, bool) {
+	if len(vals) == 0 {
+		return Axis{}, false
+	}
+	ax := Axis{Name: name}
+	for _, v := range vals {
+		v := v
+		ax.Values = append(ax.Values, AxisValue{
+			Label: fmt.Sprintf("%s=%d", short, v),
+			Apply: func(c *Config) { apply(c, v) },
+		})
+	}
+	return ax, true
+}
+
+// axes collects the built-in topology axes and the custom ones, in the
+// order they cross-product (left = slowest varying).
+func (g Grid) axes() []Axis {
+	var out []Axis
+	if ax, ok := intAxis("channels", "ch", g.Channels, func(c *Config, v int) { c.Channels = v }); ok {
+		out = append(out, ax)
+	}
+	if ax, ok := intAxis("chips_per_chan", "way", g.ChipsPerChan, func(c *Config, v int) { c.ChipsPerChan = v }); ok {
+		out = append(out, ax)
+	}
+	if ax, ok := intAxis("queue_depth", "qd", g.QueueDepths, func(c *Config, v int) { c.QueueDepth = v }); ok {
+		out = append(out, ax)
+	}
+	for _, ax := range g.Vary {
+		// An empty custom axis means "keep the base", exactly like an
+		// empty built-in knob — not a zero-way cross product.
+		if len(ax.Values) > 0 {
+			out = append(out, ax)
+		}
+	}
+	return out
+}
+
+// sources expands the Workloads sugar and appends the custom Sources.
+func (g Grid) sources() []SourceSpec {
+	out := make([]SourceSpec, 0, len(g.Workloads)+len(g.Sources))
+	for _, w := range g.Workloads {
+		w := w
+		requests := g.Requests
+		maxPages := g.MaxPages
+		out = append(out, SourceSpec{
+			Label: w,
+			New: func(cfg Config, seed uint64) (Source, error) {
+				if requests <= 0 {
+					return nil, fmt.Errorf("sprinkler: Grid.Requests must be positive for workload %q", w)
+				}
+				return cfg.NewWorkloadSource(WorkloadSpec{
+					Name: w, Requests: requests, MaxPages: maxPages, Seed: seed,
+				})
+			},
+		})
+	}
+	return append(out, g.Sources...)
+}
+
+// Cells expands the grid into its cross product, scheduler-major: for
+// each scheduler, the axes advance odometer-style (first listed axis
+// slowest) with the workload axis innermost. The expansion order, names
+// and seeds are all deterministic functions of the grid.
+func (g Grid) Cells() []Cell {
+	scheds := g.Schedulers
+	if len(scheds) == 0 {
+		scheds = []SchedulerKind{g.Base.Scheduler}
+	}
+	axes := g.axes()
+	sources := g.sources()
+	if len(sources) == 0 {
+		// A grid with no workload axis expands to nothing — surface the
+		// mistake as one failing cell rather than a silently empty sweep.
+		return []Cell{{
+			Name:   gridLabel(g.Name, "<no sources>"),
+			Config: g.Base,
+			Source: func(uint64) (Source, error) {
+				return nil, fmt.Errorf("sprinkler: Grid has neither Workloads nor Sources")
+			},
+		}}
+	}
+
+	n := len(scheds) * len(sources)
+	for _, ax := range axes {
+		n *= len(ax.Values)
+	}
+	cells := make([]Cell, 0, n)
+
+	idx := make([]int, len(axes))
+	for _, sk := range scheds {
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			// One axis combination: apply values to a copy of Base.
+			cfg := g.Base
+			pre := g.Precondition
+			axisParts := make([]string, 0, len(axes))
+			for ai, ax := range axes {
+				v := ax.Values[idx[ai]]
+				if v.Apply != nil {
+					v.Apply(&cfg)
+				}
+				if v.Precondition != nil {
+					pre = v.Precondition
+				}
+				axisParts = append(axisParts, v.Label)
+			}
+			cfg.Scheduler = sk
+			for _, src := range sources {
+				src := src
+				cfg := cfg
+				labels := make(map[string]string, len(axes)+2)
+				labels["scheduler"] = string(resolveKind(sk))
+				labels["workload"] = src.Label
+				for ai, ax := range axes {
+					labels[ax.Name] = axisParts[ai]
+				}
+				parts := make([]string, 0, len(axisParts)+3)
+				if g.Name != "" {
+					parts = append(parts, g.Name)
+				}
+				parts = append(parts, string(resolveKind(sk)))
+				parts = append(parts, axisParts...)
+				parts = append(parts, src.Label)
+				cells = append(cells, Cell{
+					Name:         strings.Join(parts, "/"),
+					Config:       cfg,
+					Seed:         g.cellSeed(axisParts, src.Label),
+					Labels:       labels,
+					Precondition: pre,
+					Source: func(seed uint64) (Source, error) {
+						return src.New(cfg, seed)
+					},
+				})
+			}
+			// Advance the odometer, rightmost axis fastest.
+			ai := len(axes) - 1
+			for ; ai >= 0; ai-- {
+				idx[ai]++
+				if idx[ai] < len(axes[ai].Values) {
+					break
+				}
+				idx[ai] = 0
+			}
+			if ai < 0 {
+				break
+			}
+		}
+	}
+	return cells
+}
+
+// gridLabel joins a grid name with a suffix, tolerating an empty name.
+func gridLabel(name, suffix string) string {
+	if name == "" {
+		return suffix
+	}
+	return name + "/" + suffix
+}
+
+// cellSeed derives the deterministic per-cell seed from every coordinate
+// except the scheduler, so all schedulers replay one trace per point.
+func (g Grid) cellSeed(axisParts []string, srcLabel string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "grid:%s", g.Name)
+	for _, p := range axisParts {
+		fmt.Fprintf(h, "|%s", p)
+	}
+	fmt.Fprintf(h, "|src:%s", srcLabel)
+	s := h.Sum64()
+	if g.Seed != 0 {
+		s = (s ^ g.Seed) * 0x2545F4914F6CDD1D
+	}
+	if s == 0 {
+		// Zero means "derive from the cell name" to the Runner; keep the
+		// grid's seed explicit.
+		s = 1
+	}
+	return s
+}
+
+// Sweep builds the scheduler × workload cross product on one platform —
+// the paper's evaluation grid — as a convenience wrapper over Grid. Every
+// scheduler sees the identical trace for a given workload, so differences
+// between rows are scheduling, not input noise.
+func Sweep(base Config, scheds []SchedulerKind, workloads []string, requests int) []Cell {
+	return Grid{
+		Base:       base,
+		Schedulers: scheds,
+		Workloads:  workloads,
+		Requests:   requests,
+	}.Cells()
+}

@@ -40,6 +40,22 @@ func New(eng *sim.Engine, id int) *Channel {
 // ID returns the channel index.
 func (c *Channel) ID() int { return c.id }
 
+// Reset returns the bus to its just-built idle state, retaining the wait
+// queue's storage. The owning engine must have been Reset (or drained)
+// first so no grant or release event is still scheduled.
+func (c *Channel) Reset() {
+	c.busy = false
+	for i := range c.q {
+		c.q[i] = pending{}
+	}
+	c.q = c.q[:0]
+	c.qh = 0
+	c.releaseT.Stop()
+	c.busyTime = sim.TimedCounter{}
+	c.waitTime = 0
+	c.grants = 0
+}
+
 // Acquire requests the bus for dur. When granted, granted(start) runs at
 // the grant instant; the bus frees itself at start+dur. Grants are FIFO in
 // request order, which keeps the simulation deterministic.

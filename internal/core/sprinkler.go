@@ -134,6 +134,34 @@ func (s *Sprinkler) Name() string {
 // (§4.3) and always sees post-migration physical addresses.
 func (s *Sprinkler) NeedsReaddressing() bool { return true }
 
+// ResetState implements sched.StateResetter: the memoized FARO orders and
+// every scratch buffer are dropped so a reused scheduler neither replays
+// stale selection state nor pins the previous run's request objects.
+// Grown buffer capacities (and the geometry-keyed chip order) survive, so
+// reuse stays allocation-free; buffer capacity never influences selection.
+func (s *Sprinkler) ResetState() {
+	for i := range s.caches {
+		cc := &s.caches[i]
+		for j := range cc.order {
+			cc.order[j] = nil
+		}
+		s.caches[i] = faroCache{order: cc.order[:0]}
+	}
+	s.cacheRx = nil
+	clear := func(ms []*req.Mem) []*req.Mem {
+		for i := range ms {
+			ms[i] = nil
+		}
+		return ms[:0]
+	}
+	s.out = clear(s.out)
+	s.chipBuf = clear(s.chipBuf)
+	s.remaining = clear(s.remaining)
+	s.ordered = clear(s.ordered)
+	s.groupCur = clear(s.groupCur)
+	s.groupBest = clear(s.groupBest)
+}
+
 // Select implements sched.Scheduler.
 func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*req.Mem {
 	rx := fab.Ready()

@@ -1,9 +1,12 @@
 // Package experiments reproduces every table and figure of the paper's
-// evaluation (§5) on top of the public sprinkler API. Each runner builds
-// the platform of §5.1, fans its (scheduler × workload) cells across CPU
-// cores with sprinkler.Runner — per-cell seeds are deterministic, so
-// concurrent results are identical to serial ones — and formats the same
-// rows/series the paper reports.
+// evaluation (§5) on top of the public sprinkler API. Each study is
+// declared as a sprinkler.Grid — axes over scheduler, workload, and
+// topology knobs, cross-producted into cells with deterministic shared
+// seeds — and executed by sprinkler.Runner, which fans the cells across
+// CPU cores and recycles devices through a DeviceArena (reuse is
+// behaviour-preserving, so concurrent arena-recycled results are
+// identical to serial fresh-built ones). Results are indexed back to
+// their grid coordinates through CellResult.Labels.
 //
 // Runners accept an Options scale so the full evaluation can be shrunk for
 // tests and benchmarks while keeping every code path exercised.
@@ -29,6 +32,10 @@ type Options struct {
 	Seed uint64
 	// Workers caps sweep concurrency; <= 0 uses every CPU core.
 	Workers int
+	// NoReuse builds a fresh device per cell instead of recycling
+	// through the runner's DeviceArena (A/B profiling of construction
+	// cost; results are identical either way).
+	NoReuse bool
 }
 
 // Defaults fills unset options.
@@ -53,11 +60,20 @@ func (o Options) scaled(n int, min int) int {
 
 // runner builds the sweep runner for these options.
 func (o Options) runner() sprinkler.Runner {
-	return sprinkler.Runner{Workers: o.Workers}
+	return sprinkler.Runner{Workers: o.Workers, NoReuse: o.NoReuse}
 }
 
 // SchedulerNames lists the evaluated schedulers in the paper's order.
 var SchedulerNames = []string{"VAS", "PAS", "SPK1", "SPK2", "SPK3"}
+
+// schedulerKinds converts names to the public axis values.
+func schedulerKinds(names []string) []sprinkler.SchedulerKind {
+	out := make([]sprinkler.SchedulerKind, len(names))
+	for i, n := range names {
+		out[i] = sprinkler.SchedulerKind(n)
+	}
+	return out
+}
 
 // Platform builds the §5.1 SSD configuration for a total chip count,
 // spreading chips over channels the way the paper's platforms do
@@ -74,54 +90,31 @@ type Evaluation struct {
 	Results map[string]map[string]*sprinkler.Result
 }
 
-// RunEvaluation executes the sweep once — all cells concurrently — and
-// the per-figure formatters slice it. Every scheduler replays the
-// identical trace for a given workload.
+// RunEvaluation executes the sweep once — all cells concurrently, devices
+// recycled per topology — and the per-figure formatters slice it. The
+// grid derives one seed per workload (the scheduler axis is excluded from
+// seed derivation), so every scheduler replays the identical trace.
 func RunEvaluation(opts Options) (*Evaluation, error) {
 	opts = opts.Defaults()
-	cfg := Platform(opts.Chips)
-	instructions := opts.scaled(3000, 120)
-
 	workloads := sprinkler.Workloads()
-	var cells []sprinkler.Cell
-	for _, name := range SchedulerNames {
-		for _, w := range workloads {
-			cc := cfg
-			cc.Scheduler = sprinkler.SchedulerKind(name)
-			w := w
-			cells = append(cells, sprinkler.Cell{
-				Name:   name + "/" + w,
-				Config: cc,
-				Source: func(uint64) (sprinkler.Source, error) {
-					// The generator derives a per-workload seed from the
-					// name when opts.Seed is zero, so all five schedulers
-					// see the same trace.
-					return cc.NewWorkloadSource(sprinkler.WorkloadSpec{
-						Name:     w,
-						Requests: instructions,
-						MaxPages: 256, // cap at 512 KB per request, §2.1's "several bytes to MB"
-						Seed:     opts.Seed,
-					})
-				},
-			})
-		}
-	}
+	cells := sprinkler.Grid{
+		Base:       Platform(opts.Chips),
+		Schedulers: schedulerKinds(SchedulerNames),
+		Workloads:  workloads,
+		Requests:   opts.scaled(3000, 120),
+		MaxPages:   256, // cap at 512 KB per request, §2.1's "several bytes to MB"
+		Seed:       opts.Seed,
+	}.Cells()
 
 	ev := &Evaluation{Workloads: workloads, Results: make(map[string]map[string]*sprinkler.Result)}
 	for _, name := range SchedulerNames {
 		ev.Results[name] = make(map[string]*sprinkler.Result)
 	}
-	results := opts.runner().Run(context.Background(), cells)
-	i := 0
-	for _, name := range SchedulerNames {
-		for _, w := range workloads {
-			cr := results[i]
-			i++
-			if cr.Err != nil {
-				return nil, cr.Err
-			}
-			ev.Results[name][w] = cr.Result
+	for _, cr := range opts.runner().Run(context.Background(), cells) {
+		if cr.Err != nil {
+			return nil, cr.Err
 		}
+		ev.Results[cr.Labels["scheduler"]][cr.Labels["workload"]] = cr.Result
 	}
 	return ev, nil
 }

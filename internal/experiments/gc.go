@@ -38,7 +38,10 @@ func fig17Platform(chips int, scale float64) sprinkler.Config {
 }
 
 // RunFig17 measures random-write bandwidth on pristine versus fragmented
-// (GC-heavy) devices for VAS, PAS and SPK3, all cells concurrent.
+// (GC-heavy) devices for VAS, PAS and SPK3. One Grid: scheduler axis ×
+// chips axis × a pristine/fragmented axis (the fragmented point attaches
+// the §5.9 precondition) × transfer-size source axis, all cells
+// concurrent.
 func RunFig17(opts Options) ([]Fig17Point, error) {
 	opts = opts.Defaults()
 	chipCounts := []int{64, 256}
@@ -50,51 +53,40 @@ func RunFig17(opts Options) ([]Fig17Point, error) {
 	schedulers := []string{"VAS", "PAS", "SPK3"}
 	totalKB := opts.scaled(32*1024, 2*1024)
 
-	var cells []sprinkler.Cell
-	var points []Fig17Point
-	for _, chips := range chipCounts {
-		cfg := fig17Platform(chips, opts.Scale)
-		for _, kb := range sizesKB {
-			pages := kb * 1024 / cfg.PageSize
-			if pages < 1 {
-				pages = 1
-			}
-			count := totalKB / kb
-			if count < 8 {
-				count = 8
-			}
-			spec := sprinkler.FixedSpec{
-				Requests: count, Pages: pages, Write: true, Seed: opts.Seed + uint64(kb),
-			}
-			for _, s := range schedulers {
-				for _, gc := range []bool{false, true} {
-					cc := cfg
-					cc.Scheduler = sprinkler.SchedulerKind(s)
-					cc.DisableGC = !gc
-					cell := sprinkler.Cell{
-						Name:   fmt.Sprintf("fig17/%dc/%dKB/%s/gc=%v", chips, kb, s, gc),
-						Config: cc,
-						Source: func(uint64) (sprinkler.Source, error) { return cc.NewFixedSource(spec) },
-					}
-					if gc {
-						cell.Precondition = &sprinkler.Precondition{
-							FillFrac: 0.95, ChurnFrac: 0.5, Seed: opts.Seed,
-						}
-					}
-					points = append(points, Fig17Point{Chips: chips, TransferKB: kb, Scheduler: s, GC: gc})
-					cells = append(cells, cell)
-				}
-			}
-		}
-	}
+	gcAxis := sprinkler.Axis{Name: "gc", Values: []sprinkler.AxisValue{
+		{Label: "gc=false", Apply: func(c *sprinkler.Config) { c.DisableGC = true }},
+		{Label: "gc=true", Precondition: &sprinkler.Precondition{
+			FillFrac: 0.95, ChurnFrac: 0.5, Seed: opts.Seed,
+		}},
+	}}
+	chipLabel := func(chips int) string { return fmt.Sprintf("%dc", chips) }
+	cells := sprinkler.Grid{
+		Name:       "fig17",
+		Base:       fig17Platform(chipCounts[0], opts.Scale),
+		Schedulers: schedulerKinds(schedulers),
+		Vary: []sprinkler.Axis{
+			platformAxis("chips", chipCounts, chipLabel,
+				func(chips int) sprinkler.Config { return fig17Platform(chips, opts.Scale) }),
+			gcAxis,
+		},
+		Sources: fixedSources(sizesKB, opts.Seed, true, false, volumeCount(totalKB)),
+	}.Cells()
 
-	results := opts.runner().Run(context.Background(), cells)
-	for i, cr := range results {
+	chips := countByLabel(chipCounts, chipLabel)
+	sizes := kbByLabel(sizesKB)
+	var points []Fig17Point
+	for _, cr := range opts.runner().Run(context.Background(), cells) {
 		if cr.Err != nil {
 			return nil, cr.Err
 		}
-		points[i].BandwidthKB = cr.Result.BandwidthKBps
-		points[i].GCRuns = cr.Result.GCRuns
+		points = append(points, Fig17Point{
+			Chips:       chips[cr.Labels["chips"]],
+			TransferKB:  sizes[cr.Labels["workload"]],
+			Scheduler:   cr.Labels["scheduler"],
+			GC:          cr.Labels["gc"] == "gc=true",
+			BandwidthKB: cr.Result.BandwidthKBps,
+			GCRuns:      cr.Result.GCRuns,
+		})
 	}
 	return points, nil
 }

@@ -37,9 +37,88 @@ func fig1Platform(chips int) sprinkler.Config {
 	return cfg
 }
 
+// fixedSources builds the transfer-size axis of a sensitivity sweep: one
+// SourceSpec per size, each sizing its page count from the cell's final
+// platform and its request count from the study's volume rule. The seed
+// is per-size, shared across every scheduler and platform point so those
+// axes compare on identical workloads.
+func fixedSources(sizesKB []int, seed uint64, write, sequential bool, countFor func(kb int) int) []sprinkler.SourceSpec {
+	var out []sprinkler.SourceSpec
+	for _, kb := range sizesKB {
+		kb := kb
+		out = append(out, sprinkler.SourceSpec{
+			Label: fmt.Sprintf("%dKB", kb),
+			New: func(cfg sprinkler.Config, _ uint64) (sprinkler.Source, error) {
+				pages := kb * 1024 / cfg.PageSize
+				if pages < 1 {
+					pages = 1
+				}
+				return cfg.NewFixedSource(sprinkler.FixedSpec{
+					Requests:   countFor(kb),
+					Pages:      pages,
+					Write:      write,
+					Sequential: sequential,
+					Seed:       seed + uint64(kb),
+				})
+			},
+		})
+	}
+	return out
+}
+
+// platformAxis builds a custom axis whose points replace the whole
+// platform configuration (chip count plus whatever per-plane shrinkage
+// the study needs).
+func platformAxis(name string, counts []int, label func(int) string, build func(int) sprinkler.Config) sprinkler.Axis {
+	ax := sprinkler.Axis{Name: name}
+	for _, n := range counts {
+		n := n
+		ax.Values = append(ax.Values, sprinkler.AxisValue{
+			Label: label(n),
+			Apply: func(c *sprinkler.Config) { *c = build(n) },
+		})
+	}
+	return ax
+}
+
+// kbByLabel inverts fixedSources' size labels, so sweep results map back
+// to their transfer size through CellResult.Labels instead of positional
+// coupling to the grid's expansion order.
+func kbByLabel(sizesKB []int) map[string]int {
+	m := make(map[string]int, len(sizesKB))
+	for _, kb := range sizesKB {
+		m[fmt.Sprintf("%dKB", kb)] = kb
+	}
+	return m
+}
+
+// countByLabel inverts a platform axis's labels the same way.
+func countByLabel(counts []int, label func(int) string) map[string]int {
+	m := make(map[string]int, len(counts))
+	for _, n := range counts {
+		m[label(n)] = n
+	}
+	return m
+}
+
+// volumeCount is the shared workload-volume rule of the sensitivity
+// sweeps: a fixed total data volume divided by the transfer size, floored
+// so tiny scales still exercise scheduling.
+func volumeCount(totalKB int) func(kb int) int {
+	return func(kb int) int {
+		count := totalKB / kb
+		if count < 8 {
+			count = 8
+		}
+		return count
+	}
+}
+
 // RunFig1 sweeps the die count from 2 to 32768 for transfer sizes 4-128 KB,
 // reproducing the performance-stagnation observation (Figures 1a and 1b).
-// Every (dies, size) cell runs concurrently.
+// The sweep is one Grid — a dies axis crossed with a transfer-size source
+// axis on a VAS base — and every cell runs concurrently, cells sharing a
+// platform recycling one device through the runner's arena.
 func RunFig1(opts Options) ([]Fig1Point, error) {
 	opts = opts.Defaults()
 	dieCounts := []int{2, 8, 32, 128, 512, 2048, 8192, 32768}
@@ -49,40 +128,35 @@ func RunFig1(opts Options) ([]Fig1Point, error) {
 	sizesKB := []int{4, 8, 16, 32, 64, 128}
 	count := opts.scaled(512, 64)
 
-	var cells []sprinkler.Cell
-	var points []Fig1Point
-	for _, dies := range dieCounts {
-		chips := dies / 2
-		if chips < 1 {
-			chips = 1
-		}
-		cfg := fig1Platform(chips)
-		for _, kb := range sizesKB {
-			pages := kb * 1024 / cfg.PageSize
-			if pages < 1 {
-				pages = 1
-			}
-			points = append(points, Fig1Point{Dies: dies, TransferKB: kb})
-			spec := sprinkler.FixedSpec{
-				Requests: count, Pages: pages, Sequential: true, Seed: opts.Seed,
-			}
-			cfg := cfg
-			cells = append(cells, sprinkler.Cell{
-				Name:   fmt.Sprintf("fig1/%dd/%dKB", dies, kb),
-				Config: cfg,
-				Source: func(uint64) (sprinkler.Source, error) { return cfg.NewFixedSource(spec) },
-			})
-		}
-	}
+	dieLabel := func(dies int) string { return fmt.Sprintf("%dd", dies) }
+	cells := sprinkler.Grid{
+		Name: "fig1",
+		Base: fig1Platform(1),
+		Vary: []sprinkler.Axis{platformAxis("dies", dieCounts, dieLabel,
+			func(dies int) sprinkler.Config {
+				chips := dies / 2
+				if chips < 1 {
+					chips = 1
+				}
+				return fig1Platform(chips)
+			})},
+		Sources: fixedSources(sizesKB, opts.Seed, false, true, func(int) int { return count }),
+	}.Cells()
 
-	results := opts.runner().Run(context.Background(), cells)
-	for i, cr := range results {
+	dies := countByLabel(dieCounts, dieLabel)
+	sizes := kbByLabel(sizesKB)
+	var points []Fig1Point
+	for _, cr := range opts.runner().Run(context.Background(), cells) {
 		if cr.Err != nil {
 			return nil, cr.Err
 		}
-		points[i].BandwidthMB = cr.Result.BandwidthKBps / 1024
-		points[i].Utilization = cr.Result.ChipUtilization
-		points[i].Idleness = cr.Result.MemoryLevelIdleness
+		points = append(points, Fig1Point{
+			Dies:        dies[cr.Labels["dies"]],
+			TransferKB:  sizes[cr.Labels["workload"]],
+			BandwidthMB: cr.Result.BandwidthKBps / 1024,
+			Utilization: cr.Result.ChipUtilization,
+			Idleness:    cr.Result.MemoryLevelIdleness,
+		})
 	}
 	return points, nil
 }
@@ -145,27 +219,20 @@ func RunFig12(opts Options) (string, error) {
 	cfg.CollectSeries = true
 	n := opts.scaled(3000, 150)
 
-	var cells []sprinkler.Cell
-	schedulers := []string{"VAS", "PAS", "SPK3"}
-	for _, s := range schedulers {
-		cc := cfg
-		cc.Scheduler = sprinkler.SchedulerKind(s)
-		cells = append(cells, sprinkler.Cell{
-			Name:   "fig12/" + s,
-			Config: cc,
-			Source: func(uint64) (sprinkler.Source, error) {
-				return cc.NewWorkloadSource(sprinkler.WorkloadSpec{
-					Name: "msnfs1", Requests: n, Seed: opts.Seed,
-				})
-			},
-		})
-	}
+	cells := sprinkler.Grid{
+		Name:       "fig12",
+		Base:       cfg,
+		Schedulers: schedulerKinds([]string{"VAS", "PAS", "SPK3"}),
+		Workloads:  []string{"msnfs1"},
+		Requests:   n,
+		Seed:       opts.Seed,
+	}.Cells()
 	series := map[string][]sprinkler.SeriesPoint{}
-	for i, cr := range opts.runner().Run(context.Background(), cells) {
+	for _, cr := range opts.runner().Run(context.Background(), cells) {
 		if cr.Err != nil {
 			return "", cr.Err
 		}
-		series[schedulers[i]] = cr.Result.Series
+		series[cr.Labels["scheduler"]] = cr.Result.Series
 	}
 
 	// Sample every k-th I/O to keep the table readable.
@@ -209,7 +276,9 @@ type Fig15Point struct {
 // RunFig15 sweeps transfer sizes 4 KB-4 MB on 64/256/1024-chip platforms
 // for VAS, SPK1, SPK2 and SPK3 (chip utilization, Figure 15; the same runs
 // yield the transaction counts of Figure 16 and feed Figure 17's pristine
-// baseline). All cells run concurrently.
+// baseline). One Grid: scheduler axis × chips axis × transfer-size source
+// axis; seeds are per-(chips, size) point, so every scheduler replays the
+// identical random workload. All cells run concurrently.
 func RunFig15(opts Options) ([]Fig15Point, error) {
 	opts = opts.Defaults()
 	chipCounts := []int{64, 256, 1024}
@@ -223,45 +292,30 @@ func RunFig15(opts Options) ([]Fig15Point, error) {
 	// across transfer sizes.
 	totalKB := opts.scaled(64*1024, 4*1024)
 
-	var cells []sprinkler.Cell
-	var points []Fig15Point
-	for _, chips := range chipCounts {
-		cfg := Platform(chips)
-		for _, kb := range sizesKB {
-			pages := kb * 1024 / cfg.PageSize
-			if pages < 1 {
-				pages = 1
-			}
-			count := totalKB / kb
-			if count < 8 {
-				count = 8
-			}
-			// The same seed per (chips, kb) point: every scheduler
-			// replays the identical random workload.
-			spec := sprinkler.FixedSpec{
-				Requests: count, Pages: pages, Seed: opts.Seed + uint64(kb),
-			}
-			for _, s := range schedulers {
-				cc := cfg
-				cc.Scheduler = sprinkler.SchedulerKind(s)
-				points = append(points, Fig15Point{Chips: chips, TransferKB: kb, Scheduler: s})
-				cells = append(cells, sprinkler.Cell{
-					Name:   fmt.Sprintf("fig15/%dc/%dKB/%s", chips, kb, s),
-					Config: cc,
-					Source: func(uint64) (sprinkler.Source, error) { return cc.NewFixedSource(spec) },
-				})
-			}
-		}
-	}
+	chipLabel := func(chips int) string { return fmt.Sprintf("%dc", chips) }
+	cells := sprinkler.Grid{
+		Name:       "fig15",
+		Base:       Platform(chipCounts[0]),
+		Schedulers: schedulerKinds(schedulers),
+		Vary:       []sprinkler.Axis{platformAxis("chips", chipCounts, chipLabel, Platform)},
+		Sources:    fixedSources(sizesKB, opts.Seed, false, false, volumeCount(totalKB)),
+	}.Cells()
 
-	results := opts.runner().Run(context.Background(), cells)
-	for i, cr := range results {
+	chips := countByLabel(chipCounts, chipLabel)
+	sizes := kbByLabel(sizesKB)
+	var points []Fig15Point
+	for _, cr := range opts.runner().Run(context.Background(), cells) {
 		if cr.Err != nil {
 			return nil, cr.Err
 		}
-		points[i].Utilization = cr.Result.ChipUtilization
-		points[i].Txns = cr.Result.Transactions
-		points[i].BandwidthKB = cr.Result.BandwidthKBps
+		points = append(points, Fig15Point{
+			Chips:       chips[cr.Labels["chips"]],
+			TransferKB:  sizes[cr.Labels["workload"]],
+			Scheduler:   cr.Labels["scheduler"],
+			Utilization: cr.Result.ChipUtilization,
+			Txns:        cr.Result.Transactions,
+			BandwidthKB: cr.Result.BandwidthKBps,
+		})
 	}
 	return points, nil
 }

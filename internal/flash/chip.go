@@ -140,6 +140,25 @@ func NewChip(eng *sim.Engine, bus Bus, id ChipID, g Geometry, t Timing) *Chip {
 	return c
 }
 
+// Reset returns the chip to its just-built idle state for a new run,
+// dropping the in-flight transaction reference and zeroing the stats. The
+// timing may change between runs (it is per-run configuration, not
+// topology); the engine and bus bindings are topology and stay. The owning
+// engine must have been Reset (or drained) first.
+func (c *Chip) Reset(t Timing) {
+	c.Tim = t
+	c.busy = false
+	c.stats = ChipStats{}
+	c.t = nil
+	c.cb = Callbacks{}
+	c.idx = 0
+	c.dur, c.asked = 0, 0
+	c.submitEnd.Stop()
+	c.cellEnd.Stop()
+	c.readEnd.Stop()
+	c.statusEnd.Stop()
+}
+
 // Busy reports the R/B state: true while a transaction is in flight.
 func (c *Chip) Busy() bool { return c.busy }
 

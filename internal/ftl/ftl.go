@@ -119,11 +119,12 @@ type planeState struct {
 // FTL is the translation layer. It is not safe for concurrent use; the
 // simulator is single-threaded by design.
 type FTL struct {
-	cfg    Config
-	geo    flash.Geometry
-	l2p    pageTable // LPN -> PPN
-	p2l    pageTable // PPN -> LPN
-	planes []*planeState
+	cfg     Config
+	geo     flash.Geometry
+	l2p     pageTable // LPN -> PPN
+	l2pSpan int64     // sizing hint l2p was built for (Reset reuse check)
+	p2l     pageTable // PPN -> LPN
+	planes  []*planeState
 
 	// cursor implements the channel-first stripe for write allocation:
 	// consecutive writes go to consecutive chips across channels, then
@@ -159,11 +160,12 @@ func New(cfg Config) (*FTL, error) {
 		logical = g.TotalPages()
 	}
 	f := &FTL{
-		cfg:    cfg,
-		geo:    g,
-		l2p:    newTable(logical),
-		p2l:    newTable(g.TotalPages()),
-		planes: make([]*planeState, nPlanes),
+		cfg:     cfg,
+		geo:     g,
+		l2p:     newTable(logical),
+		l2pSpan: logical,
+		p2l:     newTable(g.TotalPages()),
+		planes:  make([]*planeState, nPlanes),
 	}
 	f.rng = sim.NewRand(cfg.Seed + 0x5EED)
 	// All validity bitmaps, plane structs, and block metadata come from
@@ -189,6 +191,56 @@ func New(cfg Config) (*FTL, error) {
 		f.planes[i] = ps
 	}
 	return f, nil
+}
+
+// Reset re-initializes the FTL in place for a new run on the same
+// geometry: mappings are dropped, every block is returned to the erased
+// state, wear and activity counters restart, and the failure-injection
+// generator is reseeded — all without touching the bulk block/bitmap
+// arenas New allocated, which is what makes device reuse cheap. Per-run
+// knobs (GC threshold, allocation scheme, logical-space hint, failure
+// injection, wear-leveling) may change; the geometry may not.
+func (f *FTL) Reset(cfg Config) error {
+	if cfg.Geo != f.geo {
+		return fmt.Errorf("ftl: Reset geometry mismatch (have %+v)", f.geo)
+	}
+	if cfg.GCFreeTarget < 1 {
+		return fmt.Errorf("ftl: GCFreeTarget %d < 1", cfg.GCFreeTarget)
+	}
+	logical := cfg.LogicalPages
+	if logical <= 0 {
+		logical = f.geo.TotalPages()
+	}
+	if logical == f.l2pSpan {
+		f.l2p.reset()
+	} else {
+		f.l2p = newTable(logical)
+		f.l2pSpan = logical
+	}
+	f.p2l.reset()
+	g := f.geo
+	for _, ps := range f.planes {
+		for b := range ps.blocks {
+			blk := &ps.blocks[b]
+			for i := range blk.valid {
+				blk.valid[i] = 0
+			}
+			blk.validCount, blk.written, blk.erases = 0, 0, 0
+			blk.full, blk.bad = false, false
+		}
+		ps.free = ps.free[:0]
+		for b := g.BlocksPerPlane - 1; b >= 0; b-- {
+			ps.free = append(ps.free, b)
+		}
+		ps.active = -1
+	}
+	f.cfg = cfg
+	f.cursor = 0
+	f.onMigrate = nil
+	f.rng.Reseed(cfg.Seed + 0x5EED)
+	f.hostWrites, f.gcWrites, f.gcReads, f.gcErases, f.gcRuns = 0, 0, 0, 0, 0
+	f.invalidated, f.badBlocks, f.wlRuns = 0, 0, 0
+	return nil
 }
 
 // Geometry returns the configured geometry.

@@ -22,6 +22,9 @@ type pageTable interface {
 	// footprint returns the table's resident entry count (capacity
 	// actually allocated), for memory accounting and tests.
 	footprint() int64
+	// reset drops every mapping while retaining allocated storage, so a
+	// reused FTL starts its next run without rebuilding the table.
+	reset()
 }
 
 // denseTableMax is the page-count threshold up to which newTable picks
@@ -116,6 +119,11 @@ func (t *boundedTable) footprint() int64 {
 	return t.main.footprint() + int64(len(t.overflow))
 }
 
+func (t *boundedTable) reset() {
+	t.main.reset()
+	t.overflow = nil
+}
+
 // denseTable is a flat slice indexed by key, grown on demand. Lookups are
 // one bounds check and one load.
 type denseTable struct {
@@ -180,6 +188,13 @@ func (t *denseTable) forEach(fn func(k, v int64) bool) {
 }
 
 func (t *denseTable) footprint() int64 { return int64(cap(t.v)) }
+
+func (t *denseTable) reset() {
+	for i := range t.v {
+		t.v[i] = -1
+	}
+	t.live = 0
+}
 
 // pagedTable chunks the key space into fixed pages allocated on first
 // touch, so huge but sparsely-addressed spaces (a 1024-chip platform's
@@ -273,4 +288,13 @@ func (t *pagedTable) footprint() int64 {
 		}
 	}
 	return n
+}
+
+func (t *pagedTable) reset() {
+	for _, c := range t.chunks {
+		for i := range c {
+			c[i] = -1
+		}
+	}
+	t.live = 0
 }

@@ -59,6 +59,22 @@ func NewQueue(capacity int) *Queue {
 	return q
 }
 
+// Reset empties the queue for a new run, rebuilding the free list in the
+// same slot order NewQueue produces and restarting the admission sequence
+// at zero — reused queues assign the same Seq numbers a fresh queue would,
+// which schedulers' admission-order tie-breaking depends on.
+func (q *Queue) Reset() {
+	for i := range q.slots {
+		q.slots[i] = slot{next: int32(i) + 1}
+	}
+	q.slots[q.capacity-1].next = -1
+	q.freeSlot = 0
+	q.head, q.tail = -1, -1
+	q.count, q.fuaCount = 0, 0
+	q.full = sim.TimedCounter{}
+	q.admitted, q.released = 0, 0
+}
+
 // Cap returns the tag capacity.
 func (q *Queue) Cap() int { return q.capacity }
 

@@ -87,6 +87,23 @@ func NewReadyIndex(numChips int) *ReadyIndex {
 	}
 }
 
+// Reset empties the index for a new run, retaining per-chip list storage.
+// Slots are nilled so the previous run's requests are not pinned, and
+// every chip's version is bumped — not zeroed — so any selection state a
+// scheduler memoized against the old contents reads as stale rather than
+// accidentally current.
+func (x *ReadyIndex) Reset() {
+	for c := range x.lists {
+		l := x.lists[c]
+		for i := range l {
+			l[i] = nil
+		}
+		x.lists[c] = l[:0]
+		x.live[c] = 0
+		x.version[c]++
+	}
+}
+
 // Version returns chip c's membership version (see the field comment).
 func (x *ReadyIndex) Version(c flash.ChipID) uint64 { return x.version[c] }
 
@@ -250,6 +267,16 @@ func CandidateWindow(q *nvmhc.Queue, window int) []*req.Mem {
 	return out
 }
 
+// StateResetter is implemented by schedulers whose per-run selection
+// state can be dropped in place, so one scheduler value can serve
+// consecutive runs on a reused device. ResetState must leave the
+// scheduler behaving exactly like a freshly constructed one (grown
+// scratch capacity may be retained; cached orderings and references to
+// the previous run's requests may not).
+type StateResetter interface {
+	ResetState()
+}
+
 // Budget tracks per-chip commitment capacity within one Select call. It is
 // owned by a scheduler and reused across calls: Reset bumps an epoch
 // counter instead of clearing (or allocating) per-chip state, so a Select
@@ -349,6 +376,10 @@ func (v *VAS) Name() string { return "VAS" }
 // NeedsReaddressing implements Scheduler: VAS has no readdressing callback.
 func (v *VAS) NeedsReaddressing() bool { return false }
 
+// ResetState implements StateResetter: VAS keeps no cross-Select state
+// beyond scratch, which is released so the previous run is not pinned.
+func (v *VAS) ResetState() { v.out = clearMems(v.out) }
+
 // Select implements Scheduler.
 func (v *VAS) Select(now sim.Time, q *nvmhc.Queue, fab Fabric) []*req.Mem {
 	// Find the oldest I/O with unselected requests: that is the head VAS
@@ -410,6 +441,21 @@ func (p *PAS) Name() string { return "PAS" }
 // NeedsReaddressing implements Scheduler: PAS's hardware preprocessor does
 // not track live-data migration (§4.3).
 func (p *PAS) NeedsReaddressing() bool { return false }
+
+// ResetState implements StateResetter.
+func (p *PAS) ResetState() {
+	p.out = clearMems(p.out)
+	p.pending = clearMems(p.pending)
+}
+
+// clearMems nils a scratch slice's entries (dropping references to the
+// previous run's requests) and truncates it, keeping capacity.
+func clearMems(ms []*req.Mem) []*req.Mem {
+	for i := range ms {
+		ms[i] = nil
+	}
+	return ms[:0]
+}
 
 // Select implements Scheduler.
 //

@@ -287,6 +287,25 @@ func (e *Engine) AfterTimer(delay Time, t *Timer) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to time zero with an empty event queue, as if
+// freshly constructed — but with the slab and heap storage retained, so a
+// reused engine schedules its next run without growing allocations. Every
+// pending event is cancelled: outstanding Handles go stale and owning
+// Timers become non-pending. The sequence counter restarts at zero, so a
+// reset engine breaks same-instant ties exactly like a new one — the
+// property device reuse needs for run-for-run identical timelines.
+func (e *Engine) Reset() {
+	for _, idx := range e.heap {
+		ev := &e.slab[idx]
+		if ev.timer != nil {
+			ev.timer.h = Handle{}
+		}
+		e.release(idx)
+	}
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
+}
+
 // pop removes and returns the earliest event's payload, releasing its slot
 // before the caller runs the callback (so the callback can schedule new
 // events into the freed slot, and handles to the fired event go stale).

@@ -16,6 +16,15 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// Reseed rewinds the generator to the state NewRand(seed) would produce,
+// so a reused component replays exactly like a freshly built one.
+func (r *Rand) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r.state = seed
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	x := r.state

@@ -149,6 +149,28 @@ func (h *Histogram) SetCap(cap int) {
 	h.cap = cap
 }
 
+// Reset empties the histogram for a new run with the given exact-sample
+// cap (same semantics as SetCap). Sample storage is reused when no Clone
+// aliases it; otherwise — snapshots taken from the previous run must stay
+// frozen — fresh storage is grown lazily by the next Observes. The bucket
+// array is dropped: a reset histogram starts in exact mode like a new one.
+func (h *Histogram) Reset(cap int) {
+	if h.shared {
+		// Clones alias h.samples; truncating and re-appending in place
+		// would rewrite values under them.
+		h.samples = nil
+		h.shared = false
+	} else {
+		h.samples = h.samples[:0]
+	}
+	h.sum, h.sumsq = 0, 0
+	h.sorted = false
+	h.cap = cap
+	h.buckets = nil
+	h.count = 0
+	h.min, h.max = 0, 0
+}
+
 // effCap resolves the exact-mode retention limit.
 func (h *Histogram) effCap() int {
 	if h.cap == 0 {

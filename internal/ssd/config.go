@@ -73,6 +73,12 @@ type Config struct {
 
 	// CollectSeries records one SeriesPoint per completed I/O (Figure 12).
 	CollectSeries bool
+
+	// SeriesWindow bounds the collected series to the most recent N
+	// completed I/Os (a ring buffer), so series collection is safe on
+	// arbitrarily long runs. Zero keeps the exact one-point-per-I/O
+	// behaviour. Ignored unless CollectSeries is set.
+	SeriesWindow int
 }
 
 // DefaultConfig mirrors §5.1: 2 KB pages, 2 dies × 4 planes, ONFI 2.x
@@ -112,6 +118,9 @@ func (c *Config) Validate() error {
 	}
 	if c.LogicalPages > c.Geo.TotalPages() {
 		return fmt.Errorf("ssd: LogicalPages %d exceeds physical %d", c.LogicalPages, c.Geo.TotalPages())
+	}
+	if c.SeriesWindow < 0 {
+		return fmt.Errorf("ssd: negative SeriesWindow")
 	}
 	return nil
 }

@@ -88,6 +88,34 @@ func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, channe
 	return ctl
 }
 
+// reset returns the controller, its bus and its chips to the just-built
+// idle state for a new run, retaining every queue's storage. Timing is
+// per-run configuration and may change; geometry may not. The engine must
+// have been Reset first (no build, bus or chip event may be pending).
+func (ctl *controller) reset(tim flash.Timing) {
+	ctl.tim = tim
+	ctl.bus.Reset()
+	for off := range ctl.chips {
+		ctl.chips[off].Reset(tim)
+		p := ctl.pending[off]
+		for i := range p {
+			p[i] = flash.Request{}
+		}
+		ctl.pending[off] = p[:0]
+		ctl.buildArmed[off] = false
+		ctl.buildT[off].Stop()
+		txn := ctl.txns[off]
+		for i := range txn.Requests {
+			txn.Requests[i] = flash.Request{}
+		}
+		txn.Reset()
+	}
+	for i := range ctl.taken {
+		ctl.taken[i] = 0
+	}
+	ctl.taken = ctl.taken[:0]
+}
+
 // offset maps a chip ID to its offset on this channel, panicking on
 // foreign IDs.
 func (ctl *controller) offset(id flash.ChipID) int {

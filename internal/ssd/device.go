@@ -56,11 +56,16 @@ type Device struct {
 	// DMA engine: memory request composition serializes here (§2.1). The
 	// compose queue is head-indexed like the backlog, and the in-flight
 	// composition uses a reusable timer (one composition at a time).
+	// When the configured compose latency is zero, consecutive queued
+	// compositions complete at the same instant; composeBatch (the
+	// default) folds them into one timer event instead of bouncing
+	// through the heap once per member.
 	composeQ     []*req.Mem
 	composeHead  int
 	composing    bool
 	composeM     *req.Mem
 	composeTimer *sim.Timer
+	composeBatch bool
 
 	// Host front end. The backlog is a head-indexed queue: popping is
 	// O(1) so admission stays linear even when an open-loop burst backs
@@ -94,6 +99,7 @@ type Device struct {
 	inflight       int
 	latency        sim.Histogram
 	series         []metrics.SeriesPoint
+	seriesHead     int // ring cursor (oldest point) in SeriesWindow mode
 	bytesRead      int64
 	bytesWritten   int64
 	iosDone        int64
@@ -123,11 +129,23 @@ func New(cfg Config, scheduler sched.Scheduler) (*Device, error) {
 		gcActive:    make([]bool, cfg.Geo.NumChips()),
 	}
 	d.latency.SetCap(cfg.MetricsSampleCap)
+	d.composeBatch = true
 	d.composeTimer = sim.NewTimer(func(t sim.Time) {
-		m := d.composeM
-		d.composeM = nil
-		d.composing = false
-		d.finishCompose(t, m)
+		for {
+			m := d.composeM
+			d.composeM = nil
+			d.composing = false
+			d.finishCompose(t, m)
+			// With zero compose latency the next queued composition also
+			// completes at t: serve it within this event (one timer fire
+			// per batch instead of per member). Completion order and
+			// instants are identical to the chained path.
+			if !d.composeBatch || d.cfg.ComposeLatency != 0 || d.composeHead >= len(d.composeQ) {
+				break
+			}
+			d.composing = true
+			d.composeM = d.popCompose()
+		}
 		d.kickComposer(t)
 	})
 	d.arrivalTimer = sim.NewTimer(func(now sim.Time) {
@@ -151,6 +169,100 @@ func New(cfg Config, scheduler sched.Scheduler) (*Device, error) {
 		d.ctrls[ch] = ctl
 	}
 	return d, nil
+}
+
+// Reset re-initializes the device in place for a new run, as if freshly
+// built by New(cfg, scheduler) — but reusing every geometry-sized arena
+// the first construction allocated: the kernel's event slab, the per-chip
+// controller state, the FTL's block metadata, bitmap pools and mapping
+// tables, the device-level queue's tag slots, and the ready index. Only
+// the geometry is fixed at construction; every per-run knob (queue depth,
+// timing, GC policy, allocation scheme, metrics caps) may change between
+// runs. A reset device produces a timeline — and therefore a Result —
+// byte-identical to a fresh device's, which is what lets sweep runners
+// recycle devices across cells.
+//
+// The previous run must have drained (or never started); resetting a
+// device with I/Os in flight is a caller bug. The scheduler may be the
+// previous run's instance (its per-run state is dropped through
+// sched.StateResetter) or a fresh one.
+func (d *Device) Reset(cfg Config, scheduler sched.Scheduler) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if scheduler == nil {
+		return errors.New("ssd: nil scheduler")
+	}
+	if cfg.Geo != d.cfg.Geo {
+		return fmt.Errorf("ssd: Reset geometry mismatch: device built for %d chips (%dx%d), got %dx%d",
+			d.cfg.Geo.NumChips(), d.cfg.Geo.Channels, d.cfg.Geo.ChipsPerChan,
+			cfg.Geo.Channels, cfg.Geo.ChipsPerChan)
+	}
+	if err := d.fl.Reset(cfg.ftlConfig()); err != nil {
+		return err
+	}
+	d.eng.Reset()
+	if cfg.QueueDepth == d.cfg.QueueDepth {
+		d.queue.Reset()
+	} else {
+		d.queue = nvmhc.NewQueue(cfg.QueueDepth)
+	}
+	for _, ctl := range d.ctrls {
+		ctl.reset(cfg.Tim)
+	}
+	if r, ok := scheduler.(sched.StateResetter); ok {
+		r.ResetState()
+	}
+	d.sch = scheduler
+	for i := range d.outstanding {
+		d.outstanding[i] = 0
+	}
+	d.ready.Reset()
+
+	for i := range d.composeQ {
+		d.composeQ[i] = nil
+	}
+	d.composeQ = d.composeQ[:0]
+	d.composeHead = 0
+	d.composing = false
+	d.composeM = nil
+	d.composeTimer.Stop()
+
+	for i := range d.backlog {
+		d.backlog[i] = nil
+	}
+	d.backlog = d.backlog[:0]
+	d.backlogHead = 0
+	d.src = nil
+	d.srcStalled = false
+	d.arrivalIO = nil
+	d.arrivalTimer.Stop()
+	d.pumping = false
+	d.onRetire = nil
+
+	for i := range d.gcActive {
+		d.gcActive[i] = false
+	}
+	d.gcActiveCount = 0
+	d.emergencyGCs, d.staleFixes = 0, 0
+
+	d.busyChips = 0
+	d.busyIntegral = 0
+	d.sysBusyTime, d.lastAccount = 0, 0
+	d.inflight = 0
+	d.latency.Reset(cfg.MetricsSampleCap)
+	if d.cfg.CollectSeries && d.cfg.SeriesWindow > 0 {
+		// The windowed ring never escapes into Results; reuse it.
+		d.series = d.series[:0]
+	} else {
+		// Exact-mode series slices escape into the previous run's Result.
+		d.series = nil
+	}
+	d.seriesHead = 0
+	d.bytesRead, d.bytesWritten, d.iosDone = 0, 0, 0
+	d.lastCompletion = 0
+	d.cfg = cfg
+	return nil
 }
 
 // Engine exposes the simulation engine (tests drive it directly).
@@ -477,6 +589,12 @@ func (d *Device) kickComposer(now sim.Time) {
 		return
 	}
 	d.composing = true
+	d.composeM = d.popCompose()
+	d.eng.AfterTimer(d.cfg.ComposeLatency, d.composeTimer)
+}
+
+// popCompose removes and returns the compose queue's head.
+func (d *Device) popCompose() *req.Mem {
 	m := d.composeQ[d.composeHead]
 	d.composeQ[d.composeHead] = nil
 	d.composeHead++
@@ -484,9 +602,13 @@ func (d *Device) kickComposer(now sim.Time) {
 		d.composeQ = d.composeQ[:0]
 		d.composeHead = 0
 	}
-	d.composeM = m
-	d.eng.AfterTimer(d.cfg.ComposeLatency, d.composeTimer)
+	return m
 }
+
+// SetComposeBatching toggles same-instant composition batching (on by
+// default). The one-event-per-composition path is retained so parity
+// tests can pin the batched timeline against it.
+func (d *Device) SetComposeBatching(on bool) { d.composeBatch = on }
 
 // finishCompose commits a composed request to its flash controller,
 // handling stale physical addresses left by live-data migration for
@@ -563,9 +685,18 @@ func (d *Device) completeIO(now sim.Time, io *req.IO) {
 	d.iosDone++
 	d.lastCompletion = now
 	if d.cfg.CollectSeries {
-		d.series = append(d.series, metrics.SeriesPoint{
-			Index: d.iosDone, Arrival: io.Arrival, Latency: io.Latency(),
-		})
+		p := metrics.SeriesPoint{Index: d.iosDone, Arrival: io.Arrival, Latency: io.Latency()}
+		if w := d.cfg.SeriesWindow; w > 0 && len(d.series) >= w {
+			// Windowed mode: overwrite the oldest point so long runs hold
+			// at most w points instead of one per completed I/O.
+			d.series[d.seriesHead] = p
+			d.seriesHead++
+			if d.seriesHead == w {
+				d.seriesHead = 0
+			}
+		} else {
+			d.series = append(d.series, p)
+		}
 	}
 	d.queue.Release(now, io)
 	d.account(now)
@@ -600,6 +731,24 @@ func (d *Device) Snapshot() *metrics.Result {
 	return d.resultAt(d.eng.Now())
 }
 
+// seriesSnapshot returns the collected series in completion order. Exact
+// mode hands out the accumulated slice (the device is done appending by
+// result time; mid-run snapshots only read a prefix); windowed mode
+// unrolls the ring into a fresh in-order copy, so the reusable ring never
+// escapes into a Result.
+func (d *Device) seriesSnapshot() []metrics.SeriesPoint {
+	if d.cfg.SeriesWindow <= 0 {
+		return d.series
+	}
+	if len(d.series) == 0 {
+		return nil
+	}
+	out := make([]metrics.SeriesPoint, 0, len(d.series))
+	out = append(out, d.series[d.seriesHead:]...)
+	out = append(out, d.series[:d.seriesHead]...)
+	return out
+}
+
 func (d *Device) resultAt(end sim.Time) *metrics.Result {
 	r := &metrics.Result{
 		Scheduler:           d.sch.Name(),
@@ -612,7 +761,7 @@ func (d *Device) resultAt(end sim.Time) *metrics.Result {
 		StaleRetranslations: d.staleFixes,
 		EmergencyGCs:        d.emergencyGCs,
 		GC:                  d.fl.Stats(),
-		Series:              d.series,
+		Series:              d.seriesSnapshot(),
 	}
 	samples := make([]metrics.ChipSample, 0, d.cfg.Geo.NumChips())
 	for ch := range d.ctrls {

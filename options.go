@@ -34,6 +34,9 @@ func (c Config) Validate() error {
 	if c.GCFreeTarget < 0 {
 		return fmt.Errorf("sprinkler: Config.GCFreeTarget must be non-negative, got %d", c.GCFreeTarget)
 	}
+	if c.SeriesWindow < 0 {
+		return fmt.Errorf("sprinkler: Config.SeriesWindow must be non-negative, got %d", c.SeriesWindow)
+	}
 	switch c.Scheduler {
 	case VAS, PAS, SPK1, SPK2, SPK3, "":
 	default:

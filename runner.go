@@ -9,7 +9,9 @@ import (
 )
 
 // Cell is one (config, scheduler, workload) point of a sweep. Cells are
-// independent: each gets a fresh Device, so a Runner can execute them on
+// independent: each runs on its own device (checked out of a DeviceArena
+// and recycled between cells, or built fresh under Runner.NoReuse — the
+// results are byte-identical either way), so a Runner can execute them on
 // any number of goroutines with results identical to serial execution.
 type Cell struct {
 	// Name labels the cell in results ("SPK3/msnfs1"). It also feeds the
@@ -31,20 +33,29 @@ type Cell struct {
 	// must share a trace (the same workload under different schedulers)
 	// set the same non-zero Seed.
 	Seed uint64
+
+	// Labels carries the cell's grid coordinates ("scheduler",
+	// "workload", axis names), filled by Grid.Cells and echoed on the
+	// CellResult so sweep consumers can index results without parsing
+	// names.
+	Labels map[string]string
 }
 
 // CellResult pairs a cell with its outcome.
 type CellResult struct {
 	Name   string
 	Seed   uint64
+	Labels map[string]string
 	Result *Result
 	Err    error
 }
 
 // Runner fans sweep cells across worker goroutines. The zero value uses
-// all CPU cores and base seed 0. Per-cell seeds are deterministic
-// functions of (base seed, cell name, cell index), so results do not
-// depend on scheduling order or worker count.
+// all CPU cores, base seed 0, and a private DeviceArena so consecutive
+// cells on one topology recycle a device instead of rebuilding it.
+// Per-cell seeds are deterministic functions of (base seed, cell name,
+// cell index), and device reuse is behaviour-preserving, so results do
+// not depend on scheduling order, worker count, or reuse.
 type Runner struct {
 	// Workers caps concurrency; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
@@ -52,6 +63,16 @@ type Runner struct {
 	// Seed is mixed into every derived cell seed, so a sweep can be
 	// re-rolled wholesale.
 	Seed uint64
+
+	// Arena supplies the devices workers check out per cell. Nil makes
+	// Run create a private arena for the call; share one across Runs to
+	// recycle devices between sweeps too.
+	Arena *DeviceArena
+
+	// NoReuse builds a fresh device for every cell instead of recycling
+	// through the arena — the reference path reuse-parity tests and
+	// benchmarks compare against.
+	NoReuse bool
 }
 
 // cellSeed derives a cell's seed: the explicit per-cell seed when set,
@@ -85,6 +106,17 @@ func (r Runner) Run(ctx context.Context, cells []Cell) []CellResult {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	// The arena is shared across workers: a worker finishing a cell
+	// checks its drained device back in for whichever worker starts the
+	// next cell on that topology. Under NoReuse the nil arena degrades
+	// every checkout to a fresh build.
+	arena := r.Arena
+	if arena == nil && !r.NoReuse {
+		arena = NewDeviceArena()
+	}
+	if r.NoReuse {
+		arena = nil
+	}
 	results := make([]CellResult, len(cells))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -93,7 +125,7 @@ func (r Runner) Run(ctx context.Context, cells []Cell) []CellResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = r.runCell(ctx, cells[i], i)
+				results[i] = r.runCell(ctx, cells[i], i, arena)
 			}
 		}()
 	}
@@ -105,8 +137,8 @@ func (r Runner) Run(ctx context.Context, cells []Cell) []CellResult {
 	return results
 }
 
-func (r Runner) runCell(ctx context.Context, c Cell, i int) CellResult {
-	out := CellResult{Name: c.Name, Seed: r.cellSeed(c, i)}
+func (r Runner) runCell(ctx context.Context, c Cell, i int, arena *DeviceArena) CellResult {
+	out := CellResult{Name: c.Name, Seed: r.cellSeed(c, i), Labels: c.Labels}
 	if err := ctx.Err(); err != nil {
 		out.Err = err
 		return out
@@ -115,7 +147,7 @@ func (r Runner) runCell(ctx context.Context, c Cell, i int) CellResult {
 		out.Err = fmt.Errorf("sprinkler: cell %q has no Source", c.Name)
 		return out
 	}
-	dev, err := New(c.Config)
+	dev, err := arena.Get(c.Config)
 	if err != nil {
 		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
 		return out
@@ -130,36 +162,12 @@ func (r Runner) runCell(ctx context.Context, c Cell, i int) CellResult {
 	}
 	res, err := dev.Run(ctx, src)
 	if err != nil {
+		// The device may hold mid-run state (cancellation, stalls): drop
+		// it rather than recycling a non-pristine simulation.
 		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
 		return out
 	}
+	arena.Put(dev)
 	out.Result = res
 	return out
-}
-
-// Sweep builds the scheduler × workload cross product on one platform:
-// the paper's evaluation grid. Every scheduler sees the identical trace
-// for a given workload (the cell seed is derived from the workload name
-// alone), so differences between rows are scheduling, not input noise.
-func Sweep(base Config, scheds []SchedulerKind, workloads []string, requests int) []Cell {
-	cells := make([]Cell, 0, len(scheds)*len(workloads))
-	for _, sk := range scheds {
-		for _, w := range workloads {
-			cfg := base
-			cfg.Scheduler = sk
-			h := fnv.New64a()
-			fmt.Fprintf(h, "workload:%s", w)
-			seed := h.Sum64()
-			name, workload := fmt.Sprintf("%s/%s", sk, w), w
-			cells = append(cells, Cell{
-				Name:   name,
-				Config: cfg,
-				Seed:   seed,
-				Source: func(seed uint64) (Source, error) {
-					return cfg.NewWorkloadSource(WorkloadSpec{Name: workload, Requests: requests, Seed: seed})
-				},
-			})
-		}
-	}
-	return cells
 }

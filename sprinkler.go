@@ -144,6 +144,12 @@ type Config struct {
 
 	// CollectSeries records a per-I/O latency series in the result.
 	CollectSeries bool
+
+	// SeriesWindow bounds the collected series to the most recent N
+	// completed I/Os (a ring buffer), making series collection safe on
+	// arbitrarily long runs. Zero keeps the exact one-point-per-I/O
+	// series. Ignored unless CollectSeries is set.
+	SeriesWindow int
 }
 
 // TotalPages returns the platform's physical page count.
@@ -168,8 +174,21 @@ func DefaultConfig() Config {
 	}
 }
 
-// toInternal converts the public config.
+// toInternal converts the public config and builds its scheduler.
 func (c Config) toInternal() (ssd.Config, sched.Scheduler, error) {
+	cfg, err := c.internalConfig()
+	if err != nil {
+		return ssd.Config{}, nil, err
+	}
+	s, err := c.newScheduler()
+	if err != nil {
+		return ssd.Config{}, nil, err
+	}
+	return cfg, s, nil
+}
+
+// internalConfig converts the public config (scheduler excluded).
+func (c Config) internalConfig() (ssd.Config, error) {
 	cfg := ssd.DefaultConfig()
 	cfg.Geo.Channels = c.Channels
 	cfg.Geo.ChipsPerChan = c.ChipsPerChan
@@ -185,6 +204,7 @@ func (c Config) toInternal() (ssd.Config, sched.Scheduler, error) {
 	cfg.MetricsSampleCap = c.MetricsSampleCap
 	cfg.DisableGC = c.DisableGC
 	cfg.CollectSeries = c.CollectSeries
+	cfg.SeriesWindow = c.SeriesWindow
 
 	switch c.Allocation {
 	case ChannelFirst, "":
@@ -194,25 +214,35 @@ func (c Config) toInternal() (ssd.Config, sched.Scheduler, error) {
 	case PlaneFirst:
 		cfg.Allocation = ftl.AllocPlaneFirst
 	default:
-		return ssd.Config{}, nil, fmt.Errorf("sprinkler: unknown allocation scheme %q", c.Allocation)
+		return ssd.Config{}, fmt.Errorf("sprinkler: unknown allocation scheme %q", c.Allocation)
 	}
+	return cfg, nil
+}
 
-	var s sched.Scheduler
+// newScheduler builds a fresh scheduler for the configured kind.
+func (c Config) newScheduler() (sched.Scheduler, error) {
 	switch c.Scheduler {
 	case VAS:
-		s = sched.NewVAS()
+		return sched.NewVAS(), nil
 	case PAS:
-		s = sched.NewPAS()
+		return sched.NewPAS(), nil
 	case SPK1:
-		s = core.NewSPK1()
+		return core.NewSPK1(), nil
 	case SPK2:
-		s = core.NewSPK2()
+		return core.NewSPK2(), nil
 	case SPK3, "":
-		s = core.NewSPK3()
+		return core.NewSPK3(), nil
 	default:
-		return ssd.Config{}, nil, fmt.Errorf("sprinkler: unknown scheduler %q", c.Scheduler)
+		return nil, fmt.Errorf("sprinkler: unknown scheduler %q", c.Scheduler)
 	}
-	return cfg, s, nil
+}
+
+// resolveKind normalizes the default scheduler selection.
+func resolveKind(k SchedulerKind) SchedulerKind {
+	if k == "" {
+		return SPK3
+	}
+	return k
 }
 
 // Request is one host I/O request.
@@ -228,9 +258,11 @@ type Request struct {
 	FUA bool
 }
 
-// Device is a simulated many-chip SSD. A Device runs one workload; build a
-// fresh one per run. For online submission and mid-run observation, use
-// Open and the Session API instead.
+// Device is a simulated many-chip SSD. A Device runs one workload at a
+// time; after a run drains it can be Reset and reused for the next one —
+// the cheap path mass sweeps take through DeviceArena. For online
+// submission and mid-run observation, use Open and the Session API
+// instead.
 type Device struct {
 	inner *ssd.Device
 	cfg   Config
@@ -251,6 +283,44 @@ func New(cfg Config) (*Device, error) {
 	}
 	return &Device{inner: inner, cfg: cfg}, nil
 }
+
+// Reset re-initializes the device in place for a new run, as if freshly
+// built with New(cfg) — but reusing every geometry-sized structure the
+// first construction allocated (event slab, controller and chip state,
+// FTL metadata pools and mapping tables, queue tags, scheduler indexes),
+// which is what makes device construction effectively free across the
+// cells of a sweep. The platform geometry must match the device's; every
+// per-run knob (scheduler, queue depth, GC policy, allocation scheme,
+// metrics options) may change. When the scheduler kind is unchanged the
+// existing scheduler instance is recycled too, with its per-run selection
+// state dropped.
+//
+// A reset device produces byte-identical Results to a fresh one — the
+// reuse-parity tests pin this for every scheduler. The previous run must
+// have completed (or never started); resetting mid-run is a caller bug.
+func (d *Device) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	icfg, err := cfg.internalConfig()
+	if err != nil {
+		return err
+	}
+	sch := d.inner.Scheduler()
+	if resolveKind(cfg.Scheduler) != resolveKind(d.cfg.Scheduler) {
+		if sch, err = cfg.newScheduler(); err != nil {
+			return err
+		}
+	}
+	if err := d.inner.Reset(icfg, sch); err != nil {
+		return err
+	}
+	d.cfg = cfg
+	return nil
+}
+
+// Config returns the configuration the device is currently built for.
+func (d *Device) Config() Config { return d.cfg }
 
 // Platform builds the paper's §5.1 evaluation platform for a total chip
 // count, spreading chips over channels the way the paper's platforms do
