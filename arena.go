@@ -2,27 +2,68 @@ package sprinkler
 
 import "sync"
 
-// DeviceArena is a pool of reusable Devices keyed by platform topology.
+// DeviceArena is a pool of reusable Devices keyed by platform topology,
+// plus a pool of reusable workload Sources keyed by spec identity.
 // Building a device is the dominant per-cell cost of a mass sweep —
 // controller, chip, FTL and kernel state all scale with the geometry — so
 // the arena hands a drained device back out for the next cell on the same
 // topology, Reset in place, instead of constructing a fresh one. Per-run
 // knobs (scheduler, queue depth, GC policy, metrics options) may differ
 // freely between the checkout's config and the device's previous run;
-// only the seven geometry fields key the pool.
+// only the seven geometry fields key the pool. Sources pool the same way
+// through GetSource/PutSource: a Resettable source built for one cell is
+// rewound with the next cell's seed instead of being rebuilt, and the
+// retired-I/O free lists ride along inside the pooled devices, so a sweep
+// cell warms from hot pools rather than empty ones.
 //
 // Reuse is behaviour-preserving: a recycled device produces byte-identical
-// Results to a fresh one (the reuse-parity tests pin this across every
-// scheduler), so callers can treat Get/Put purely as an allocation
+// Results to a fresh one, and a Reset source replays the byte-identical
+// stream a fresh build would (the reuse-parity tests pin both across every
+// scheduler), so callers can treat the arena purely as an allocation
 // optimization. The zero value is ready to use; a nil *DeviceArena is
 // also valid and degrades to fresh construction, which is how Runner
 // implements its NoReuse mode.
 //
-// A DeviceArena is safe for concurrent use. The devices themselves are
-// not: a checked-out device belongs to one goroutine until Put.
+// MaxDevices, when positive, bounds how many devices stay pooled: a Put
+// that would exceed it evicts the least-recently-used pooled device, so a
+// cross-topology sweep cannot accumulate one large retained device per
+// topology it ever visited. MaxSources bounds the source pool the same
+// way. Set both before the arena is shared. Zero means unbounded.
+//
+// A DeviceArena is safe for concurrent use. The devices and sources
+// themselves are not: a checked-out object belongs to one goroutine until
+// Put.
 type DeviceArena struct {
-	mu   sync.Mutex
-	free map[topology][]*Device
+	// MaxDevices caps pooled (checked-in) devices across all topologies;
+	// 0 means unbounded.
+	MaxDevices int
+
+	// MaxSources caps pooled sources across all keys the same way (a
+	// pooled CSV source pins a megabyte scan buffer; a combinator tree
+	// pins its whole graph). 0 means unbounded.
+	MaxSources int
+
+	mu       sync.Mutex
+	free     map[topology][]pooledDevice
+	devices  int    // pooled device count across topologies
+	seq      uint64 // LRU stamp source
+	sources  map[string][]pooledSource
+	nsources int // pooled source count across keys
+}
+
+// pooledSource stamps a checked-in source for LRU eviction, like
+// pooledDevice.
+type pooledSource struct {
+	src   Source
+	stamp uint64
+}
+
+// pooledDevice stamps a checked-in device for LRU eviction. Put appends
+// with an increasing stamp and Get pops from the end, so each topology's
+// list stays stamp-sorted: index 0 is that topology's least recently used.
+type pooledDevice struct {
+	d     *Device
+	stamp uint64
 }
 
 // topology is the arena key: the geometry fields a Device cannot change
@@ -44,7 +85,7 @@ func topologyOf(cfg Config) topology {
 	}
 }
 
-// NewDeviceArena returns an empty arena.
+// NewDeviceArena returns an empty unbounded arena.
 func NewDeviceArena() *DeviceArena { return &DeviceArena{} }
 
 // Get checks a device out of the arena for cfg: a pooled device on the
@@ -58,9 +99,10 @@ func (a *DeviceArena) Get(cfg Config) (*Device, error) {
 	a.mu.Lock()
 	var d *Device
 	if l := a.free[key]; len(l) > 0 {
-		d = l[len(l)-1]
-		l[len(l)-1] = nil
+		d = l[len(l)-1].d
+		l[len(l)-1] = pooledDevice{}
 		a.free[key] = l[:len(l)-1]
+		a.devices--
 	}
 	a.mu.Unlock()
 	if d != nil {
@@ -74,10 +116,11 @@ func (a *DeviceArena) Get(cfg Config) (*Device, error) {
 	return New(cfg)
 }
 
-// Put returns a device to the arena for reuse. Only hand back devices
-// whose run completed (drained) — a device abandoned mid-run holds live
-// simulation state and must simply be dropped instead. Put on a nil
-// arena discards the device.
+// Put returns a device to the arena for reuse, evicting the
+// least-recently-used pooled device when MaxDevices would be exceeded.
+// Only hand back devices whose run completed (drained) — a device
+// abandoned mid-run holds live simulation state and must simply be
+// dropped instead. Put on a nil arena discards the device.
 func (a *DeviceArena) Put(d *Device) {
 	if a == nil || d == nil {
 		return
@@ -85,10 +128,45 @@ func (a *DeviceArena) Put(d *Device) {
 	key := topologyOf(d.cfg)
 	a.mu.Lock()
 	if a.free == nil {
-		a.free = make(map[topology][]*Device)
+		a.free = make(map[topology][]pooledDevice)
 	}
-	a.free[key] = append(a.free[key], d)
+	a.seq++
+	a.free[key] = append(a.free[key], pooledDevice{d: d, stamp: a.seq})
+	a.devices++
+	for a.MaxDevices > 0 && a.devices > a.MaxDevices {
+		a.evictLocked()
+	}
 	a.mu.Unlock()
+}
+
+// evictLocked drops the globally least-recently-used pooled device: the
+// minimum stamp over every topology list's head (lists are stamp-sorted).
+func (a *DeviceArena) evictLocked() {
+	var oldestKey topology
+	var oldest uint64
+	found := false
+	for key, l := range a.free {
+		if len(l) == 0 {
+			continue
+		}
+		if !found || l[0].stamp < oldest {
+			found = true
+			oldest = l[0].stamp
+			oldestKey = key
+		}
+	}
+	if !found {
+		return
+	}
+	l := a.free[oldestKey]
+	copy(l, l[1:])
+	l[len(l)-1] = pooledDevice{}
+	if len(l) == 1 {
+		delete(a.free, oldestKey)
+	} else {
+		a.free[oldestKey] = l[:len(l)-1]
+	}
+	a.devices--
 }
 
 // Size reports how many devices are pooled (checked in) across all
@@ -99,9 +177,101 @@ func (a *DeviceArena) Size() int {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	n := 0
-	for _, l := range a.free {
-		n += len(l)
+	return a.devices
+}
+
+// GetSource checks a pooled source out for the given spec key, rewound to
+// replay under seed, building a fresh one (via build) when nothing
+// reusable is pooled. Two callers may share a key only when their build
+// functions construct equivalent sources — same workload spec, same
+// combinator tree — differing at most by seed; Grid derives its keys from
+// the cell's full workload coordinates to guarantee that. A pooled source
+// whose Reset fails (e.g. a CSV stream over a non-seekable reader) is
+// dropped and replaced by a fresh build. An empty key, or a nil arena,
+// always builds fresh.
+func (a *DeviceArena) GetSource(key string, seed uint64, build func(seed uint64) (Source, error)) (Source, error) {
+	if a == nil || key == "" {
+		return build(seed)
 	}
-	return n
+	a.mu.Lock()
+	var src Source
+	if l := a.sources[key]; len(l) > 0 {
+		src = l[len(l)-1].src
+		l[len(l)-1] = pooledSource{}
+		a.sources[key] = l[:len(l)-1]
+		a.nsources--
+	}
+	a.mu.Unlock()
+	if src != nil {
+		if err := ResetSource(src, seed); err == nil {
+			return src, nil
+		}
+	}
+	return build(seed)
+}
+
+// PutSource returns a source to the pool for its key, evicting the
+// least-recently-used pooled source when MaxSources would be exceeded.
+// Only Resettable sources are retained — anything else is discarded,
+// since it could never be checked out again. Hand back only sources whose
+// run completed; a source abandoned mid-pull is safely poolable too
+// (Reset rewinds it), but must not still be feeding a device.
+func (a *DeviceArena) PutSource(key string, src Source) {
+	if a == nil || key == "" || src == nil {
+		return
+	}
+	if _, ok := src.(Resettable); !ok {
+		return
+	}
+	a.mu.Lock()
+	if a.sources == nil {
+		a.sources = make(map[string][]pooledSource)
+	}
+	a.seq++
+	a.sources[key] = append(a.sources[key], pooledSource{src: src, stamp: a.seq})
+	a.nsources++
+	for a.MaxSources > 0 && a.nsources > a.MaxSources {
+		a.evictSourceLocked()
+	}
+	a.mu.Unlock()
+}
+
+// evictSourceLocked drops the globally least-recently-used pooled source
+// (lists are stamp-sorted for the same reason the device lists are).
+func (a *DeviceArena) evictSourceLocked() {
+	var oldestKey string
+	var oldest uint64
+	found := false
+	for key, l := range a.sources {
+		if len(l) == 0 {
+			continue
+		}
+		if !found || l[0].stamp < oldest {
+			found = true
+			oldest = l[0].stamp
+			oldestKey = key
+		}
+	}
+	if !found {
+		return
+	}
+	l := a.sources[oldestKey]
+	copy(l, l[1:])
+	l[len(l)-1] = pooledSource{}
+	if len(l) == 1 {
+		delete(a.sources, oldestKey)
+	} else {
+		a.sources[oldestKey] = l[:len(l)-1]
+	}
+	a.nsources--
+}
+
+// PooledSources reports how many sources are pooled across all keys.
+func (a *DeviceArena) PooledSources() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nsources
 }

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: table1, 1, 6, 10a, 10b, 10c, 10d, 11, 12, 13, 14, 15, 16, 17, ablation, summary, all")
+	fig := flag.String("fig", "all", "figure to regenerate: table1, 1, 6, 10a, 10b, 10c, 10d, 11, 12, 13, 14, 15, 16, 17, burst, ablation, summary, all")
 	scale := flag.Float64("scale", 1.0, "experiment scale in (0,1]; smaller = faster")
 	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
 	seed := flag.Uint64("seed", 0, "synthetic trace seed")
@@ -140,6 +140,11 @@ func main() {
 		pts, err := experiments.RunFig17(opts)
 		fail(err)
 		fmt.Println(experiments.FormatFig17(pts))
+	}
+	if has("burst") {
+		pts, err := experiments.RunBurstiness(opts)
+		fail(err)
+		fmt.Println(experiments.FormatBurstiness(pts))
 	}
 	if has("ablation") {
 		rows, err := experiments.RunAblation(opts)

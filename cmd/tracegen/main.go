@@ -1,18 +1,27 @@
 // Command tracegen emits synthetic workload traces from the Table 1
 // catalogue in the repository's CSV format (arrival_ns,op,lpn,pages),
 // ready for replay with `sprinklersim -trace` or sprinkler.NewCSVSource.
+// Workload-structure combinators — weighted mixes, Poisson arrivals,
+// on/off burst envelopes, Zipf spatial skew, read-ratio rewrites — can be
+// stacked onto the base workload so a generated CSV exercises them
+// standalone.
 //
 // Usage:
 //
 //	tracegen -list
 //	tracegen -workload msnfs1 -n 3000 > msnfs1.csv
 //	tracegen -workload cfs3 -n 1000 -seed 7 -o cfs3.csv
+//	tracegen -mix msnfs1:3,cfs0:1 -n 5000 > mixed.csv
+//	tracegen -workload hm0 -n 10000 -poisson 150000 -burst-on 2000000 -burst-off 6000000 > bursty.csv
+//	tracegen -workload websearch1 -n 2000 -zipf 0.99 -read-frac 0.8 > skewed.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"sprinkler"
 	"sprinkler/internal/trace"
@@ -21,10 +30,16 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list catalogue workloads and exit")
 	name := flag.String("workload", "", "Table 1 workload name (see -list)")
+	mix := flag.String("mix", "", "weighted workload mix, e.g. msnfs1:3,cfs0:1 (overrides -workload)")
 	n := flag.Int("n", 2000, "number of I/O requests")
 	seed := flag.Uint64("seed", 0, "generator seed (0 = derived from the name)")
 	out := flag.String("o", "", "output file (default stdout)")
 	chips := flag.Int("chips", 64, "target platform chip count (sizes the address space)")
+	poisson := flag.Float64("poisson", 0, "rewrite arrivals as open-loop Poisson at this rate (req/s; 0 = keep the generator's timeline)")
+	burstOn := flag.Int64("burst-on", 0, "burst on-window in ns (with -burst-off; duty cycle = on/(on+off))")
+	burstOff := flag.Int64("burst-off", 0, "burst off-gap in ns")
+	zipf := flag.Float64("zipf", 0, "redraw addresses from a Zipf-like power law with this theta (0 = keep)")
+	readFrac := flag.Float64("read-frac", -1, "redraw request directions: read with this probability (-1 = keep)")
 	flag.Parse()
 
 	if *list {
@@ -35,26 +50,96 @@ func main() {
 		}
 		return
 	}
+	if *n <= 0 {
+		fail(fmt.Errorf("-n must be positive, got %d", *n))
+	}
+
+	spec, err := baseSpec(*name, *mix, *n)
+	fail(err)
+	if *zipf > 0 {
+		spec = spec.WithZipf(*zipf)
+	}
+	if *readFrac >= 0 {
+		spec = spec.WithReadRatio(*readFrac)
+	}
+	if *poisson > 0 {
+		spec = spec.WithPoisson(*poisson)
+	}
+	if *burstOn > 0 || *burstOff > 0 {
+		spec = spec.WithBurst(*burstOn, *burstOff)
+	}
 
 	cfg := sprinkler.Platform(*chips)
-	reqs, err := cfg.GenerateWorkload(*name, *n, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v (use -list)\n", err)
-		os.Exit(1)
+	src, err := spec.New(cfg, *seed)
+	fail(err)
+	reqs := make([]sprinkler.Request, 0, *n)
+	for len(reqs) < *n {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		reqs = append(reqs, r)
 	}
+	fail(sprinklerErr(src))
 
 	dst := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
+		fail(err)
 		defer f.Close()
 		dst = f
 	}
-	if err := sprinkler.WriteCSV(dst, reqs); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
+	fail(sprinkler.WriteCSV(dst, reqs))
+}
+
+// baseSpec resolves the workload axis: a single Table 1 workload, or a
+// weighted mix of them (each component unbounded, the mix capped at n).
+func baseSpec(name, mix string, n int) (sprinkler.SourceSpec, error) {
+	if mix == "" {
+		if name == "" {
+			return sprinkler.SourceSpec{}, fmt.Errorf("need -workload or -mix (use -list)")
+		}
+		return sprinkler.WorkloadSpec{Name: name, Requests: n}.Spec(), nil
+	}
+	var items []sprinkler.WeightedSpec
+	var labels []string
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		w, weight := part, 1.0
+		if i := strings.LastIndex(part, ":"); i >= 0 {
+			var err error
+			if weight, err = strconv.ParseFloat(part[i+1:], 64); err != nil || weight <= 0 {
+				return sprinkler.SourceSpec{}, fmt.Errorf("bad mix weight in %q", part)
+			}
+			w = part[:i]
+		}
+		if w == "" {
+			return sprinkler.SourceSpec{}, fmt.Errorf("bad mix component %q", part)
+		}
+		items = append(items, sprinkler.WeightedSpec{
+			Spec:   sprinkler.WorkloadSpec{Name: w, Requests: 0}.Spec(),
+			Weight: weight,
+		})
+		labels = append(labels, part)
+	}
+	if len(items) == 0 {
+		return sprinkler.SourceSpec{}, fmt.Errorf("empty -mix")
+	}
+	label := "mix(" + strings.Join(labels, ",") + ")"
+	return sprinkler.MixSpec(label, items...).WithLimit(int64(n)), nil
+}
+
+// sprinklerErr surfaces a source's terminal error, if any.
+func sprinklerErr(src sprinkler.Source) error {
+	if es, ok := src.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}
 }

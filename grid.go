@@ -221,12 +221,14 @@ func (g Grid) Cells() []Cell {
 				parts = append(parts, string(resolveKind(sk)))
 				parts = append(parts, axisParts...)
 				parts = append(parts, src.Label)
+				key := g.sourceKey(axisParts, src.Label)
 				cells = append(cells, Cell{
 					Name:         strings.Join(parts, "/"),
 					Config:       cfg,
-					Seed:         g.cellSeed(axisParts, src.Label),
+					Seed:         g.cellSeed(key),
 					Labels:       labels,
 					Precondition: pre,
+					SourceKey:    key + "|" + sourceConfigKey(cfg),
 					Source: func(seed uint64) (Source, error) {
 						return src.New(cfg, seed)
 					},
@@ -257,15 +259,37 @@ func gridLabel(name, suffix string) string {
 	return name + "/" + suffix
 }
 
-// cellSeed derives the deterministic per-cell seed from every coordinate
-// except the scheduler, so all schedulers replay one trace per point.
-func (g Grid) cellSeed(axisParts []string, srcLabel string) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "grid:%s", g.Name)
+// sourceKey names the cell's workload coordinates — every axis except the
+// scheduler — and is the seed-derivation input, so all schedulers replay
+// one trace per point. The arena's source-pool key is this string plus a
+// config fingerprint (sourceConfigKey): axis labels alone cannot be
+// trusted across grids sharing one arena, since two grids may emit the
+// same labels over different Base platforms, and a source bakes the
+// platform's logical span in at build time.
+func (g Grid) sourceKey(axisParts []string, srcLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grid:%s", g.Name)
 	for _, p := range axisParts {
-		fmt.Fprintf(h, "|%s", p)
+		fmt.Fprintf(&b, "|%s", p)
 	}
-	fmt.Fprintf(h, "|src:%s", srcLabel)
+	fmt.Fprintf(&b, "|src:%s", srcLabel)
+	return b.String()
+}
+
+// sourceConfigKey fingerprints everything about a cell's configuration a
+// source build could depend on. The scheduler is excluded — it is the one
+// axis sources must be shareable across — by zeroing it before rendering
+// the flat struct.
+func sourceConfigKey(cfg Config) string {
+	cfg.Scheduler = ""
+	return fmt.Sprintf("%+v", cfg)
+}
+
+// cellSeed derives the deterministic per-cell seed from the source key,
+// i.e. from every coordinate except the scheduler.
+func (g Grid) cellSeed(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
 	s := h.Sum64()
 	if g.Seed != 0 {
 		s = (s ^ g.Seed) * 0x2545F4914F6CDD1D

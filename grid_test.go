@@ -127,6 +127,61 @@ func TestGridCustomAxesAndSources(t *testing.T) {
 	}
 }
 
+// TestGridWorkloadStructureAxis declares workload *structure* — burst duty
+// cycle over one base workload — as a grid axis built entirely from
+// SourceSpec combinators, and checks the swept structure actually shows in
+// the simulated timelines.
+func TestGridWorkloadStructureAxis(t *testing.T) {
+	// Light arrival-bound load (small reads, 20k req/s -> a 4 ms arrival
+	// span) so the burst envelope's 4x time dilation dominates the
+	// simulated duration.
+	base := sprinkler.WorkloadSpec{Name: "cfs0", Requests: 80, MaxPages: 4}.Spec().
+		WithReadRatio(1).
+		WithPoisson(20_000)
+	g := sprinkler.Grid{
+		Name:       "structure",
+		Base:       smallConfig(sprinkler.SPK3),
+		Schedulers: []sprinkler.SchedulerKind{sprinkler.VAS, sprinkler.SPK3},
+		Sources: []sprinkler.SourceSpec{
+			base.Relabel("duty=100"),
+			base.WithBurst(200_000, 600_000).Relabel("duty=25"),
+		},
+	}
+	cells := g.Cells()
+	if len(cells) != 2*2 {
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.SourceKey == "" {
+			t.Fatalf("cell %q has no source-pool key", c.Name)
+		}
+	}
+	duration := map[string]map[string]int64{} // workload -> scheduler -> duration
+	for _, cr := range (sprinkler.Runner{Workers: 2}).Run(context.Background(), cells) {
+		if cr.Err != nil {
+			t.Fatalf("cell %q: %v", cr.Name, cr.Err)
+		}
+		if cr.Result.IOsCompleted != 80 {
+			t.Fatalf("cell %q completed %d/80", cr.Name, cr.Result.IOsCompleted)
+		}
+		if duration[cr.Labels["workload"]] == nil {
+			duration[cr.Labels["workload"]] = map[string]int64{}
+		}
+		duration[cr.Labels["workload"]][cr.Labels["scheduler"]] = cr.Result.DurationNS
+	}
+	if len(duration) != 2 {
+		t.Fatalf("workload axis collapsed: %v", duration)
+	}
+	// The 25%-duty envelope dilates the same arrival stream 4x: its
+	// simulated runs must take longer than the smooth ones.
+	for _, s := range []string{"VAS", "SPK3"} {
+		if duration["duty=25"][s] <= duration["duty=100"][s] {
+			t.Fatalf("%s: bursty run (%d ns) not longer than smooth (%d ns)",
+				s, duration["duty=25"][s], duration["duty=100"][s])
+		}
+	}
+}
+
 // TestGridDefaultSchedulerAndEmptyAxis: an unset Base.Scheduler resolves
 // to SPK3 in both the cell name and the label, and an empty custom axis
 // means "keep the base" (like the built-in knobs), not a zero-way cross

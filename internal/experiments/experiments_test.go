@@ -219,6 +219,50 @@ func TestFig15And16Sweep(t *testing.T) {
 	}
 }
 
+// TestBurstinessSweep runs the workload-structure study at tiny scale: the
+// grid's workload axis is built entirely from combinator specs (Poisson +
+// Burst), and burstier arrivals at constant mean rate must not improve
+// tail latency.
+func TestBurstinessSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	pts, err := RunBurstiness(Options{Scale: 0.05, Chips: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5*4 {
+		t.Fatalf("got %d points, want 20", len(pts))
+	}
+	byKey := map[string]map[float64]BurstPoint{}
+	for _, p := range pts {
+		if p.AvgLatencyMS <= 0 || p.DutyPct == 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		if byKey[p.Scheduler] == nil {
+			byKey[p.Scheduler] = map[float64]BurstPoint{}
+		}
+		byKey[p.Scheduler][p.DutyPct] = p
+	}
+	// Compressing the same load into 1/8th of the timeline must not
+	// improve latency in aggregate (individual schedulers' tails are noisy
+	// at test scale, so the assertion sums over the scheduler axis).
+	var smooth, bursty float64
+	for _, m := range byKey {
+		smooth += m[100].AvgLatencyMS
+		bursty += m[12.5].AvgLatencyMS
+	}
+	if bursty < smooth {
+		t.Fatalf("aggregate latency improved under 8x burstiness: %.3f < %.3f", bursty, smooth)
+	}
+	out := FormatBurstiness(pts)
+	for _, want := range []string{"Burstiness sweep", "P99", "duty%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatBurstiness missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFig17GCImpact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("GC sweep is seconds-long")

@@ -134,6 +134,26 @@ func NewStream(w Workload, cfg GenConfig) (*Stream, error) {
 // Emitted reports how many requests the stream has produced.
 func (g *Stream) Emitted() int64 { return g.emitted }
 
+// Reset rewinds the stream to replay from the beginning, exactly as if it
+// had been built with NewStream and the given seed (a zero seed derives
+// the stable per-workload seed, like NewStream). The workload, bounds and
+// shape parameters are retained; only the generator state rewinds.
+func (g *Stream) Reset(seed uint64) {
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(g.w.Name))
+		seed = h.Sum64()
+	}
+	g.rng.Reseed(seed)
+	g.emitted = 0
+	g.now = 0
+	g.seqRead, g.seqWrite = 0, 0
+	g.started = false
+	g.isRead = false
+	g.base = 0
+	g.b = g.burst // force a fresh burst on the first Next
+}
+
 // Next produces the next request as a host I/O object, or false when a
 // bounded stream is done. Streaming consumers that only need the request
 // parameters should use NextRecord, which allocates nothing.
@@ -288,28 +308,68 @@ type FixedConfig struct {
 	Seed uint64
 }
 
-// GenerateFixed produces Count same-size requests, all arriving at t=0
-// (closed loop: the device-level queue's backpressure paces them).
-func GenerateFixed(cfg FixedConfig) ([]*req.IO, error) {
+// FixedStream generates a fixed-transfer-size workload one request at a
+// time in O(1) memory: Count same-size requests, all arriving at t=0
+// (closed loop: the device-level queue's backpressure paces them). The
+// sequence is identical to what GenerateFixed materializes for the same
+// config, and Reset rewinds it for reuse across sweep cells.
+type FixedStream struct {
+	cfg FixedConfig
+	rng *sim.Rand
+	i   int
+}
+
+// NewFixedStream builds the incremental fixed-size generator.
+func NewFixedStream(cfg FixedConfig) (*FixedStream, error) {
 	if cfg.Count <= 0 || cfg.Pages <= 0 {
 		return nil, fmt.Errorf("trace: fixed workload needs positive Count and Pages")
 	}
 	if !cfg.Sequential && cfg.LogicalPages < int64(cfg.Pages) {
 		return nil, fmt.Errorf("trace: LogicalPages %d < request size %d", cfg.LogicalPages, cfg.Pages)
 	}
-	rng := sim.NewRand(cfg.Seed + 1)
-	ios := make([]*req.IO, cfg.Count)
-	for i := range ios {
-		var start req.LPN
-		if cfg.Sequential {
-			start = req.LPN(int64(i) * int64(cfg.Pages))
-			if cfg.LogicalPages > 0 {
-				start = req.LPN(int64(start) % maxInt64(1, cfg.LogicalPages-int64(cfg.Pages)))
-			}
-		} else {
-			start = req.LPN(rng.Int63n(cfg.LogicalPages - int64(cfg.Pages) + 1))
-		}
-		ios[i] = req.NewIO(int64(i), cfg.Kind, start, cfg.Pages, 0)
+	return &FixedStream{cfg: cfg, rng: sim.NewRand(cfg.Seed + 1)}, nil
+}
+
+// NextRecord produces the next request's parameters, or false once Count
+// requests have been emitted.
+func (g *FixedStream) NextRecord() (Record, bool) {
+	if g.i >= g.cfg.Count {
+		return Record{}, false
 	}
-	return ios, nil
+	var start req.LPN
+	if g.cfg.Sequential {
+		start = req.LPN(int64(g.i) * int64(g.cfg.Pages))
+		if g.cfg.LogicalPages > 0 {
+			start = req.LPN(int64(start) % maxInt64(1, g.cfg.LogicalPages-int64(g.cfg.Pages)))
+		}
+	} else {
+		start = req.LPN(g.rng.Int63n(g.cfg.LogicalPages - int64(g.cfg.Pages) + 1))
+	}
+	g.i++
+	return Record{Kind: g.cfg.Kind, LPN: start, Pages: g.cfg.Pages}, true
+}
+
+// Reset rewinds the stream to replay as if built with the given seed.
+func (g *FixedStream) Reset(seed uint64) {
+	g.cfg.Seed = seed
+	g.rng.Reseed(seed + 1)
+	g.i = 0
+}
+
+// GenerateFixed produces Count same-size requests, all arriving at t=0
+// (closed loop: the device-level queue's backpressure paces them). It is
+// the materializing wrapper over FixedStream.
+func GenerateFixed(cfg FixedConfig) ([]*req.IO, error) {
+	g, err := NewFixedStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ios := make([]*req.IO, 0, cfg.Count)
+	for {
+		rec, ok := g.NextRecord()
+		if !ok {
+			return ios, nil
+		}
+		ios = append(ios, req.NewIO(int64(len(ios)), rec.Kind, rec.LPN, rec.Pages, rec.Arrival))
+	}
 }

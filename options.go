@@ -56,6 +56,7 @@ func (c Config) Validate() error {
 // options collects session/run knobs set by Option values.
 type options struct {
 	precondition *Precondition
+	arena        *DeviceArena
 }
 
 // Option customizes Open.
@@ -74,4 +75,13 @@ type Precondition struct {
 // WithPrecondition fragments the device before any request is served.
 func WithPrecondition(p Precondition) Option {
 	return func(o *options) { o.precondition = &p }
+}
+
+// WithArena checks the session's device out of the arena instead of
+// building one: a pooled device on the configuration's topology is Reset
+// and reused (with its warmed request free list), and Drain returns it to
+// the arena for the next session or sweep cell. A nil arena degrades to
+// fresh construction.
+func WithArena(a *DeviceArena) Option {
+	return func(o *options) { o.arena = a }
 }

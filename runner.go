@@ -39,6 +39,16 @@ type Cell struct {
 	// CellResult so sweep consumers can index results without parsing
 	// names.
 	Labels map[string]string
+
+	// SourceKey, when non-empty, lets the Runner pool the built source in
+	// its DeviceArena: the first cell on the key builds it, later cells
+	// check it out Reset to their seed instead of rebuilding (sources that
+	// are not Resettable degrade to per-cell builds). Cells sharing a key
+	// must build equivalent sources — same spec, differing only by seed.
+	// Grid.Cells derives the key from the cell's full workload coordinates
+	// (grid name, axis point labels, source label), which is exactly that
+	// guarantee; hand-built cells may leave it empty to opt out.
+	SourceKey string
 }
 
 // CellResult pairs a cell with its outcome.
@@ -155,19 +165,21 @@ func (r Runner) runCell(ctx context.Context, c Cell, i int, arena *DeviceArena) 
 	if p := c.Precondition; p != nil {
 		dev.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
 	}
-	src, err := c.Source(out.Seed)
+	src, err := arena.GetSource(c.SourceKey, out.Seed, c.Source)
 	if err != nil {
 		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
 		return out
 	}
 	res, err := dev.Run(ctx, src)
 	if err != nil {
-		// The device may hold mid-run state (cancellation, stalls): drop
-		// it rather than recycling a non-pristine simulation.
+		// The device (and the source feeding it) may hold mid-run state —
+		// cancellation, stalls: drop both rather than recycling a
+		// non-pristine simulation.
 		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
 		return out
 	}
 	arena.Put(dev)
+	arena.PutSource(c.SourceKey, src)
 	out.Result = res
 	return out
 }

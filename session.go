@@ -26,11 +26,21 @@ type Session struct {
 	closed    bool
 
 	// pool recycles completed request objects so long-lived sessions
-	// admit at zero steady-state allocations per I/O.
-	pool ioPool
+	// admit at zero steady-state allocations per I/O. An arena-backed
+	// session (WithArena) borrows the pooled device's own free list, so
+	// consecutive sessions on one recycled device warm from a hot pool.
+	pool *ioPool
+
+	// pub/arena are set when the session's device was checked out of a
+	// DeviceArena; Drain hands it back.
+	pub   *Device
+	arena *DeviceArena
 }
 
-// Open builds a Session from the configuration, validating it first.
+// Open builds a Session from the configuration, validating it first. With
+// WithArena, the session's device is checked out of the arena (recycled
+// from a previous run or session on the same topology) and returned to it
+// on Drain.
 func Open(cfg Config, opts ...Option) (*Session, error) {
 	var o options
 	for _, opt := range opts {
@@ -39,19 +49,31 @@ func Open(cfg Config, opts ...Option) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	icfg, sch, err := cfg.toInternal()
-	if err != nil {
-		return nil, err
-	}
-	inner, err := ssd.New(icfg, sch)
-	if err != nil {
-		return nil, err
+	s := &Session{cfg: cfg}
+	if o.arena != nil {
+		pub, err := o.arena.Get(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.pub, s.arena = pub, o.arena
+		s.dev = pub.inner
+		s.pool = &pub.adapter.pool
+	} else {
+		icfg, sch, err := cfg.toInternal()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := ssd.New(icfg, sch)
+		if err != nil {
+			return nil, err
+		}
+		s.dev = inner
+		s.pool = new(ioPool)
 	}
 	if p := o.precondition; p != nil {
-		inner.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
+		s.dev.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
 	}
-	s := &Session{dev: inner, cfg: cfg}
-	inner.SetIORetire(s.pool.put)
+	s.dev.SetIORetire(s.pool.put)
 	return s, nil
 }
 
@@ -136,6 +158,14 @@ func (s *Session) Drain(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	s.closed = true
+	if s.arena != nil {
+		// The run drained: the device is pristine after its next Reset.
+		// Uninstall our retire hook before recycling so the pooled device
+		// does not call into a dead session.
+		s.dev.SetIORetire(nil)
+		s.arena.Put(s.pub)
+		s.pub, s.arena = nil, nil
+	}
 	return publicResult(res), nil
 }
 

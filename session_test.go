@@ -179,6 +179,51 @@ func TestSessionRejectsBadRequest(t *testing.T) {
 
 // TestOpenWithPrecondition fragments the device so GC runs during the
 // session workload.
+// TestSessionWithArena: sessions check devices out of a DeviceArena and
+// return them on Drain; an arena-recycled session produces the identical
+// Result a fresh-built one does.
+func TestSessionWithArena(t *testing.T) {
+	cfg := smallConfig(sprinkler.SPK3)
+	drive := func(opts ...sprinkler.Option) *sprinkler.Result {
+		sess, err := sprinkler.Open(cfg, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			req := sprinkler.Request{LPN: int64(i * 4), Pages: 4, Write: i%3 == 0}
+			if err := sess.Submit(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := sess.Drain(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := drive()
+
+	arena := sprinkler.NewDeviceArena()
+	first := drive(sprinkler.WithArena(arena))
+	if arena.Size() != 1 {
+		t.Fatalf("drained session did not return its device: arena holds %d", arena.Size())
+	}
+	// The second session must recycle the pooled device (arena empties at
+	// checkout) and still match the fresh-built result exactly.
+	second := drive(sprinkler.WithArena(arena))
+	if arena.Size() != 1 {
+		t.Fatalf("second session did not recycle: arena holds %d", arena.Size())
+	}
+	for i, res := range []*sprinkler.Result{first, second} {
+		if res.IOsCompleted != want.IOsCompleted ||
+			res.DurationNS != want.DurationNS ||
+			res.AvgLatencyNS != want.AvgLatencyNS ||
+			res.BandwidthKBps != want.BandwidthKBps {
+			t.Fatalf("arena session %d diverged from fresh: %+v vs %+v", i, res, want)
+		}
+	}
+}
+
 func TestOpenWithPrecondition(t *testing.T) {
 	cfg := smallConfig(sprinkler.SPK3)
 	cfg.BlocksPerPlane = 12

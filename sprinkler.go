@@ -17,9 +17,14 @@
 // replays, CSV trace files, infinite synthetic generators, open-loop
 // Poisson arrivals), and the device pulls it one request ahead of the
 // simulation clock — the workload itself is never materialized, however
-// long it runs. Metrics memory is O(1): latency percentiles are exact up
-// to Config's MetricsSampleCap and then stream into a fixed-size
-// log-bucketed estimator, and completed request objects are recycled.
+// long it runs. Sources compose through deterministic combinators — Mix,
+// Phases, Burst, Zipf, ReadRatio, Resize — and every source is Resettable:
+// Reset(seed) rewinds it to replay exactly what a fresh construction with
+// that seed would emit, which is what lets sweeps pool sources across
+// cells (see DeviceArena and the SourceSpec constructors). Metrics memory
+// is O(1): latency percentiles are exact up to Config's MetricsSampleCap
+// and then stream into a fixed-size log-bucketed estimator, and completed
+// request objects are recycled.
 // The FTL's mapping tables cost ~8 bytes per logical/physical page over
 // the touched address-space span (the same dense-page-table budget real
 // FTL DRAM pays), independent of how long the workload runs.
@@ -266,6 +271,19 @@ type Request struct {
 type Device struct {
 	inner *ssd.Device
 	cfg   Config
+
+	// adapter persists across runs: its retired-I/O free list keeps the
+	// request working set hot from one run to the next, so a sweep cell on
+	// an arena-recycled device admits at zero steady-state allocations
+	// from its first request (the pool would otherwise re-warm from empty
+	// every run).
+	adapter ioAdapter
+
+	// scheds caches one scheduler instance per kind ever run on this
+	// device, so a sweep alternating schedulers on a recycled device
+	// reuses them (per-run selection state is dropped through
+	// sched.StateResetter on every Reset) instead of rebuilding.
+	scheds map[SchedulerKind]sched.Scheduler
 }
 
 // New builds a Device from the configuration, validating it first.
@@ -281,7 +299,11 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{inner: inner, cfg: cfg}, nil
+	return &Device{
+		inner:  inner,
+		cfg:    cfg,
+		scheds: map[SchedulerKind]sched.Scheduler{resolveKind(cfg.Scheduler): s},
+	}, nil
 }
 
 // Reset re-initializes the device in place for a new run, as if freshly
@@ -306,11 +328,13 @@ func (d *Device) Reset(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	sch := d.inner.Scheduler()
-	if resolveKind(cfg.Scheduler) != resolveKind(d.cfg.Scheduler) {
+	kind := resolveKind(cfg.Scheduler)
+	sch := d.scheds[kind]
+	if sch == nil {
 		if sch, err = cfg.newScheduler(); err != nil {
 			return err
 		}
+		d.scheds[kind] = sch
 	}
 	if err := d.inner.Reset(icfg, sch); err != nil {
 		return err
@@ -366,13 +390,19 @@ func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
 // On context cancellation Run returns the measurements accumulated so
 // far together with ctx's error, so a cancelled run is still observable.
 func (d *Device) Run(ctx context.Context, src Source) (*Result, error) {
-	a := &ioAdapter{src: src}
-	// Recycle completed request objects into the adapter's free list:
-	// steady-state streaming reuses them instead of allocating per I/O.
-	// Uninstall afterwards so the pool (up to 4096 grown request
-	// objects) is not pinned for the device's remaining lifetime.
+	// The adapter is the device's own, reused across runs: completed
+	// request objects recycle into its free list during the run, and the
+	// warmed list carries over to the device's next run (through a
+	// DeviceArena, to the next sweep cell). The retire hook is
+	// uninstalled afterwards and the source reference dropped, so a
+	// finished run pins neither.
+	a := &d.adapter
+	a.src, a.next, a.err = src, 0, nil
 	d.inner.SetIORetire(a.pool.put)
-	defer d.inner.SetIORetire(nil)
+	defer func() {
+		d.inner.SetIORetire(nil)
+		a.src = nil
+	}()
 	res, err := d.inner.RunContext(ctx, a)
 	if err != nil {
 		if res != nil {
