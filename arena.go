@@ -1,6 +1,10 @@
 package sprinkler
 
-import "sync"
+import (
+	"sync"
+
+	"sprinkler/internal/ftl"
+)
 
 // DeviceArena is a pool of reusable Devices keyed by platform topology,
 // plus a pool of reusable workload Sources keyed by spec identity.
@@ -49,6 +53,46 @@ type DeviceArena struct {
 	seq      uint64 // LRU stamp source
 	sources  map[string][]pooledSource
 	nsources int // pooled source count across keys
+
+	// meta retains the FTL block-metadata arena of the most recently
+	// evicted device per topology (at most MaxDevices topologies, LRU),
+	// so re-admitting an evicted topology rebuilds its device on the
+	// retained arena instead of re-allocating block metadata. The mapping
+	// tables — the bulk of a device's memory — are not retained, so the
+	// eviction bound still bounds memory.
+	meta map[topology]retainedMeta
+
+	stats ArenaStats
+}
+
+// retainedMeta stamps a retained eviction arena for LRU bounding.
+type retainedMeta struct {
+	m     *ftl.BlockMeta
+	stamp uint64
+}
+
+// ArenaStats counts arena traffic since construction. Hits are checkouts
+// served by a pooled object, misses fell through to a fresh build (of
+// which MetaReuses rebuilt on a retained eviction arena), and evictions
+// count pooled objects dropped at the MaxDevices/MaxSources bounds.
+type ArenaStats struct {
+	DeviceHits      uint64
+	DeviceMisses    uint64
+	DeviceEvictions uint64
+	MetaReuses      uint64
+	SourceHits      uint64
+	SourceMisses    uint64
+	SourceEvictions uint64
+}
+
+// Stats snapshots the arena's traffic counters. Nil-safe (zero stats).
+func (a *DeviceArena) Stats() ArenaStats {
+	if a == nil {
+		return ArenaStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
 }
 
 // pooledSource stamps a checked-in source for LRU eviction, like
@@ -98,11 +142,23 @@ func (a *DeviceArena) Get(cfg Config) (*Device, error) {
 	key := topologyOf(cfg)
 	a.mu.Lock()
 	var d *Device
+	var meta *ftl.BlockMeta
 	if l := a.free[key]; len(l) > 0 {
 		d = l[len(l)-1].d
 		l[len(l)-1] = pooledDevice{}
 		a.free[key] = l[:len(l)-1]
 		a.devices--
+		a.stats.DeviceHits++
+	} else {
+		a.stats.DeviceMisses++
+		// A fresh build for a topology we evicted earlier rebuilds on the
+		// retained block-metadata arena. The entry is consumed: the arena
+		// is aliased by the new device from here on.
+		if r, ok := a.meta[key]; ok {
+			meta = r.m
+			delete(a.meta, key)
+			a.stats.MetaReuses++
+		}
 	}
 	a.mu.Unlock()
 	if d != nil {
@@ -113,7 +169,7 @@ func (a *DeviceArena) Get(cfg Config) (*Device, error) {
 		}
 		return d, nil
 	}
-	return New(cfg)
+	return newWithMeta(cfg, meta)
 }
 
 // Put returns a device to the arena for reuse, evicting the
@@ -159,6 +215,7 @@ func (a *DeviceArena) evictLocked() {
 		return
 	}
 	l := a.free[oldestKey]
+	evicted := l[0].d
 	copy(l, l[1:])
 	l[len(l)-1] = pooledDevice{}
 	if len(l) == 1 {
@@ -167,6 +224,33 @@ func (a *DeviceArena) evictLocked() {
 		a.free[oldestKey] = l[:len(l)-1]
 	}
 	a.devices--
+	a.stats.DeviceEvictions++
+	// Keep the evicted device's FTL block-metadata arena (its mapping
+	// tables and kernel state go with the device) so re-admission of this
+	// topology after the eviction is cheap. One retained arena per
+	// topology, at most MaxDevices topologies, LRU-bounded like the pools.
+	if a.meta == nil {
+		a.meta = make(map[topology]retainedMeta)
+	}
+	a.seq++
+	a.meta[oldestKey] = retainedMeta{m: evicted.inner.FTL().DetachBlockMeta(), stamp: a.seq}
+	max := a.MaxDevices
+	if max < 1 {
+		max = 1
+	}
+	for len(a.meta) > max {
+		var oldKey topology
+		var old uint64
+		first := true
+		for k, r := range a.meta {
+			if first || r.stamp < old {
+				first = false
+				old = r.stamp
+				oldKey = k
+			}
+		}
+		delete(a.meta, oldKey)
+	}
 }
 
 // Size reports how many devices are pooled (checked in) across all
@@ -200,6 +284,9 @@ func (a *DeviceArena) GetSource(key string, seed uint64, build func(seed uint64)
 		l[len(l)-1] = pooledSource{}
 		a.sources[key] = l[:len(l)-1]
 		a.nsources--
+		a.stats.SourceHits++
+	} else {
+		a.stats.SourceMisses++
 	}
 	a.mu.Unlock()
 	if src != nil {
@@ -264,6 +351,7 @@ func (a *DeviceArena) evictSourceLocked() {
 		a.sources[oldestKey] = l[:len(l)-1]
 	}
 	a.nsources--
+	a.stats.SourceEvictions++
 }
 
 // PooledSources reports how many sources are pooled across all keys.

@@ -1,0 +1,146 @@
+package sprinkler_test
+
+import (
+	"runtime"
+	"testing"
+
+	"sprinkler"
+)
+
+// metaConfig is a topology whose block metadata is a large share of
+// device memory (many small blocks), so the bytes the retained eviction
+// arena saves are measurable against construction noise.
+func metaConfig(kind sprinkler.SchedulerKind) sprinkler.Config {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Channels = 2
+	cfg.ChipsPerChan = 2
+	cfg.BlocksPerPlane = 128
+	cfg.PagesPerBlock = 8
+	cfg.QueueDepth = 16
+	cfg.Scheduler = kind
+	return cfg
+}
+
+// allocBytes measures the bytes allocated by f on a quiesced heap.
+func allocBytes(f func()) uint64 {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	f()
+	runtime.ReadMemStats(&m1)
+	return m1.TotalAlloc - m0.TotalAlloc
+}
+
+// metaSink keeps built devices live so the compiler cannot elide the
+// constructions under measurement.
+var metaSink *sprinkler.Device
+
+// TestArenaEvictionRetainsBlockMeta pins the cheap-re-admission
+// guarantee: after an LRU eviction drops a topology's device, checking
+// the same topology out again rebuilds it on the retained FTL
+// block-metadata arena, allocating measurably less than a cold build.
+func TestArenaEvictionRetainsBlockMeta(t *testing.T) {
+	cfgA := metaConfig(sprinkler.SPK3)
+	cfgB := metaConfig(sprinkler.SPK3)
+	cfgB.ChipsPerChan = 4 // distinct topology, same block shape
+
+	arena := sprinkler.NewDeviceArena()
+	arena.MaxDevices = 1
+
+	dA, err := arena.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena.Put(dA)
+	dB, err := arena.Get(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena.Put(dB) // exceeds MaxDevices: evicts A, retaining its block metadata
+
+	if s := arena.Stats(); s.DeviceEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (stats %+v)", s.DeviceEvictions, s)
+	}
+
+	fresh := allocBytes(func() {
+		d, err := sprinkler.New(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metaSink = d
+	})
+	readmit := allocBytes(func() {
+		d, err := arena.Get(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metaSink = d
+	})
+
+	if s := arena.Stats(); s.MetaReuses != 1 {
+		t.Fatalf("meta reuses = %d, want 1 (stats %+v)", s.MetaReuses, s)
+	}
+	if readmit >= fresh {
+		t.Fatalf("re-admission allocated %d bytes, fresh build %d: retained metadata saved nothing", readmit, fresh)
+	}
+	// The topology's block metadata (2048 blocks: ~56 B records + bitmap
+	// words + free-list ints + plane structs) is well over 64 KB; require
+	// at least that much of it to have been reused.
+	if saved := fresh - readmit; saved < 64<<10 {
+		t.Fatalf("re-admission saved only %d bytes over a fresh build (fresh %d, re-admit %d), want >= 64 KiB", saved, fresh, readmit)
+	}
+
+	// The retained arena is consumed by the re-admission: a second miss on
+	// the topology is a plain cold build again.
+	d2, err := arena.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaSink = d2
+	if s := arena.Stats(); s.MetaReuses != 1 {
+		t.Fatalf("meta reused twice (stats %+v): retained arena must be single-use", s)
+	}
+}
+
+// TestMetaReuseParity: a device rebuilt on a retained eviction arena is
+// behaviourally indistinguishable from a fresh one — byte-identical
+// JSON Results on a GC-heavy workload.
+func TestMetaReuseParity(t *testing.T) {
+	cfg := metaConfig(sprinkler.SPK3)
+	pre := &sprinkler.Precondition{FillFrac: 0.9, ChurnFrac: 0.5, Seed: 99}
+
+	freshDev, err := sprinkler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOn(t, freshDev, cfg, "cfs0", 150, 77, pre)
+
+	// Force an eviction that retains cfg's topology metadata, then
+	// re-admit and run the identical cell.
+	arena := sprinkler.NewDeviceArena()
+	arena.MaxDevices = 1
+	d, err := arena.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena.Put(d)
+	other := metaConfig(sprinkler.SPK3)
+	other.Channels = 4
+	dOther, err := arena.Get(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena.Put(dOther)
+
+	reused, err := arena.Get(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := arena.Stats(); s.MetaReuses != 1 {
+		t.Fatalf("expected a meta-reuse build (stats %+v)", s)
+	}
+	got := runOn(t, reused, cfg, "cfs0", 150, 77, pre)
+	if got != want {
+		t.Fatalf("meta-reused device diverged from fresh:\nfresh:  %s\nreused: %s", want, got)
+	}
+}

@@ -14,55 +14,30 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
+	"sprinkler/internal/cliutil"
 	"sprinkler/internal/experiments"
 )
 
 func main() {
+	app := cliutil.NewApp("experiments")
+	defer app.Close()
+
 	fig := flag.String("fig", "all", "figure to regenerate: table1, 1, 6, 10a, 10b, 10c, 10d, 11, 12, 13, 14, 15, 16, 17, burst, ablation, summary, all")
 	scale := flag.Float64("scale", 1.0, "experiment scale in (0,1]; smaller = faster")
 	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
 	seed := flag.Uint64("seed", 0, "synthetic trace seed")
 	workers := flag.Int("workers", 0, "concurrent sweep cells (0 = all CPU cores)")
 	noreuse := flag.Bool("noreuse", false, "build a fresh device per sweep cell instead of recycling through the device arena (results are identical; useful for profiling construction cost)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
+	profiles := app.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
-	// Profile teardown must run even on fail(): fail routes through
-	// flushProfiles before exiting, so an aborted sweep still leaves a
-	// usable CPU profile and a heap snapshot of the failure point.
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		fail(err)
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
-		}
-		cleanups = append(cleanups, func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		})
-	}
-	if *memprofile != "" {
-		path := *memprofile
-		cleanups = append(cleanups, func() {
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				return
-			}
-			runtime.GC() // settle live-heap stats before the snapshot
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-			}
-			f.Close()
-		})
-	}
-	defer flushProfiles()
+	// Profile teardown must run even on a failed run: app.Check routes
+	// through the cleanups before exiting, so an aborted sweep still leaves
+	// a usable CPU profile and a heap snapshot of the failure point.
+	app.Check(profiles.Start())
+	fail := app.Check
 
 	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse}
 	want := strings.ToLower(*fig)
@@ -150,24 +125,5 @@ func main() {
 		rows, err := experiments.RunAblation(opts)
 		fail(err)
 		fmt.Println(experiments.FormatAblation(rows))
-	}
-}
-
-// cleanups holds the profile writers; they run exactly once, on normal
-// exit or through fail().
-var cleanups []func()
-
-func flushProfiles() {
-	for _, fn := range cleanups {
-		fn()
-	}
-	cleanups = nil
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		flushProfiles()
-		os.Exit(1)
 	}
 }

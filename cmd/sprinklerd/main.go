@@ -1,0 +1,198 @@
+// Command sprinklerd serves the simulator as a daemon: clients open named
+// sessions over HTTP/JSON against a shared bounded arena of warm devices,
+// stream requests in, advance simulated time, and stream snapshot windows
+// out. Admission is controlled (session cap, device budget, per-session
+// backlog budgets) with 429/503 + Retry-After backpressure; idle sessions
+// are reclaimed back into the arena; SIGTERM drains gracefully — every
+// accepted session still produces its final Result before exit 0.
+//
+// Usage:
+//
+//	sprinklerd -addr :8080 -max-sessions 64 -max-devices 8
+//	sprinklerd -addr :8080 -chips 256 -sched SPK2 -idle-expiry 1m
+//	sprinklerd -smoke http://127.0.0.1:8080   # CI smoke driver
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sprinkler/internal/cliutil"
+	"sprinkler/internal/serve"
+	"sprinkler/internal/serve/client"
+)
+
+func main() {
+	app := cliutil.NewApp("sprinklerd")
+	defer app.Close()
+
+	var plat cliutil.Platform
+	plat.Register(flag.CommandLine)
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (opens beyond it get 429)")
+	maxDevices := flag.Int("max-devices", 8, "live simulated device budget (opens beyond it get 503)")
+	maxBacklog := flag.Int("max-backlog", 64<<10, "per-session submitted-but-uncompleted I/O budget")
+	seriesWindow := flag.Int("series-window", 4096, "per-session retained latency-series budget")
+	idleExpiry := flag.Duration("idle-expiry", 2*time.Minute, "reclaim sessions idle this long (0 disables)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "max wait for a busy session before 503")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "per-session drain budget at expiry/shutdown")
+	smoke := flag.String("smoke", "", "run the smoke client against a daemon at this URL and exit")
+	flag.Parse()
+
+	if *smoke != "" {
+		app.Check(runSmoke(*smoke))
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	opts := serve.DefaultOptions()
+	opts.BaseConfig = plat.Config()
+	opts.MaxSessions = *maxSessions
+	opts.MaxDevices = *maxDevices
+	opts.MaxBacklog = *maxBacklog
+	opts.SeriesWindow = *seriesWindow
+	opts.IdleExpiry = *idleExpiry
+	opts.RequestTimeout = *reqTimeout
+	opts.DrainTimeout = *drainTimeout
+	app.Check(opts.BaseConfig.Validate())
+
+	srv := serve.NewServer(opts)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "sprinklerd: serving on %s (%d chips, %s, %d sessions over %d devices)\n",
+			*addr, opts.BaseConfig.Channels*opts.BaseConfig.ChipsPerChan, opts.BaseConfig.Scheduler,
+			opts.MaxSessions, opts.MaxDevices)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		app.Check(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, finish in-flight
+	// requests, then drain every open session to its final Result. A clean
+	// shutdown exits 0 with each checkpointed result logged.
+	fmt.Fprintln(os.Stderr, "sprinklerd: shutting down, draining sessions...")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sprinklerd: http shutdown:", err)
+	}
+	open := srv.Sessions()
+	if err := srv.Close(shCtx); err != nil {
+		app.Failf("drain: %v", err)
+	}
+	for _, info := range open {
+		if res, rerr, ok := srv.Result(info.ID); ok && rerr == nil && res != nil {
+			fmt.Fprintf(os.Stderr, "sprinklerd: session %s drained: %d I/Os, %.1f KB/s, avg latency %.3f ms\n",
+				info.ID, res.IOsCompleted, res.BandwidthKBps, float64(res.AvgLatencyNS)/1e6)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "sprinklerd: drained cleanly")
+}
+
+// runSmoke drives a short end-to-end workload against a running daemon:
+// open, feed a named workload, advance in windows, watch, drain, verify
+// the Result and the /metrics exposition. Exits non-zero on any failure —
+// the CI daemon-smoke job runs exactly this.
+func runSmoke(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := client.New(base)
+
+	sess, err := c.OpenWait(ctx, serve.OpenRequest{Name: "smoke", Scheduler: "SPK3", Seed: 42})
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+
+	const want = 500
+	fed, err := sess.Feed(ctx, serve.FeedSpec{
+		Workload: &serve.WorkloadSpec{Name: "cfs0", Requests: want},
+	})
+	if err != nil {
+		return fmt.Errorf("feed: %w", err)
+	}
+	if fed.Fed != want {
+		return fmt.Errorf("feed admitted %d of %d requests", fed.Fed, want)
+	}
+
+	// Advance until the backlog clears, watching the snapshot stream move.
+	prev, err := sess.Snapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	for i := 0; i < 10000; i++ {
+		snap, err := sess.Advance(ctx, 10_000_000) // 10ms windows
+		if err != nil {
+			return fmt.Errorf("advance: %w", err)
+		}
+		if snap.SimTimeNS <= prev.SimTimeNS {
+			return fmt.Errorf("advance did not move simulated time (%d -> %d)", prev.SimTimeNS, snap.SimTimeNS)
+		}
+		win := snap.Since(prev)
+		if win.SimTimeNS <= 0 {
+			return fmt.Errorf("windowed delta is degenerate: %+v", win)
+		}
+		prev = snap
+		if snap.IOsCompleted >= want {
+			break
+		}
+	}
+	if prev.IOsCompleted < want {
+		return fmt.Errorf("backlog never cleared: %d of %d completed", prev.IOsCompleted, want)
+	}
+
+	// The long-poll watch must return immediately once sim time passed it.
+	if _, err := sess.Watch(ctx, prev.SimTimeNS-1, 5*time.Second); err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+
+	res, err := sess.Drain(ctx)
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if res.IOsCompleted != want {
+		return fmt.Errorf("result completed %d of %d I/Os", res.IOsCompleted, want)
+	}
+	if res.Scheduler != "SPK3" {
+		return fmt.Errorf("result scheduler %q, want SPK3", res.Scheduler)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, series := range []string{
+		"sprinklerd_sessions_open",
+		"sprinklerd_sessions_opened_total",
+		"sprinklerd_sessions_drained_total",
+		"sprinklerd_requests_admitted_total",
+		"sprinklerd_ios_submitted_total",
+		"sprinklerd_arena_device_misses_total",
+	} {
+		if !strings.Contains(metrics, series) {
+			return fmt.Errorf("metrics exposition is missing %s:\n%s", series, metrics)
+		}
+	}
+
+	return nil
+}

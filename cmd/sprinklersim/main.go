@@ -18,55 +18,50 @@ import (
 	"os"
 
 	"sprinkler"
+	"sprinkler/internal/cliutil"
 )
 
 func main() {
-	schedName := flag.String("sched", "SPK3", "scheduler: VAS, PAS, SPK1, SPK2, SPK3")
+	app := cliutil.NewApp("sprinklersim")
+	defer app.Close()
+
+	var plat cliutil.Platform
+	plat.Register(flag.CommandLine)
 	workload := flag.String("workload", "", "Table 1 workload to synthesize")
 	traceFile := flag.String("trace", "", "CSV trace file to replay (streamed)")
 	n := flag.Int("n", 2000, "requests for -workload")
 	seqread := flag.Int("seqread", 0, "run N sequential reads instead of a trace")
 	seqwrite := flag.Int("seqwrite", 0, "run N sequential writes instead of a trace")
 	pages := flag.Int("pages", 8, "pages per request for -seqread/-seqwrite")
-	chips := flag.Int("chips", 64, "total flash chips")
-	queue := flag.Int("queue", 64, "device-level queue depth")
 	rate := flag.Float64("rate", 0, "open-loop Poisson arrival rate (requests/s); 0 keeps trace timing")
-	gcStress := flag.Bool("gc", false, "precondition to 95% full so GC runs")
 	seed := flag.Uint64("seed", 0, "trace seed")
 	flag.Parse()
 
-	cfg := sprinkler.Platform(*chips)
-	cfg.QueueDepth = *queue
-	cfg.Scheduler = sprinkler.SchedulerKind(*schedName)
-	if *gcStress {
-		cfg.BlocksPerPlane = 24
-		cfg.PagesPerBlock = 64
-		cfg.LogicalPages = cfg.TotalPages() * 85 / 100
-	}
+	cfg := plat.Config()
 
 	var src sprinkler.Source
 	var err error
 	switch {
 	case *traceFile != "":
 		f, ferr := os.Open(*traceFile)
-		fail(ferr)
+		app.Check(ferr)
 		defer f.Close()
 		src = sprinkler.NewCSVSource(f)
 	case *workload != "":
 		src, err = cfg.NewWorkloadSource(sprinkler.WorkloadSpec{
 			Name: *workload, Requests: *n, Seed: *seed,
 		})
-		fail(err)
+		app.Check(err)
 	case *seqread > 0:
 		src, err = cfg.NewFixedSource(sprinkler.FixedSpec{
 			Requests: *seqread, Pages: *pages, Sequential: true, Seed: *seed,
 		})
-		fail(err)
+		app.Check(err)
 	case *seqwrite > 0:
 		src, err = cfg.NewFixedSource(sprinkler.FixedSpec{
 			Requests: *seqwrite, Pages: *pages, Write: true, Sequential: true, Seed: *seed,
 		})
-		fail(err)
+		app.Check(err)
 	default:
 		fmt.Fprintln(os.Stderr, "sprinklersim: need one of -workload, -trace, -seqread, -seqwrite")
 		flag.Usage()
@@ -77,13 +72,13 @@ func main() {
 	}
 
 	dev, err := sprinkler.New(cfg)
-	fail(err)
-	if *gcStress {
-		dev.Precondition(0.95, 0.5, *seed)
+	app.Check(err)
+	if pre := plat.Precondition(*seed); pre != nil {
+		dev.Precondition(pre.FillFrac, pre.ChurnFrac, pre.Seed)
 	}
 
 	res, err := dev.Run(context.Background(), src)
-	fail(err)
+	app.Check(err)
 
 	fmt.Printf("scheduler        %s\n", res.Scheduler)
 	fmt.Printf("platform         %d chips (%d ch x %d), %d dies x %d planes\n",
@@ -109,12 +104,5 @@ func main() {
 	}
 	if res.StaleRetranslations > 0 {
 		fmt.Printf("stale addresses  %d re-translations\n", res.StaleRetranslations)
-	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sprinklersim:", err)
-		os.Exit(1)
 	}
 }

@@ -1,0 +1,106 @@
+// Daemon: drive a live sprinklerd over HTTP with the Go client. The
+// example opens a named session, lets the server build a Table 1 workload
+// from the declarative spec, advances simulated time in windows while
+// computing warmup-excluded measurement deltas with Snapshot.Since, and
+// drains to the final Result — the serving-mode equivalent of the
+// streaming example, with the simulation living in another process.
+//
+// Start a daemon first:
+//
+//	go run ./cmd/sprinklerd -addr 127.0.0.1:8080
+//
+// then:
+//
+//	go run ./examples/daemon -url http://127.0.0.1:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sprinkler/internal/serve"
+	"sprinkler/internal/serve/client"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "sprinklerd base URL")
+	workload := flag.String("workload", "msnfs1", "Table 1 workload the server synthesizes")
+	n := flag.Int("n", 5000, "requests to run")
+	rate := flag.Float64("rate", 100_000, "open-loop arrival rate (requests/s)")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New(*url)
+
+	// OpenWait retries politely through 429/503 backpressure: a saturated
+	// daemon answers with Retry-After instead of queueing silently.
+	sess, err := c.OpenWait(ctx, serve.OpenRequest{
+		Name:      "example",
+		Scheduler: "SPK3",
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s: %d chips, %s\n", sess.ID, sess.Info.Chips, sess.Info.Scheduler)
+
+	// The server builds the workload: generator -> Poisson arrivals, fed
+	// up to the session's backlog budget per call. Feeding and advancing
+	// interleave until the whole stream is in.
+	spec := serve.FeedSpec{
+		Workload:    &serve.WorkloadSpec{Name: *workload, Requests: *n},
+		PoissonRate: *rate,
+	}
+	var fed int64
+	for {
+		fr, err := sess.Feed(ctx, spec)
+		if err != nil {
+			if apiErr, ok := err.(*client.APIError); ok && apiErr.Retryable() {
+				if _, err := sess.Advance(ctx, int64(50*time.Millisecond)); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			log.Fatal(err)
+		}
+		fed += fr.Fed
+		if fr.Fed == 0 {
+			break
+		}
+		spec = serve.FeedSpec{} // continuation: keep pulling the same stream
+	}
+	fmt.Printf("fed %d requests\n", fed)
+
+	// Advance in 50ms windows; the first windows are warmup, the rest are
+	// measured via snapshot deltas — the same discipline as in-process
+	// warmup/measurement experiments, but computed client-side from the
+	// wire snapshots.
+	warm, err := sess.Advance(ctx, int64(20*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := warm
+	for last.IOsCompleted < int64(fed) {
+		snap, err := sess.Advance(ctx, int64(50*time.Millisecond))
+		if err != nil {
+			log.Fatal(err)
+		}
+		win := snap.Since(last)
+		fmt.Printf("  t=%6.0fms  window: %6d IOPS, %7.1f KB/s, util %4.1f%%\n",
+			float64(snap.SimTimeNS)/1e6, int64(win.IOPS), win.BandwidthKBps,
+			100*win.ChipUtilization)
+		last = snap
+	}
+
+	res, err := sess.Drain(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := last.Since(warm)
+	fmt.Printf("\nfinal: %d I/Os, %.1f KB/s, avg latency %.3fms (measured window: %d IOPS)\n",
+		res.IOsCompleted, res.BandwidthKBps, float64(res.AvgLatencyNS)/1e6, int64(measured.IOPS))
+}

@@ -1,0 +1,142 @@
+// Package cliutil holds the flag-parsing and config plumbing shared by the
+// sprinkler commands — sprinklersim, experiments and sprinklerd — so the
+// platform knobs, profiling flags and exit/cleanup discipline stay one
+// implementation instead of drifting as per-command copies.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"sprinkler"
+)
+
+// App carries a command's name and its exit-time cleanups (profile
+// writers, listeners). Cleanups run exactly once, LIFO, on Close or on
+// any Fail/Check exit — so an aborted run still flushes its profiles.
+type App struct {
+	name     string
+	cleanups []func()
+}
+
+// NewApp names the command for error prefixes.
+func NewApp(name string) *App { return &App{name: name} }
+
+// Defer registers a cleanup to run at exit (normal or failed).
+func (a *App) Defer(fn func()) { a.cleanups = append(a.cleanups, fn) }
+
+// Close runs the registered cleanups (idempotent).
+func (a *App) Close() {
+	for i := len(a.cleanups) - 1; i >= 0; i-- {
+		a.cleanups[i]()
+	}
+	a.cleanups = nil
+}
+
+// Check exits through Failf when err is non-nil.
+func (a *App) Check(err error) {
+	if err != nil {
+		a.Failf("%v", err)
+	}
+}
+
+// Failf prints "name: message" to stderr, runs the cleanups, and exits 1.
+func (a *App) Failf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", a.name, fmt.Sprintf(format, args...))
+	a.Close()
+	os.Exit(1)
+}
+
+// Profiles is the -cpuprofile/-memprofile flag pair. Register the flags
+// before flag.Parse, call Start after it; the profile writers are
+// registered as App cleanups so they flush on every exit path.
+type Profiles struct {
+	app *App
+	cpu string
+	mem string
+}
+
+// ProfileFlags registers the profiling flags on fs.
+func (a *App) ProfileFlags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{app: a}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write an allocation profile (taken at exit) to this file")
+	return p
+}
+
+// Start begins the CPU profile and arms the exit-time writers.
+func (p *Profiles) Start() error {
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		p.app.Defer(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if p.mem != "" {
+		path := p.mem
+		p.app.Defer(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // settle live-heap stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		})
+	}
+	return nil
+}
+
+// Platform is the shared platform flag set: chip count, queue depth,
+// scheduler and the GC-stress shaping sprinklersim introduced. Commands
+// register it and derive their base Config from one implementation.
+type Platform struct {
+	Chips    int
+	Queue    int
+	Sched    string
+	GCStress bool
+}
+
+// Register adds the platform flags to fs with the shared defaults.
+func (p *Platform) Register(fs *flag.FlagSet) {
+	fs.IntVar(&p.Chips, "chips", 64, "total flash chips")
+	fs.IntVar(&p.Queue, "queue", 64, "device-level queue depth")
+	fs.StringVar(&p.Sched, "sched", "SPK3", "scheduler: VAS, PAS, SPK1, SPK2, SPK3")
+	fs.BoolVar(&p.GCStress, "gc", false, "shrink blocks and precondition to 95% full so GC runs")
+}
+
+// Config builds the platform configuration the flags describe.
+func (p Platform) Config() sprinkler.Config {
+	cfg := sprinkler.Platform(p.Chips)
+	cfg.QueueDepth = p.Queue
+	cfg.Scheduler = sprinkler.SchedulerKind(p.Sched)
+	if p.GCStress {
+		cfg.BlocksPerPlane = 24
+		cfg.PagesPerBlock = 64
+		cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+	}
+	return cfg
+}
+
+// Precondition returns the GC-stress preconditioning pass, nil unless -gc
+// was set.
+func (p Platform) Precondition(seed uint64) *sprinkler.Precondition {
+	if !p.GCStress {
+		return nil
+	}
+	return &sprinkler.Precondition{FillFrac: 0.95, ChurnFrac: 0.5, Seed: seed}
+}

@@ -116,6 +116,29 @@ type planeState struct {
 	active int   // current write block, -1 if none
 }
 
+// BlockMeta is the bulk block-metadata arena behind an FTL: the per-plane
+// structs, the per-block metadata records, the validity bitmap words and
+// the free-list storage, all sized by the geometry and carved from four
+// bulk allocations. It exists so a pool that must drop a whole device
+// (DeviceArena LRU eviction) can keep just this modest, geometry-shaped
+// slice of its memory keyed by topology: re-admitting the topology later
+// rebuilds the FTL on the retained arena instead of re-allocating it. The
+// mapping tables are deliberately *not* part of it — they are the bulk of
+// a device's memory, and retaining them would defeat the eviction bound.
+//
+// Obtain one from a finished FTL with DetachBlockMeta and hand it to
+// NewWithMeta; a BlockMeta whose geometry does not match is ignored.
+type BlockMeta struct {
+	geo        flash.Geometry
+	planePool  []planeState
+	blockPool  []blockMeta
+	bitmapPool []uint64
+	freePool   []int
+}
+
+// Geometry reports the geometry the metadata arena is sized for.
+func (m *BlockMeta) Geometry() flash.Geometry { return m.geo }
+
 // FTL is the translation layer. It is not safe for concurrent use; the
 // simulator is single-threaded by design.
 type FTL struct {
@@ -125,6 +148,7 @@ type FTL struct {
 	l2pSpan int64     // sizing hint l2p was built for (Reset reuse check)
 	p2l     pageTable // PPN -> LPN
 	planes  []*planeState
+	meta    *BlockMeta // bulk arena the planes are carved from
 
 	// cursor implements the channel-first stripe for write allocation:
 	// consecutive writes go to consecutive chips across channels, then
@@ -146,7 +170,15 @@ type FTL struct {
 }
 
 // New builds an FTL with every block erased and the logical space unmapped.
-func New(cfg Config) (*FTL, error) {
+func New(cfg Config) (*FTL, error) { return NewWithMeta(cfg, nil) }
+
+// NewWithMeta builds an FTL like New, carving the block metadata out of a
+// retained BlockMeta arena instead of allocating it when one with matching
+// geometry is supplied (nil, or a mismatched geometry, allocates fresh).
+// The resulting FTL is indistinguishable from a freshly allocated one —
+// the arena is fully re-initialized — so callers may treat metadata reuse
+// purely as an allocation optimization.
+func NewWithMeta(cfg Config, meta *BlockMeta) (*FTL, error) {
 	if err := cfg.Geo.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,30 +200,52 @@ func New(cfg Config) (*FTL, error) {
 		planes:  make([]*planeState, nPlanes),
 	}
 	f.rng = sim.NewRand(cfg.Seed + 0x5EED)
-	// All validity bitmaps, plane structs, and block metadata come from
-	// three bulk allocations: building a device is a per-cell cost in
-	// concurrent sweeps, so construction avoids per-block allocations.
+	// All validity bitmaps, plane structs, block metadata and free-list
+	// storage come from four bulk allocations: building a device is a
+	// per-cell cost in concurrent sweeps, so construction avoids per-block
+	// allocations — and the four pools travel as one BlockMeta so eviction
+	// can retain them.
 	words := (g.PagesPerBlock + 63) / 64
-	bitmapPool := make([]uint64, nPlanes*g.BlocksPerPlane*words)
-	planePool := make([]planeState, nPlanes)
-	blockPool := make([]blockMeta, nPlanes*g.BlocksPerPlane)
+	if meta == nil || meta.geo != g {
+		meta = &BlockMeta{
+			geo:        g,
+			planePool:  make([]planeState, nPlanes),
+			blockPool:  make([]blockMeta, nPlanes*g.BlocksPerPlane),
+			bitmapPool: make([]uint64, nPlanes*g.BlocksPerPlane*words),
+			freePool:   make([]int, nPlanes*g.BlocksPerPlane),
+		}
+	}
+	f.meta = meta
 	for i := range f.planes {
-		ps := &planePool[i]
-		ps.blocks = blockPool[i*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane]
+		ps := &meta.planePool[i]
+		ps.blocks = meta.blockPool[i*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane]
 		ps.active = -1
 		for b := range ps.blocks {
 			off := (i*g.BlocksPerPlane + b) * words
-			ps.blocks[b].valid = req.Bitmap(bitmapPool[off : off+words : off+words])
+			blk := &ps.blocks[b]
+			blk.valid = req.Bitmap(meta.bitmapPool[off : off+words : off+words])
+			// A retained arena carries the evicted device's state; scrub it
+			// (no-op on the zeroed pools of a fresh build).
+			for w := range blk.valid {
+				blk.valid[w] = 0
+			}
+			blk.validCount, blk.written, blk.erases = 0, 0, 0
+			blk.full, blk.bad = false, false
 		}
 		// Free list in descending order so blocks are consumed 0,1,2,...
-		ps.free = make([]int, g.BlocksPerPlane)
-		for b := range ps.free {
-			ps.free[b] = g.BlocksPerPlane - 1 - b
+		ps.free = meta.freePool[i*g.BlocksPerPlane : i*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane]
+		for b := g.BlocksPerPlane - 1; b >= 0; b-- {
+			ps.free = append(ps.free, b)
 		}
 		f.planes[i] = ps
 	}
 	return f, nil
 }
+
+// DetachBlockMeta hands the FTL's bulk block-metadata arena to the caller
+// for retention across the FTL's destruction. The FTL still aliases the
+// arena: discard it (and the device around it) after detaching.
+func (f *FTL) DetachBlockMeta() *BlockMeta { return f.meta }
 
 // Reset re-initializes the FTL in place for a new run on the same
 // geometry: mappings are dropped, every block is returned to the erased

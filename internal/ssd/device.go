@@ -108,13 +108,22 @@ type Device struct {
 
 // New builds a Device with the given scheduler.
 func New(cfg Config, scheduler sched.Scheduler) (*Device, error) {
+	return NewWithFTLMeta(cfg, scheduler, nil)
+}
+
+// NewWithFTLMeta builds a Device like New, reusing a retained FTL
+// block-metadata arena (from a previously discarded device on the same
+// geometry) instead of allocating one. Nil or mismatched metadata falls
+// back to fresh allocation; the built device is indistinguishable either
+// way.
+func NewWithFTLMeta(cfg Config, scheduler sched.Scheduler, meta *ftl.BlockMeta) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if scheduler == nil {
 		return nil, errors.New("ssd: nil scheduler")
 	}
-	fl, err := ftl.New(cfg.ftlConfig())
+	fl, err := ftl.NewWithMeta(cfg.ftlConfig(), meta)
 	if err != nil {
 		return nil, err
 	}

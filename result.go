@@ -11,95 +11,101 @@ func simTime(ns int64) sim.Time { return sim.Time(ns) }
 // ExecBreakdown decomposes total chip-time into the four components of
 // the paper's Figure 13. Fractions sum to 1.
 type ExecBreakdown struct {
-	BusOp         float64
-	BusContention float64
-	CellOp        float64
-	Idle          float64
+	BusOp         float64 `json:"busOp"`
+	BusContention float64 `json:"busContention"`
+	CellOp        float64 `json:"cellOp"`
+	Idle          float64 `json:"idle"`
 }
 
 // SeriesPoint is one completed I/O for time-series analysis (Figure 12).
 type SeriesPoint struct {
-	Index     int64
-	ArrivalNS int64
-	LatencyNS int64
+	Index     int64 `json:"index"`
+	ArrivalNS int64 `json:"arrivalNS"`
+	LatencyNS int64 `json:"latencyNS"`
 }
 
 // Result reports everything a simulation run measures.
+//
+// Result (like Snapshot) carries explicit JSON field tags: the encoding is
+// a stable, versioned wire format — the serving daemon's responses and any
+// archived result files depend on it — pinned by the golden test in
+// wire_test.go. Renaming or re-typing a tagged field is a wire-format
+// break; add new fields instead.
 type Result struct {
 	// Scheduler that produced this result.
-	Scheduler string
+	Scheduler string `json:"scheduler"`
 
 	// DurationNS is the simulated run length in nanoseconds.
-	DurationNS int64
+	DurationNS int64 `json:"durationNS"`
 
-	IOsCompleted int64
-	BytesRead    int64
-	BytesWritten int64
+	IOsCompleted int64 `json:"iosCompleted"`
+	BytesRead    int64 `json:"bytesRead"`
+	BytesWritten int64 `json:"bytesWritten"`
 
 	// BandwidthKBps and IOPS are throughput over the run.
-	BandwidthKBps float64
-	IOPS          float64
+	BandwidthKBps float64 `json:"bandwidthKBps"`
+	IOPS          float64 `json:"iops"`
 
 	// Latency statistics over per-I/O device-level response times.
 	// Percentiles are exact while the run is within Config's
 	// MetricsSampleCap; longer runs report fixed-memory estimates
 	// (<= 0.8% relative error) and set LatencyEstimated. Avg and Max are
 	// exact in both modes.
-	AvgLatencyNS     int64
-	P50LatencyNS     int64
-	P99LatencyNS     int64
-	MaxLatencyNS     int64
-	LatencyEstimated bool
+	AvgLatencyNS     int64 `json:"avgLatencyNS"`
+	P50LatencyNS     int64 `json:"p50LatencyNS"`
+	P99LatencyNS     int64 `json:"p99LatencyNS"`
+	MaxLatencyNS     int64 `json:"maxLatencyNS"`
+	LatencyEstimated bool  `json:"latencyEstimated,omitempty"`
 
 	// QueueStallNS is how long the device-level queue was full with the
 	// host blocked behind it; QueueStallFraction normalizes it by the
 	// run duration (Figure 10d's quantity).
-	QueueStallNS       int64
-	QueueStallFraction float64
+	QueueStallNS       int64   `json:"queueStallNS"`
+	QueueStallFraction float64 `json:"queueStallFraction"`
 
 	// ChipUtilization is the busy-chip fraction while the device had work
 	// (Figure 6). InterChipIdleness is its complement; IntraChipIdleness
 	// is the unused die/plane share of busy chips (§5.3).
-	ChipUtilization   float64
-	InterChipIdleness float64
-	IntraChipIdleness float64
+	ChipUtilization   float64 `json:"chipUtilization"`
+	InterChipIdleness float64 `json:"interChipIdleness"`
+	IntraChipIdleness float64 `json:"intraChipIdleness"`
 
 	// MemoryLevelIdleness is the idle share of every (die, plane)
 	// resource while the device had work — the Figure 1b curve that
 	// grows as chips are added faster than the workload can use them.
-	MemoryLevelIdleness float64
+	MemoryLevelIdleness float64 `json:"memoryLevelIdleness"`
 
 	// Exec is the Figure 13 execution-time breakdown.
-	Exec ExecBreakdown
+	Exec ExecBreakdown `json:"exec"`
 
 	// FLPShares gives the fraction of memory requests served at each
 	// parallelism level: NON-PAL, PAL1, PAL2, PAL3 (Figure 14).
-	FLPShares [4]float64
+	FLPShares [4]float64 `json:"flpShares"`
 
 	// Transactions counts executed flash transactions; AvgFLPDegree is
 	// memory requests per transaction (Figure 16 / §5.8).
-	Transactions int64
-	AvgFLPDegree float64
+	Transactions int64   `json:"transactions"`
+	AvgFLPDegree float64 `json:"avgFLPDegree"`
 
 	// GCRuns counts background garbage collections; GCPageMoves and
 	// GCErases its live-page migrations and block erases.
 	// WriteAmplification is (host+GC)/host page writes. BadBlocks counts
 	// blocks retired by erase failures; WearLevels counts wear-leveling
 	// victim rotations.
-	GCRuns             int64
-	GCPageMoves        int64
-	GCErases           int64
-	WriteAmplification float64
-	BadBlocks          int64
-	WearLevels         int64
+	GCRuns             int64   `json:"gcRuns"`
+	GCPageMoves        int64   `json:"gcPageMoves"`
+	GCErases           int64   `json:"gcErases"`
+	WriteAmplification float64 `json:"writeAmplification"`
+	BadBlocks          int64   `json:"badBlocks"`
+	WearLevels         int64   `json:"wearLevels"`
 
 	// StaleRetranslations counts commit-time address fixups forced by
 	// live-data migration under schedulers without the readdressing
 	// callback (§4.3).
-	StaleRetranslations int64
+	StaleRetranslations int64 `json:"staleRetranslations"`
 
 	// Series is the per-I/O latency series when CollectSeries was set.
-	Series []SeriesPoint
+	Series []SeriesPoint `json:"series,omitempty"`
 }
 
 // publicResult flattens the internal result.

@@ -169,6 +169,21 @@ func (s *Session) Drain(ctx context.Context) (*Result, error) {
 	return publicResult(res), nil
 }
 
+// Discard abandons the session without draining: the session is closed
+// immediately and its device is dropped rather than recycled — a device
+// abandoned mid-run holds live simulation state no arena may reuse. The
+// forced-reclamation path for servers expiring a session whose Drain did
+// not complete in time; prefer Drain, which finishes the run and returns
+// an arena-checked-out device to its pool.
+func (s *Session) Discard() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.dev.SetIORetire(nil)
+	s.pub, s.arena = nil, nil
+}
+
 // Snapshot reports the measurements accumulated so far without advancing
 // the simulation. Successive snapshots are monotone in SimTimeNS,
 // IOsSubmitted, IOsCompleted and byte counts; windowed rates come from
@@ -182,37 +197,43 @@ func (s *Session) Snapshot() Snapshot {
 // Cumulative counters are exact; rates are averaged from simulation start.
 // Subtract two snapshots with Since for warmup-excluded measurement
 // windows.
+//
+// Snapshot (like Result) carries explicit JSON field tags: the encoding is
+// a stable wire format — the serving daemon streams windowed snapshots
+// over it — pinned by the golden test in wire_test.go. The raw window
+// integrals are part of the format so a decoded Snapshot still supports
+// Since on the client side.
 type Snapshot struct {
 	// SimTimeNS is the simulation clock.
-	SimTimeNS int64
+	SimTimeNS int64 `json:"simTimeNS"`
 
-	IOsSubmitted int64
-	IOsCompleted int64
-	Inflight     int
+	IOsSubmitted int64 `json:"iosSubmitted"`
+	IOsCompleted int64 `json:"iosCompleted"`
+	Inflight     int   `json:"inflight"`
 
-	BytesRead    int64
-	BytesWritten int64
+	BytesRead    int64 `json:"bytesRead"`
+	BytesWritten int64 `json:"bytesWritten"`
 
 	// TotalLatencyNS sums device-level response times over completed
 	// I/Os, so windowed average latency is derivable from deltas.
-	TotalLatencyNS int64
+	TotalLatencyNS int64 `json:"totalLatencyNS"`
 
 	// BandwidthKBps, IOPS and AvgLatencyNS are cumulative averages.
-	BandwidthKBps float64
-	IOPS          float64
-	AvgLatencyNS  int64
+	BandwidthKBps float64 `json:"bandwidthKBps"`
+	IOPS          float64 `json:"iops"`
+	AvgLatencyNS  int64   `json:"avgLatencyNS"`
 
 	// ChipUtilization and QueueStallFraction are cumulative fractions.
-	ChipUtilization    float64
-	QueueStallFraction float64
+	ChipUtilization    float64 `json:"chipUtilization"`
+	QueueStallFraction float64 `json:"queueStallFraction"`
 
-	GCRuns int64
+	GCRuns int64 `json:"gcRuns"`
 
-	// Raw integrals for windowed utilization/stall arithmetic.
-	busyChipIntegral float64
-	sysBusyNS        int64
-	queueFullNS      int64
-	chips            int
+	// Raw integrals for windowed utilization/stall arithmetic (Since).
+	BusyChipIntegral float64 `json:"rawBusyChipIntegral"`
+	SysBusyNS        int64   `json:"rawSysBusyNS"`
+	QueueFullNS      int64   `json:"rawQueueFullNS"`
+	Chips            int     `json:"chips"`
 }
 
 // snapshotOf flattens an internal mid-run result.
@@ -231,10 +252,10 @@ func snapshotOf(r *metrics.Result, submitted int64, inflight int) Snapshot {
 		ChipUtilization:    r.ChipUtilization,
 		QueueStallFraction: r.QueueStallFraction(),
 		GCRuns:             r.GC.GCRuns,
-		busyChipIntegral:   r.BusyChipIntegral,
-		sysBusyNS:          int64(r.SysBusyTime),
-		queueFullNS:        int64(r.QueueFullTime),
-		chips:              r.Chips,
+		BusyChipIntegral:   r.BusyChipIntegral,
+		SysBusyNS:          int64(r.SysBusyTime),
+		QueueFullNS:        int64(r.QueueFullTime),
+		Chips:              r.Chips,
 	}
 	return snap
 }
@@ -256,22 +277,22 @@ func (s Snapshot) Since(prev Snapshot) Snapshot {
 		BytesWritten:     s.BytesWritten - prev.BytesWritten,
 		TotalLatencyNS:   s.TotalLatencyNS - prev.TotalLatencyNS,
 		GCRuns:           s.GCRuns - prev.GCRuns,
-		busyChipIntegral: s.busyChipIntegral - prev.busyChipIntegral,
-		sysBusyNS:        s.sysBusyNS - prev.sysBusyNS,
-		queueFullNS:      s.queueFullNS - prev.queueFullNS,
-		chips:            s.chips,
+		BusyChipIntegral: s.BusyChipIntegral - prev.BusyChipIntegral,
+		SysBusyNS:        s.SysBusyNS - prev.SysBusyNS,
+		QueueFullNS:      s.QueueFullNS - prev.QueueFullNS,
+		Chips:            s.Chips,
 	}
 	if w.SimTimeNS > 0 {
 		secs := float64(w.SimTimeNS) / 1e9
 		w.BandwidthKBps = float64(w.BytesRead+w.BytesWritten) / 1024 / secs
 		w.IOPS = float64(w.IOsCompleted) / secs
-		w.QueueStallFraction = float64(w.queueFullNS) / float64(w.SimTimeNS)
+		w.QueueStallFraction = float64(w.QueueFullNS) / float64(w.SimTimeNS)
 	}
 	if w.IOsCompleted > 0 {
 		w.AvgLatencyNS = w.TotalLatencyNS / w.IOsCompleted
 	}
-	if w.sysBusyNS > 0 && w.chips > 0 {
-		w.ChipUtilization = w.busyChipIntegral / (float64(w.chips) * float64(w.sysBusyNS))
+	if w.SysBusyNS > 0 && w.Chips > 0 {
+		w.ChipUtilization = w.BusyChipIntegral / (float64(w.Chips) * float64(w.SysBusyNS))
 	}
 	return w
 }

@@ -287,7 +287,11 @@ type Device struct {
 }
 
 // New builds a Device from the configuration, validating it first.
-func New(cfg Config) (*Device, error) {
+func New(cfg Config) (*Device, error) { return newWithMeta(cfg, nil) }
+
+// newWithMeta builds a Device, reusing a retained FTL block-metadata arena
+// when the DeviceArena kept one for the topology (nil builds fresh).
+func newWithMeta(cfg Config, meta *ftl.BlockMeta) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -295,7 +299,7 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := ssd.New(icfg, s)
+	inner, err := ssd.NewWithFTLMeta(icfg, s, meta)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,158 @@
+package sprinkler_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sprinkler"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the wire-format golden files")
+
+// wireResult is a fully populated Result: every field non-zero so a
+// dropped or renamed JSON tag shows up in the golden diff.
+func wireResult() *sprinkler.Result {
+	return &sprinkler.Result{
+		Scheduler:           "SPK3",
+		DurationNS:          123456789,
+		IOsCompleted:        1000,
+		BytesRead:           1 << 21,
+		BytesWritten:        1 << 20,
+		BandwidthKBps:       2048.5,
+		IOPS:                8100.25,
+		AvgLatencyNS:        210000,
+		P50LatencyNS:        180000,
+		P99LatencyNS:        950000,
+		MaxLatencyNS:        1500000,
+		LatencyEstimated:    true,
+		QueueStallNS:        4242,
+		QueueStallFraction:  0.0125,
+		ChipUtilization:     0.75,
+		InterChipIdleness:   0.25,
+		IntraChipIdleness:   0.5,
+		MemoryLevelIdleness: 0.625,
+		Exec:                sprinkler.ExecBreakdown{BusOp: 0.1, BusContention: 0.2, CellOp: 0.3, Idle: 0.4},
+		FLPShares:           [4]float64{0.4, 0.3, 0.2, 0.1},
+		Transactions:        512,
+		AvgFLPDegree:        1.953125,
+		GCRuns:              7,
+		GCPageMoves:         210,
+		GCErases:            7,
+		WriteAmplification:  1.21,
+		BadBlocks:           1,
+		WearLevels:          2,
+		StaleRetranslations: 3,
+		Series: []sprinkler.SeriesPoint{
+			{Index: 1, ArrivalNS: 100, LatencyNS: 200000},
+			{Index: 2, ArrivalNS: 300, LatencyNS: 190000},
+		},
+	}
+}
+
+// wireSnapshot is a fully populated Snapshot, raw integrals included.
+func wireSnapshot() sprinkler.Snapshot {
+	return sprinkler.Snapshot{
+		SimTimeNS:          987654321,
+		IOsSubmitted:       1100,
+		IOsCompleted:       1000,
+		Inflight:           100,
+		BytesRead:          1 << 21,
+		BytesWritten:       1 << 20,
+		TotalLatencyNS:     210000000,
+		BandwidthKBps:      2048.5,
+		IOPS:               8100.25,
+		AvgLatencyNS:       210000,
+		ChipUtilization:    0.75,
+		QueueStallFraction: 0.0125,
+		GCRuns:             7,
+		BusyChipIntegral:   1.5e9,
+		SysBusyNS:          900000000,
+		QueueFullNS:        12345678,
+		Chips:              64,
+	}
+}
+
+// checkGolden pins v's indented JSON encoding against the golden file.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestWireFormat -update` after a deliberate wire-format change)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: wire encoding changed — this breaks daemon clients and archived results.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestWireFormatGolden pins the public JSON wire format of Result and
+// Snapshot: the serving daemon's responses and archived result files are
+// encoded with these exact field names. A failure here means the wire
+// format changed; if the change is deliberate, regenerate with -update
+// and call it out as a format break.
+func TestWireFormatGolden(t *testing.T) {
+	checkGolden(t, "result_wire.golden.json", wireResult())
+	checkGolden(t, "snapshot_wire.golden.json", wireSnapshot())
+}
+
+// TestWireFormatRoundTrip: a decoded Snapshot still supports windowed
+// Since arithmetic — the raw integrals survive the wire.
+func TestWireFormatRoundTrip(t *testing.T) {
+	prev := wireSnapshot()
+	cur := prev
+	cur.SimTimeNS += 1e9
+	cur.IOsCompleted += 500
+	cur.TotalLatencyNS += 100e6
+	cur.SysBusyNS += 9e8
+	cur.BusyChipIntegral += 3.2e10
+	cur.QueueFullNS += 1e6
+
+	direct := cur.Since(prev)
+
+	b, err := json.Marshal(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded sprinkler.Snapshot
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	viaWire := decoded.Since(prev)
+	if direct != viaWire {
+		t.Fatalf("Since after a wire round trip diverged:\ndirect: %+v\nwire:   %+v", direct, viaWire)
+	}
+
+	var res sprinkler.Result
+	rb, err := json.Marshal(wireResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rb, &res); err != nil {
+		t.Fatal(err)
+	}
+	rb2, err := json.Marshal(&res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rb, rb2) {
+		t.Fatalf("Result does not round-trip: %s vs %s", rb, rb2)
+	}
+}
