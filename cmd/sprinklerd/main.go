@@ -38,7 +38,7 @@ func main() {
 	plat.Register(flag.CommandLine)
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (opens beyond it get 429)")
-	maxDevices := flag.Int("max-devices", 8, "live simulated device budget (opens beyond it get 503)")
+	maxDevices := flag.Int("max-devices", 8, "live simulated device budget (opens beyond it get 503); every open session holds a device, so this also bounds concurrency")
 	maxBacklog := flag.Int("max-backlog", 64<<10, "per-session submitted-but-uncompleted I/O budget")
 	seriesWindow := flag.Int("series-window", 4096, "per-session retained latency-series budget")
 	idleExpiry := flag.Duration("idle-expiry", 2*time.Minute, "reclaim sessions idle this long (0 disables)")

@@ -382,7 +382,17 @@ func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, sess *session)
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request, sess *session) {
-	res, err := s.drainSession(r.Context(), sess)
+	// Bound the drain server-side like the janitor and Close paths: on
+	// the client's context alone, a large-backlog drain holds the
+	// simulation lock for as long as the client cares to wait, starving
+	// every other caller into 503s.
+	ctx := r.Context()
+	if s.opts.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
+		defer cancel()
+	}
+	res, err := s.drainSession(ctx, sess)
 	if err != nil {
 		writeError(w, fmt.Errorf("drain: %w", err))
 		return

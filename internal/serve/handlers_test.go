@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -395,6 +396,138 @@ func TestGracefulClose(t *testing.T) {
 	}
 	if resp := postJSON(t, ts.URL+"/v1/sessions", OpenRequest{Name: "late"}, nil); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("open while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestOpenRacingRequestNeverSeesHalfBuiltSession: a request racing an
+// Open of the same name (the client chose it) must queue on the
+// simulation lock or 404/503 — never observe the session between map
+// insertion and device construction (a nil sess.sess panicked here).
+func TestOpenRacingRequestNeverSeesHalfBuiltSession(t *testing.T) {
+	opts := testOptions()
+	_, ts := newTestServer(t, opts)
+
+	for round := range 3 {
+		name := fmt.Sprintf("race-%d", round)
+		stop := make(chan struct{})
+		errs := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				var body bytes.Buffer
+				json.NewEncoder(&body).Encode(AdvanceRequest{DNS: 1})
+				resp, err := http.Post(ts.URL+"/v1/sessions/"+name+"/advance", "application/json", &body)
+				if err != nil {
+					errs <- fmt.Errorf("advance during open failed transport-level (handler panic?): %w", err)
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusNotFound, http.StatusServiceUnavailable:
+					// Before the insert, queued past the request timeout, or
+					// after the build completed — all fine.
+				default:
+					errs <- fmt.Errorf("advance during open: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+		// GCStress preconditioning makes the build slow, widening the
+		// window between map insertion and sess.sess assignment.
+		openSession(t, ts, OpenRequest{Name: name, GCStress: true})
+		close(stop)
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		if r := postJSON(t, ts.URL+"/v1/sessions/"+name+"/drain", nil, nil); r.StatusCode != http.StatusOK {
+			t.Fatalf("drain: status %d", r.StatusCode)
+		}
+	}
+}
+
+// TestDrainSessionIdempotent: draining a session that already reached its
+// terminal state returns the checkpointed Result instead of failing with
+// errClosed, counting a spurious Discard, and shadowing the clean Result —
+// the Close-vs-client-drain and janitor-vs-client-drain races.
+func TestDrainSessionIdempotent(t *testing.T) {
+	srv, ts := newTestServer(t, testOptions())
+	sess, _, err := srv.Open(OpenRequest{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FeedSpec{Workload: &WorkloadSpec{Name: "cfs0", Requests: 10}}
+	if r := postJSON(t, ts.URL+"/v1/sessions/x/feed", spec, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("feed: status %d", r.StatusCode)
+	}
+
+	ctx := context.Background()
+	if err := sess.lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer sess.unlock()
+	res1, err := srv.drainSession(ctx, sess)
+	if err != nil || res1 == nil {
+		t.Fatalf("first drain: res=%v err=%v", res1, err)
+	}
+	res2, err := srv.drainSession(ctx, sess)
+	if err != nil {
+		t.Fatalf("second drain errored instead of returning the checkpoint: %v", err)
+	}
+	if res2 != res1 {
+		t.Fatalf("second drain returned a different result (%p vs %p)", res2, res1)
+	}
+	if got := srv.Counters().SessionsDiscarded.Load(); got != 0 {
+		t.Fatalf("SessionsDiscarded = %d after a double drain, want 0", got)
+	}
+	resp, err := http.Get(ts.URL + "/v1/results/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/results/x: status %d, want the clean Result", resp.StatusCode)
+	}
+}
+
+// TestCloseDefersDiscardOfWedgedSession: when a session cannot be locked
+// within Close's budget, the discard must wait for the wedged request to
+// release the lock — Discard mutates the single-threaded simulation and
+// must never run concurrently with its holder.
+func TestCloseDefersDiscardOfWedgedSession(t *testing.T) {
+	srv, _ := newTestServer(t, testOptions())
+	sess, _, err := srv.Open(OpenRequest{Name: "wedged"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the simulation lock, as a request stuck in a long Advance would.
+	if err := sess.lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Close(ctx); err == nil {
+		t.Fatal("Close with a wedged session returned nil")
+	}
+	if got := srv.Counters().SessionsDiscarded.Load(); got != 0 {
+		t.Fatal("session discarded while the wedged request still held the lock")
+	}
+
+	sess.unlock() // the wedged request finishes
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Counters().SessionsDiscarded.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed session was never discarded after the lock released")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := len(srv.Sessions()); n != 0 {
+		t.Fatalf("%d sessions still registered after the deferred discard", n)
 	}
 }
 

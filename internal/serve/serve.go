@@ -28,7 +28,9 @@ type Options struct {
 	BaseConfig sprinkler.Config
 
 	// MaxSessions caps concurrently open sessions; opens beyond it are
-	// rejected with 429 and a Retry-After.
+	// rejected with 429 and a Retry-After. Every open session also holds
+	// a checked-out device, so the effective concurrency bound is
+	// min(MaxSessions, MaxDevices).
 	MaxSessions int
 
 	// MaxDevices caps live simulated devices — checked out by sessions
@@ -61,8 +63,11 @@ type Options struct {
 }
 
 // DefaultOptions returns the daemon defaults: the paper's 64-chip
-// platform, 64 concurrent sessions over 8 warm devices, 64Ki-request
-// session backlogs.
+// platform, 8 live devices, 64Ki-request session backlogs. The device
+// budget is the operative concurrency bound at these defaults — 8
+// concurrent sessions, each holding a checked-out device; opens beyond
+// it get 503 + Retry-After. MaxSessions = 64 is admission headroom that
+// only binds when -max-devices is raised past it.
 func DefaultOptions() Options {
 	return Options{
 		BaseConfig:     sprinkler.DefaultConfig(),
@@ -198,6 +203,15 @@ func (s *session) observe() (snap sprinkler.Snapshot, closed bool, changed <-cha
 	s.nmu.Lock()
 	defer s.nmu.Unlock()
 	return s.last, s.closed, s.notify
+}
+
+// finished returns the session's terminal state, if reached. Under the
+// simulation lock the answer is authoritative: every path that closes a
+// session holds the lock while doing so.
+func (s *session) finished() (res *sprinkler.Result, err error, done bool) {
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
+	return s.result, s.closeErr, s.closed
 }
 
 // backlog is the session's submitted-but-uncompleted I/O count per the
@@ -363,6 +377,11 @@ func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
 		notify:     make(chan struct{}),
 		lastUsed:   time.Now(),
 	}
+	// Hold the simulation lock across the build: the session is visible
+	// in the map for admission accounting, but a request racing the open
+	// (the client chose the name) queues on the lock instead of
+	// observing a half-built session with a nil sess.sess.
+	sess.sem <- struct{}{}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 
@@ -374,13 +393,18 @@ func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
 	}
 	inner, err := sprinkler.Open(cfg, opts...)
 	if err != nil {
+		// Mark the carcass closed before releasing the lock so queued
+		// requests observe a finished session (404), not a nil one.
+		sess.finish(nil, err)
 		s.mu.Lock()
 		delete(s.sessions, id)
 		s.mu.Unlock()
+		sess.unlock()
 		return nil, nil, err
 	}
 	sess.sess = inner
-	sess.publishLocked(inner.Snapshot())
+	sess.publish(inner.Snapshot())
+	sess.unlock()
 	s.counters.SessionsOpened.Add(1)
 	return sess, &OpenResponse{
 		ID:           id,
@@ -389,14 +413,6 @@ func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
 		MaxBacklog:   cfg.MaxBacklog,
 		SeriesWindow: cfg.SeriesWindow,
 	}, nil
-}
-
-// publishLocked is publish for callers who already own the session by
-// construction (no simulation lock exists yet).
-func (s *session) publishLocked(snap sprinkler.Snapshot) {
-	s.nmu.Lock()
-	s.last = snap
-	s.nmu.Unlock()
 }
 
 // get looks up an open session.
@@ -438,6 +454,12 @@ func (s *Server) Result(id string) (*sprinkler.Result, error, bool) {
 // device to the arena; on failure (timeout, simulation error) the device
 // is discarded instead. The session is unregistered either way.
 func (s *Server) drainSession(ctx context.Context, sess *session) (*sprinkler.Result, error) {
+	// A session drained by whoever held the lock before us is done:
+	// draining it again would count a spurious Discard and checkpoint a
+	// second errClosed result that shadows the real one.
+	if res, err, done := sess.finished(); done {
+		return res, err
+	}
 	res, err := sess.sess.Drain(ctx)
 	if err != nil {
 		// The drain did not complete; the device holds live simulation
@@ -482,6 +504,12 @@ func (s *Server) expireIdle(now time.Time) {
 	for _, sess := range idle {
 		// A busy session is not idle — its request will refresh lastUsed.
 		if !sess.tryLock() {
+			continue
+		}
+		if _, _, done := sess.finished(); done {
+			// Drained by a racing request between the sweep snapshot and
+			// our lock; it is already unregistered and checkpointed.
+			sess.unlock()
 			continue
 		}
 		if sess.idleFor(time.Now()) <= s.opts.IdleExpiry {
@@ -539,29 +567,51 @@ func (s *Server) Close(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
+	s.mu.Unlock()
+
+	// Stop the janitor before snapshotting the open set so its final
+	// sweep cannot drain a session this loop is about to visit.
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
+
+	s.mu.Lock()
 	open := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		open = append(open, sess)
 	}
 	s.mu.Unlock()
 
-	if s.janitorStop != nil {
-		close(s.janitorStop)
-		<-s.janitorDone
-	}
-
 	var firstErr error
 	for _, sess := range open {
 		if err := sess.lock(ctx); err != nil {
 			// The session is wedged behind a request that will not finish
-			// within the drain budget; discard it so shutdown completes.
-			sess.sess.Discard()
-			sess.finish(nil, err)
-			s.remove(sess, nil, err)
-			s.counters.SessionsDiscarded.Add(1)
+			// within the drain budget. Discarding it here would race the
+			// lock holder, which is still mutating the single-threaded
+			// simulation — instead doom it: the discard happens the moment
+			// the holder releases the lock (moot if the process exits
+			// first; the device dies with it either way).
+			go func(sess *session, err error) {
+				sess.sem <- struct{}{}
+				defer sess.unlock()
+				if _, _, done := sess.finished(); done {
+					return
+				}
+				sess.sess.Discard()
+				sess.finish(nil, err)
+				s.remove(sess, nil, err)
+				s.counters.SessionsDiscarded.Add(1)
+			}(sess, err)
 			if firstErr == nil {
 				firstErr = err
 			}
+			continue
+		}
+		if _, _, done := sess.finished(); done {
+			// Already drained — e.g. a client POST /drain in flight when
+			// shutdown began. Its Result is checkpointed; nothing to do.
+			sess.unlock()
 			continue
 		}
 		dctx := ctx
