@@ -14,6 +14,7 @@ package sprinkler_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"sprinkler"
@@ -369,6 +370,44 @@ func BenchmarkDeviceSPK3(b *testing.B) {
 		}
 		if _, err := dev.RunRequests(sprinkler.SequentialReads(500, 8)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelDevice measures the partitioned per-channel kernel
+// against its own serial fallback on the same simulation: w1 keeps the
+// serial kernel (ParallelChannels < 2 never partitions), w2..w8 run the
+// lockstep-epoch kernel with that many pool workers. Results are
+// byte-identical across the axis — the benchmark exists to price the
+// coordination overhead and to expose the scaling curve on multi-core
+// hosts. On a single-core runner (GOMAXPROCS=1) the parallel rows can
+// only show overhead, never speedup; read them accordingly.
+func BenchmarkParallelDevice(b *testing.B) {
+	for _, channels := range []int{8, 16} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("ch%d/w%d", channels, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg := sprinkler.DefaultConfig()
+					cfg.Channels = channels
+					cfg.ChipsPerChan = 2
+					cfg.BlocksPerPlane = 128
+					cfg.QueueDepth = 64
+					cfg.DisableGC = true
+					cfg.ParallelChannels = workers
+					dev, err := sprinkler.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reqs, err := cfg.GenerateWorkload("msnfs1", 600, 16)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := dev.RunRequests(reqs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -29,6 +29,7 @@ func main() {
 	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
 	seed := flag.Uint64("seed", 0, "synthetic trace seed")
 	workers := flag.Int("workers", 0, "concurrent sweep cells (0 = all CPU cores)")
+	parallel := flag.Int("parallel-channels", 0, "per-device parallel-kernel worker threads (results stay byte-identical; GC-enabled cells fall back to the serial kernel; <2 keeps the serial kernel)")
 	noreuse := flag.Bool("noreuse", false, "build a fresh device per sweep cell instead of recycling through the device arena (results are identical; useful for profiling construction cost)")
 	profiles := app.ProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -39,7 +40,7 @@ func main() {
 	app.Check(profiles.Start())
 	fail := app.Check
 
-	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse}
+	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse, Parallel: *parallel}
 	want := strings.ToLower(*fig)
 	has := func(names ...string) bool {
 		if want == "all" {

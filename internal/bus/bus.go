@@ -30,10 +30,14 @@ type pending struct {
 	asked   sim.Time
 }
 
-// New returns an idle channel bus bound to eng.
+// New returns an idle channel bus bound to eng. The release event runs on
+// the channel's lane (id+1): every event owned by one device channel shares
+// that lane, so the serial kernel's same-instant order matches the
+// per-channel partitioned kernel's.
 func New(eng *sim.Engine, id int) *Channel {
 	c := &Channel{eng: eng, id: id}
 	c.releaseT = sim.NewTimer(c.release)
+	c.releaseT.SetLane(int32(id) + 1)
 	return c
 }
 

@@ -109,6 +109,7 @@ type Platform struct {
 	Queue    int
 	Sched    string
 	GCStress bool
+	Parallel int
 }
 
 // Register adds the platform flags to fs with the shared defaults.
@@ -117,6 +118,8 @@ func (p *Platform) Register(fs *flag.FlagSet) {
 	fs.IntVar(&p.Queue, "queue", 64, "device-level queue depth")
 	fs.StringVar(&p.Sched, "sched", "SPK3", "scheduler: VAS, PAS, SPK1, SPK2, SPK3")
 	fs.BoolVar(&p.GCStress, "gc", false, "shrink blocks and precondition to 95% full so GC runs")
+	fs.IntVar(&p.Parallel, "parallel-channels", 0,
+		"partition the event kernel by channel and advance it with up to this many worker threads (results stay byte-identical; needs -gc off, falls back to the serial kernel otherwise; <2 keeps the serial kernel)")
 }
 
 // Config builds the platform configuration the flags describe.
@@ -124,6 +127,7 @@ func (p Platform) Config() sprinkler.Config {
 	cfg := sprinkler.Platform(p.Chips)
 	cfg.QueueDepth = p.Queue
 	cfg.Scheduler = sprinkler.SchedulerKind(p.Sched)
+	cfg.ParallelChannels = p.Parallel
 	if p.GCStress {
 		cfg.BlocksPerPlane = 24
 		cfg.PagesPerBlock = 64

@@ -73,6 +73,14 @@ type Sprinkler struct {
 	chipOrder []flash.ChipID  // RIOS traversal order, cached per geometry
 	chipKeys  []chipKey       // non-RIOS chip ordering scratch
 
+	// groupSizes and readFirstMoved describe the last faroOrder run: the
+	// greedy group sizes in output order, and whether the §4.4 read-first
+	// pass reordered anything (which misaligns the output from the group
+	// boundaries). selectChip copies them into the chip's memo to enable
+	// the partial-invalidation fast path.
+	groupSizes     []int32
+	readFirstMoved bool
+
 	// caches holds the per-chip incremental FARO grouping state: the
 	// memoized selection order, keyed by the ready index's membership
 	// version. A chip whose candidate set did not change since the last
@@ -91,6 +99,17 @@ type faroCache struct {
 	maxSeq  uint64
 	valid   bool
 	order   []*req.Mem
+
+	// addVer/readdrVer snapshot the index's per-cause counters at memo
+	// time: if only removals happened since, the candidate set shrank but
+	// nothing entered or moved — the partial-invalidation precondition.
+	addVer    uint64
+	readdrVer uint64
+
+	// groups holds the greedy group sizes of order, in order. Empty when
+	// the boundaries are unusable (the read-first pass reordered output),
+	// which disables the fast path until the next full rebuild.
+	groups []int32
 }
 
 // chipKey orders chips by their earliest candidate's admission position.
@@ -145,7 +164,7 @@ func (s *Sprinkler) ResetState() {
 		for j := range cc.order {
 			cc.order[j] = nil
 		}
-		s.caches[i] = faroCache{order: cc.order[:0]}
+		s.caches[i] = faroCache{order: cc.order[:0], groups: cc.groups[:0]}
 	}
 	s.cacheRx = nil
 	clear := func(ms []*req.Mem) []*req.Mem {
@@ -177,9 +196,24 @@ func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*re
 		s.cacheRx = rx
 		if len(s.caches) != rx.NumChips() {
 			s.caches = make([]faroCache, rx.NumChips())
+			if s.GroupCap > 0 {
+				// One slab backs every cache's group-size storage: group
+				// counts never exceed GroupCap (Gather is capped by it),
+				// so fixed per-cache capacity avoids per-chip growth
+				// reallocations on the hot rebuild path. The three-index
+				// slice expression walls the caches off from each other.
+				slab := make([]int32, len(s.caches)*s.GroupCap)
+				for i := range s.caches {
+					lo, hi := i*s.GroupCap, (i+1)*s.GroupCap
+					s.caches[i].groups = slab[lo:lo:hi]
+				}
+				if cap(s.groupSizes) < s.GroupCap {
+					s.groupSizes = make([]int32, 0, s.GroupCap)
+				}
+			}
 		} else {
 			for i := range s.caches {
-				s.caches[i] = faroCache{}
+				s.caches[i] = faroCache{groups: s.caches[i].groups[:0]}
 			}
 		}
 	}
@@ -258,13 +292,23 @@ func (s *Sprinkler) selectChip(g flash.Geometry, fab sched.Fabric, rx *sched.Rea
 	var list []*req.Mem
 	if s.UseFARO {
 		cc := &s.caches[c]
+		if cc.valid && cc.maxSeq == maxSeq && cc.version != rx.Version(c) {
+			s.tryAdvance(rx, c, cc)
+		}
 		if !cc.valid || cc.version != rx.Version(c) || cc.maxSeq != maxSeq {
 			s.chipBuf = rx.Gather(c, s.chipBuf[:0], s.GroupCap, maxSeq)
 			ordered := s.faroOrder(g, s.chipBuf)
 			cc.order = append(cc.order[:0], ordered...)
 			cc.version = rx.Version(c)
+			cc.addVer = rx.AddVersion(c)
+			cc.readdrVer = rx.ReaddrVersion(c)
 			cc.maxSeq = maxSeq
 			cc.valid = true
+			if s.readFirstMoved {
+				cc.groups = cc.groups[:0]
+			} else {
+				cc.groups = append(cc.groups[:0], s.groupSizes...)
+			}
 		}
 		list = cc.order
 	} else {
@@ -278,6 +322,72 @@ func (s *Sprinkler) selectChip(g flash.Geometry, fab sched.Fabric, rx *sched.Rea
 		list = list[:free]
 	}
 	return append(out, list...)
+}
+
+// tryAdvance is the FARO partial-invalidation fast path: when the only
+// changes to chip c since the memo are removals of a whole-group prefix of
+// the cached order, the surviving suffix is exactly what a rebuild would
+// produce, so the memo advances in place instead of paying the
+// O(GroupCap²) regrouping — the common case, since Select returns (and the
+// device then commits) a prefix of the cached order.
+//
+// Soundness: greedy grouping consumes its working set in rounds, each
+// emitting one group; round k+1's input is the admission-ordered candidate
+// list minus the members of groups 1..k — which is exactly what Gather
+// would return after those members' removal (removal preserves the order
+// of the rest). So dropping whole leading groups leaves the remaining
+// rounds' output — the cached suffix — unchanged. The guards below
+// re-establish that equivalence from the live index:
+//
+//   - addVer/readdrVer unchanged: nothing entered the list and no address
+//     moved, so the candidate universe only shrank;
+//   - the removed entries form a prefix of the cached order ending on a
+//     group boundary (a split group's leftovers regroup differently);
+//   - every surviving entry is still in the chip's list, verified by slot
+//     identity — a recycled request object re-admitted elsewhere fails
+//     list[m.ReadySlot] == m even if it looks StateQueued;
+//   - the suffix covers the chip's whole live set: a Gather capped by
+//     GroupCap (or an SPK1 window) hid candidates a rebuild would now
+//     surface, so a count mismatch forces the rebuild.
+//
+// On success the memo's version catches up to the index; otherwise the
+// caller's staleness check triggers the full rebuild.
+func (s *Sprinkler) tryAdvance(rx *sched.ReadyIndex, c flash.ChipID, cc *faroCache) {
+	if len(cc.groups) == 0 ||
+		cc.addVer != rx.AddVersion(c) || cc.readdrVer != rx.ReaddrVersion(c) {
+		return
+	}
+	list := rx.List(c)
+	indexed := func(m *req.Mem) bool {
+		return m.State == req.StateQueued && m.ReadySlot >= 0 &&
+			int(m.ReadySlot) < len(list) && list[m.ReadySlot] == m
+	}
+	cut := 0
+	for cut < len(cc.order) && !indexed(cc.order[cut]) {
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	gi, rem := 0, cut
+	for gi < len(cc.groups) && rem > 0 {
+		rem -= int(cc.groups[gi])
+		gi++
+	}
+	if rem != 0 {
+		return
+	}
+	for i := cut; i < len(cc.order); i++ {
+		if !indexed(cc.order[i]) {
+			return
+		}
+	}
+	if len(cc.order)-cut != rx.Live(c) {
+		return
+	}
+	cc.order = cc.order[:copy(cc.order, cc.order[cut:])]
+	cc.groups = cc.groups[:copy(cc.groups, cc.groups[gi:])]
+	cc.version = rx.Version(c)
 }
 
 // ensureChipOrder caches the RIOS traversal: offset-major, channel-minor.
@@ -354,9 +464,11 @@ func (s *Sprinkler) selectScan(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) [
 func (s *Sprinkler) faroOrder(g flash.Geometry, cands []*req.Mem) []*req.Mem {
 	remaining := append(s.remaining[:0], cands...)
 	out := s.ordered[:0]
+	s.groupSizes = s.groupSizes[:0]
 	for len(remaining) > 0 {
 		s.bestGroup(g, remaining)
 		out = append(out, s.groupBest...)
+		s.groupSizes = append(s.groupSizes, int32(len(s.groupBest)))
 		// Remove the chosen members, preserving order.
 		keep := remaining[:0]
 		for _, m := range remaining {
@@ -375,7 +487,7 @@ func (s *Sprinkler) faroOrder(g flash.Geometry, cands []*req.Mem) []*req.Mem {
 	}
 	s.remaining = remaining[:0]
 	s.ordered = out
-	enforceReadFirst(out)
+	s.readFirstMoved = enforceReadFirst(out)
 	return out
 }
 
@@ -472,8 +584,10 @@ func (s *Sprinkler) buildGroup(g flash.Geometry, remaining []*req.Mem, seed int)
 // enforceReadFirst stable-reorders so that a read of an LPN issued by an
 // older I/O precedes any newer write of the same LPN (§4.4 hazard control:
 // serve the read memory requests first in the write-after-read case). The
-// pass is quadratic but bounded by GroupCap.
-func enforceReadFirst(ms []*req.Mem) {
+// pass is quadratic but bounded by GroupCap. It reports whether anything
+// moved — a moved read crosses group boundaries, which invalidates the
+// partial-invalidation bookkeeping for this order.
+func enforceReadFirst(ms []*req.Mem) (moved bool) {
 	for i := 0; i < len(ms); i++ {
 		w := ms[i]
 		if w.IO.Kind != req.Write {
@@ -488,7 +602,9 @@ func enforceReadFirst(ms []*req.Mem) {
 			// read to sit just before the write, shifting the rest right.
 			copy(ms[i+1:j+1], ms[i:j])
 			ms[i] = r
+			moved = true
 			break
 		}
 	}
+	return moved
 }

@@ -36,6 +36,11 @@ type Options struct {
 	// through the runner's DeviceArena (A/B profiling of construction
 	// cost; results are identical either way).
 	NoReuse bool
+	// Parallel sets Config.ParallelChannels on every cell: the partitioned
+	// per-channel kernel with this many worker threads. Results are
+	// byte-identical; cells whose configuration is ineligible (GC enabled)
+	// fall back to the serial kernel.
+	Parallel int
 }
 
 // Defaults fills unset options.
@@ -82,6 +87,14 @@ func Platform(chips int) sprinkler.Config {
 	return sprinkler.Platform(chips)
 }
 
+// platform builds the evaluation platform carrying the options' kernel
+// knob.
+func (o Options) platform() sprinkler.Config {
+	cfg := Platform(o.Chips)
+	cfg.ParallelChannels = o.Parallel
+	return cfg
+}
+
 // Evaluation holds the 5-scheduler × 16-workload sweep behind Figures 6,
 // 10, 11, 13 and 14.
 type Evaluation struct {
@@ -98,7 +111,7 @@ func RunEvaluation(opts Options) (*Evaluation, error) {
 	opts = opts.Defaults()
 	workloads := sprinkler.Workloads()
 	cells := sprinkler.Grid{
-		Base:       Platform(opts.Chips),
+		Base:       opts.platform(),
 		Schedulers: schedulerKinds(SchedulerNames),
 		Workloads:  workloads,
 		Requests:   opts.scaled(3000, 120),

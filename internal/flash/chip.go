@@ -83,9 +83,14 @@ type Chip struct {
 	statusEnd     *sim.Timer
 }
 
-// NewChip returns an idle chip bound to eng and bus.
+// NewChip returns an idle chip bound to eng and bus. All of the chip's
+// events run on its channel's lane (channel index + 1), matching the bus it
+// hangs off: a channel's whole event population shares one lane, which is
+// what lets the parallel device kernel give each channel its own engine
+// while reproducing the serial timeline exactly.
 func NewChip(eng *sim.Engine, bus Bus, id ChipID, g Geometry, t Timing) *Chip {
 	c := &Chip{ID: id, Geo: g, Tim: t, eng: eng, bus: bus}
+	lane := int32(g.Channel(id)) + 1
 	c.grantedSubmit = func(start sim.Time) {
 		c.stats.BusWait += start - c.asked
 		c.stats.BusActive.Set(start, true)
@@ -137,6 +142,10 @@ func NewChip(eng *sim.Engine, bus Bus, id ChipID, g Geometry, t Timing) *Chip {
 			cb.TxnDone(now, t)
 		}
 	})
+	c.submitEnd.SetLane(lane)
+	c.cellEnd.SetLane(lane)
+	c.readEnd.SetLane(lane)
+	c.statusEnd.SetLane(lane)
 	return c
 }
 

@@ -76,14 +76,27 @@ type ReadyIndex struct {
 	// are exactly as they were, so cached selection output stays
 	// bit-identical to a recomputation.
 	version []uint64
+
+	// addVer and readdrVer split version by cause: addVer counts entries
+	// entering a chip's list (admission, readdressing inserts), readdrVer
+	// counts physical-address rewrites touching it (including the source
+	// side of a cross-chip move). A version bump with both unchanged is
+	// therefore removal-only — the precondition for Sprinkler's FARO
+	// partial invalidation, which advances a memoized order past removed
+	// groups instead of regrouping from scratch.
+	addVer    []uint64
+	readdrVer []uint64
 }
 
 // NewReadyIndex returns an empty index over numChips chips.
 func NewReadyIndex(numChips int) *ReadyIndex {
+	vers := make([]uint64, 3*numChips)
 	return &ReadyIndex{
-		lists:   make([][]*req.Mem, numChips),
-		live:    make([]int32, numChips),
-		version: make([]uint64, numChips),
+		lists:     make([][]*req.Mem, numChips),
+		live:      make([]int32, numChips),
+		version:   vers[:numChips:numChips],
+		addVer:    vers[numChips : 2*numChips : 2*numChips],
+		readdrVer: vers[2*numChips:],
 	}
 }
 
@@ -101,11 +114,19 @@ func (x *ReadyIndex) Reset() {
 		x.lists[c] = l[:0]
 		x.live[c] = 0
 		x.version[c]++
+		x.addVer[c]++
+		x.readdrVer[c]++
 	}
 }
 
 // Version returns chip c's membership version (see the field comment).
 func (x *ReadyIndex) Version(c flash.ChipID) uint64 { return x.version[c] }
+
+// AddVersion returns chip c's entry-insertion counter (see addVer).
+func (x *ReadyIndex) AddVersion(c flash.ChipID) uint64 { return x.addVer[c] }
+
+// ReaddrVersion returns chip c's address-rewrite counter (see readdrVer).
+func (x *ReadyIndex) ReaddrVersion(c flash.ChipID) uint64 { return x.readdrVer[c] }
 
 // NumChips returns the number of chips the index covers.
 func (x *ReadyIndex) NumChips() int { return len(x.lists) }
@@ -121,6 +142,7 @@ func (x *ReadyIndex) Add(m *req.Mem) {
 	x.lists[c] = append(x.lists[c], m)
 	x.live[c]++
 	x.version[c]++
+	x.addVer[c]++
 }
 
 // Remove unindexes m in O(1), leaving a hole. Gather compacts holes on
@@ -156,10 +178,12 @@ func (x *ReadyIndex) Readdress(m *req.Mem, dst flash.Addr) {
 		// untouched but the address feeds FARO grouping, so cached
 		// selection state must still be invalidated.
 		x.version[dst.Chip]++
+		x.readdrVer[dst.Chip]++
 		m.Addr = dst
 		return
 	}
-	x.drop(m)
+	src := x.drop(m)
+	x.readdrVer[src]++
 	m.Addr = dst
 	l := compactList(x.lists[dst.Chip])
 	pos := sort.Search(len(l), func(i int) bool {
@@ -178,6 +202,8 @@ func (x *ReadyIndex) Readdress(m *req.Mem, dst flash.Addr) {
 	x.lists[dst.Chip] = l
 	x.live[dst.Chip]++
 	x.version[dst.Chip]++
+	x.addVer[dst.Chip]++
+	x.readdrVer[dst.Chip]++
 }
 
 // compactList squeezes out nil holes, fixing ReadySlot positions.

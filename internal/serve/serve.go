@@ -284,6 +284,7 @@ func (s *Server) sessionCfg(req OpenRequest) (sprinkler.Config, error) {
 			cfg = sprinkler.Platform(req.Chips)
 			cfg.QueueDepth = base.QueueDepth
 			cfg.Scheduler = base.Scheduler
+			cfg.ParallelChannels = base.ParallelChannels
 		}
 		if req.Queue > 0 {
 			cfg.QueueDepth = req.Queue
@@ -296,6 +297,11 @@ func (s *Server) sessionCfg(req OpenRequest) (sprinkler.Config, error) {
 			cfg.PagesPerBlock = 64
 			cfg.LogicalPages = cfg.TotalPages() * 85 / 100
 		}
+	}
+	// A non-zero request overrides the daemon's worker count; negatives
+	// are carried into the config so Validate rejects them.
+	if req.ParallelChannels != 0 {
+		cfg.ParallelChannels = req.ParallelChannels
 	}
 	// Clamp the session's memory budgets to the server's.
 	cfg.MaxBacklog = clampBudget(req.MaxBacklog, s.opts.MaxBacklog)
@@ -407,11 +413,12 @@ func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
 	sess.unlock()
 	s.counters.SessionsOpened.Add(1)
 	return sess, &OpenResponse{
-		ID:           id,
-		Chips:        cfg.Channels * cfg.ChipsPerChan,
-		Scheduler:    string(cfg.Scheduler),
-		MaxBacklog:   cfg.MaxBacklog,
-		SeriesWindow: cfg.SeriesWindow,
+		ID:               id,
+		Chips:            cfg.Channels * cfg.ChipsPerChan,
+		Scheduler:        string(cfg.Scheduler),
+		MaxBacklog:       cfg.MaxBacklog,
+		SeriesWindow:     cfg.SeriesWindow,
+		ParallelChannels: cfg.ParallelChannels,
 	}, nil
 }
 

@@ -27,6 +27,14 @@ type OpenRequest struct {
 	Scheduler string `json:"scheduler,omitempty"`
 	GCStress  bool   `json:"gcStress,omitempty"`
 
+	// ParallelChannels overrides the daemon's parallel-kernel worker count
+	// for this session (zero keeps the daemon's base; negative is
+	// rejected). Results are byte-identical either way — the knob only
+	// buys wall-clock speed; the device falls back to the serial kernel
+	// when the session's configuration is ineligible (GC enabled, fewer
+	// than two channels).
+	ParallelChannels int `json:"parallelChannels,omitempty"`
+
 	// Seed feeds preconditioning and server-built workload sources.
 	Seed uint64 `json:"seed,omitempty"`
 
@@ -50,6 +58,10 @@ type OpenResponse struct {
 	Scheduler    string `json:"scheduler"`
 	MaxBacklog   int    `json:"maxBacklog"`
 	SeriesWindow int    `json:"seriesWindow,omitempty"`
+
+	// ParallelChannels is the session's resolved parallel-kernel worker
+	// count (zero when the serial kernel was selected).
+	ParallelChannels int `json:"parallelChannels,omitempty"`
 }
 
 // IORequest is one I/O to submit (sprinkler.Request on the wire).

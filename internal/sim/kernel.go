@@ -5,8 +5,17 @@
 // The kernel is intentionally single-threaded. All model components run as
 // callbacks scheduled on one Engine, so a simulation is a pure function of
 // its inputs: the same configuration and trace always produce the same
-// timeline. Events scheduled for the same instant fire in the order they
-// were scheduled (FIFO tie-breaking by sequence number).
+// timeline. Events scheduled for the same instant fire in (lane, schedule
+// order): every event belongs to a small integer lane (default 0), lanes
+// fire in ascending order within an instant, and within a lane events fire
+// in the order they were scheduled (FIFO tie-breaking by sequence number).
+//
+// Lanes exist for the parallel per-channel device kernel: when a device is
+// partitioned into per-channel sub-engines, each sub-engine owns exactly
+// one lane, so the serial engine's (time, lane, seq) order restricted to a
+// lane equals that sub-engine's local (time, seq) order. That makes the
+// partitioned execution's timeline provably identical to the serial one —
+// the serial kernel stays the reference, the parallel kernel replays it.
 //
 // The event queue is a slab-backed 4-ary heap of event values: scheduling
 // reuses slab slots through a free list, so steady-state operation performs
@@ -58,9 +67,10 @@ type Event func(now Time)
 // Handles to the previous occupant.
 type event struct {
 	at    Time
-	seq   uint64 // schedule order, breaks ties deterministically
+	seq   uint64 // schedule order, breaks same-lane ties deterministically
 	fn    Event
 	timer *Timer // owning timer, cleared on fire/cancel; nil for At/After
+	lane  int32  // same-instant ordering class; lower lanes fire first
 	gen   uint32
 	pos   int32 // heap index, -1 when free
 	next  int32 // free-list link while free
@@ -105,15 +115,35 @@ func (h Handle) active() bool {
 // AtTimer/AfterTimer allocates nothing. A Timer tracks at most one pending
 // schedule at a time.
 type Timer struct {
-	fn Event
-	h  Handle
+	fn   Event
+	h    Handle
+	lane int32
 }
 
-// NewTimer returns a Timer that runs fn when it fires.
+// NewTimer returns a Timer that runs fn when it fires, on lane 0.
 func NewTimer(fn Event) *Timer { return &Timer{fn: fn} }
+
+// SetLane assigns the timer's same-instant ordering lane. Components owned
+// by one device channel set the channel's lane once at construction; the
+// timer must not be pending.
+func (t *Timer) SetLane(lane int32) {
+	if t.Pending() {
+		panic("sim: SetLane on a pending timer")
+	}
+	t.lane = lane
+}
 
 // Pending reports whether the timer is currently scheduled.
 func (t *Timer) Pending() bool { return t.h.active() }
+
+// When returns the fire time of the timer's pending schedule; ok is false
+// when the timer is not pending.
+func (t *Timer) When() (at Time, ok bool) {
+	if !t.h.active() {
+		return 0, false
+	}
+	return t.h.e.slab[t.h.idx].at, true
+}
 
 // Stop cancels the pending schedule, if any.
 func (t *Timer) Stop() {
@@ -148,7 +178,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // schedule allocates a slab slot and pushes it onto the heap.
-func (e *Engine) schedule(at Time, fn Event, t *Timer) Handle {
+func (e *Engine) schedule(at Time, fn Event, t *Timer, lane int32) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
@@ -165,6 +195,7 @@ func (e *Engine) schedule(at Time, fn Event, t *Timer) Handle {
 	ev.seq = e.seq
 	ev.fn = fn
 	ev.timer = t
+	ev.lane = lane
 	e.seq++
 	ev.pos = int32(len(e.heap))
 	e.heap = append(e.heap, idx)
@@ -183,11 +214,14 @@ func (e *Engine) release(idx int32) {
 	e.free = idx
 }
 
-// less orders heap entries by (at, seq).
+// less orders heap entries by (at, lane, seq).
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.slab[a], &e.slab[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
+	}
+	if ea.lane != eb.lane {
+		return ea.lane < eb.lane
 	}
 	return ea.seq < eb.seq
 }
@@ -252,28 +286,30 @@ func (e *Engine) removeAt(pos int32) {
 	}
 }
 
-// At schedules fn to run at absolute time at. Scheduling in the past panics:
-// that is always a model bug, and silently clamping would corrupt causality.
+// At schedules fn to run at absolute time at, on lane 0. Scheduling in the
+// past panics: that is always a model bug, and silently clamping would
+// corrupt causality.
 func (e *Engine) At(at Time, fn Event) Handle {
-	return e.schedule(at, fn, nil)
+	return e.schedule(at, fn, nil, 0)
 }
 
-// After schedules fn to run delay nanoseconds from now.
+// After schedules fn to run delay nanoseconds from now, on lane 0.
 func (e *Engine) After(delay Time, fn Event) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	return e.schedule(e.now+delay, fn, nil)
+	return e.schedule(e.now+delay, fn, nil, 0)
 }
 
-// AtTimer schedules t's callback at absolute time at. The timer must not
-// already be pending: components that reuse a timer are responsible for one
-// schedule at a time, and double-scheduling is always a model bug.
+// AtTimer schedules t's callback at absolute time at, on t's lane. The
+// timer must not already be pending: components that reuse a timer are
+// responsible for one schedule at a time, and double-scheduling is always a
+// model bug.
 func (e *Engine) AtTimer(at Time, t *Timer) {
 	if t.Pending() {
 		panic("sim: timer already pending")
 	}
-	t.h = e.schedule(at, t.fn, t)
+	t.h = e.schedule(at, t.fn, t, t.lane)
 }
 
 // AfterTimer schedules t's callback delay nanoseconds from now.
@@ -361,6 +397,16 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Drained reports whether the queue holds no events.
 func (e *Engine) Drained() bool { return len(e.heap) == 0 }
+
+// NextAt peeks at the earliest pending event's timestamp without executing
+// anything. ok is false when the queue is empty. The epoch loop of the
+// parallel device kernel uses it to size conservative lookahead windows.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slab[e.heap[0]].at, true
+}
 
 // MaxTime is the largest representable simulation time.
 const MaxTime = Time(math.MaxInt64)

@@ -376,6 +376,12 @@ func (h *Histogram) MemFootprint() int {
 	return 8 * (cap(h.samples) + len(h.buckets))
 }
 
+// PreSort sorts exact-mode sample storage in place, ahead of a Clone: the
+// snapshot then inherits sorted storage, so its percentile reads skip the
+// copy-on-sort (the dominant result-rendering allocation — a full copy of
+// the retained sample slice). No-op when already sorted or bucketed.
+func (h *Histogram) PreSort() { h.ensureSorted() }
+
 // Clone returns a snapshot that stays fixed while the original keeps
 // observing. Exact-mode sample storage is shared until the clone first
 // needs to sort (copy-on-sort — appends beyond the snapshot's length are

@@ -71,6 +71,19 @@ type Config struct {
 	// experiments).
 	DisableGC bool
 
+	// ParallelChannels partitions the event kernel by channel: each
+	// per-channel controller (bus + chips) runs on its own sub-engine, and
+	// up to ParallelChannels worker threads advance the sub-engines in
+	// conservative lockstep epochs bounded by the DMA compose latency —
+	// the only statically-known cross-channel delay. Values below 2
+	// (default) keep the single-engine serial kernel. The partitioned
+	// kernel produces timelines byte-identical to the serial one; it
+	// engages only when the configuration's cross-channel lookahead is
+	// non-degenerate (at least two channels, ComposeLatency > 0, and GC
+	// disabled — background GC commits flash traffic with zero lookahead),
+	// and falls back to the serial kernel otherwise.
+	ParallelChannels int
+
 	// CollectSeries records one SeriesPoint per completed I/O (Figure 12).
 	CollectSeries bool
 
@@ -122,7 +135,21 @@ func (c *Config) Validate() error {
 	if c.SeriesWindow < 0 {
 		return fmt.Errorf("ssd: negative SeriesWindow")
 	}
+	if c.ParallelChannels < 0 {
+		return fmt.Errorf("ssd: negative ParallelChannels")
+	}
 	return nil
+}
+
+// partitioned reports whether this configuration runs the per-channel
+// partitioned kernel: the knob asks for it and the cross-channel lookahead
+// is non-degenerate. Background GC injects flash traffic synchronously at
+// completion-processing time (including cross-channel migration programs),
+// collapsing the lookahead to zero, so GC configurations always use the
+// serial kernel.
+func (c *Config) partitioned() bool {
+	return c.ParallelChannels >= 2 && c.Geo.Channels >= 2 &&
+		c.DisableGC && c.ComposeLatency > 0
 }
 
 // logicalPages resolves the default logical space.

@@ -25,6 +25,14 @@ import (
 // timers, chip callbacks, and transaction values are bound once at
 // construction, so the commit→build→execute cycle allocates nothing in
 // steady state.
+//
+// The controller never calls back into the device synchronously. Progress
+// notifications (transaction start/end, member-request completions) are
+// staged into a per-channel message list and drained by the device at the
+// end of the instant — through a flush event on the single-engine kernel,
+// or at the epoch barrier of the parallel per-channel kernel. Staging is
+// what makes the two kernels byte-identical: in both, every channel's
+// messages for one instant are applied in (channel, staging order).
 type controller struct {
 	eng     *sim.Engine
 	geo     flash.Geometry
@@ -40,11 +48,36 @@ type controller struct {
 	cbs        []flash.Callbacks
 	taken      []int // BuildTransactionInto scratch (build is synchronous)
 
-	// onReqDone routes member-request completions back to the device.
-	onReqDone func(now sim.Time, r flash.Request)
-	// onTxnStart/onTxnDone keep the device's busy-chip integral current.
-	onTxnStart func(now sim.Time, c flash.ChipID)
-	onTxnDone  func(now sim.Time, c flash.ChipID)
+	// staged is the channel→device message queue, in staging order (which
+	// is simulation-time order: channel events run time-monotonically).
+	// head indexes the first undrained message.
+	staged     []stagedMsg
+	stagedHead int
+
+	// noteStaged, when set, tells the owner that a message was staged at
+	// now. The single-engine device arms its flush event from it; the
+	// parallel kernel leaves it nil and drains at epoch barriers.
+	noteStaged func(now sim.Time)
+}
+
+// stagedKind discriminates channel→device messages.
+type stagedKind uint8
+
+const (
+	// stagedTxnStart: a transaction began executing on msg.chip.
+	stagedTxnStart stagedKind = iota
+	// stagedTxnDone: the in-flight transaction on msg.chip retired.
+	stagedTxnDone
+	// stagedReqDone: member request msg.r completed.
+	stagedReqDone
+)
+
+// stagedMsg is one channel→device progress notification.
+type stagedMsg struct {
+	at   sim.Time
+	kind stagedKind
+	chip flash.ChipID
+	r    flash.Request // stagedReqDone payload
 }
 
 func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, channel int) *controller {
@@ -71,21 +104,50 @@ func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, channe
 			ctl.buildArmed[off] = false
 			ctl.build(now, off)
 		})
+		ctl.buildT[off].SetLane(int32(channel) + 1)
 		ctl.cbs[off] = flash.Callbacks{
 			RequestDone: func(t sim.Time, r flash.Request) {
-				if ctl.onReqDone != nil {
-					ctl.onReqDone(t, r)
-				}
+				ctl.stage(stagedMsg{at: t, kind: stagedReqDone, chip: id, r: r})
 			},
 			TxnDone: func(t sim.Time, _ *flash.Transaction) {
-				if ctl.onTxnDone != nil {
-					ctl.onTxnDone(t, id)
-				}
-				ctl.armBuild(id)
+				ctl.stage(stagedMsg{at: t, kind: stagedTxnDone, chip: id})
+				// The chip just dropped R/B: re-arm with busy=false rather
+				// than reading device-owned mirror state from channel
+				// context.
+				ctl.armBuild(t, id, false)
 			},
 		}
 	}
 	return ctl
+}
+
+// stage appends one channel→device message and pings the owner.
+func (ctl *controller) stage(msg stagedMsg) {
+	ctl.staged = append(ctl.staged, msg)
+	if ctl.noteStaged != nil {
+		ctl.noteStaged(msg.at)
+	}
+}
+
+// stagedNext peeks the first undrained message's timestamp.
+func (ctl *controller) stagedNext() (sim.Time, bool) {
+	if ctl.stagedHead >= len(ctl.staged) {
+		return 0, false
+	}
+	return ctl.staged[ctl.stagedHead].at, true
+}
+
+// popStaged removes and returns the first undrained message, reclaiming
+// the slice once it fully drains (constantly, at steady state).
+func (ctl *controller) popStaged() stagedMsg {
+	msg := ctl.staged[ctl.stagedHead]
+	ctl.staged[ctl.stagedHead] = stagedMsg{}
+	ctl.stagedHead++
+	if ctl.stagedHead == len(ctl.staged) {
+		ctl.staged = ctl.staged[:0]
+		ctl.stagedHead = 0
+	}
+	return msg
 }
 
 // reset returns the controller, its bus and its chips to the just-built
@@ -114,6 +176,11 @@ func (ctl *controller) reset(tim flash.Timing) {
 		ctl.taken[i] = 0
 	}
 	ctl.taken = ctl.taken[:0]
+	for i := range ctl.staged {
+		ctl.staged[i] = stagedMsg{}
+	}
+	ctl.staged = ctl.staged[:0]
+	ctl.stagedHead = 0
 }
 
 // offset maps a chip ID to its offset on this channel, panicking on
@@ -131,12 +198,17 @@ func (ctl *controller) chip(id flash.ChipID) *flash.Chip {
 }
 
 // commit appends a memory request to the chip's committed queue and arms
-// the transaction builder if the chip is ready.
-func (ctl *controller) commit(r flash.Request) {
+// the transaction builder if the chip is ready. Callers run in device
+// (host) context and pass the current instant plus their view of the
+// chip's busy state — the device's staged mirror, which reflects exactly
+// the transaction starts/ends the host has processed so far. (On the
+// parallel kernel the chip object itself may already have advanced past
+// now; the mirror is the causally correct view in both kernels.)
+func (ctl *controller) commit(now sim.Time, r flash.Request, chipBusy bool) {
 	id := r.Addr.Chip
 	off := ctl.offset(id)
 	ctl.pending[off] = append(ctl.pending[off], r)
-	ctl.armBuild(id)
+	ctl.armBuild(now, id, chipBusy)
 }
 
 // pendingLen reports the committed-but-unissued depth for a chip.
@@ -146,14 +218,15 @@ func (ctl *controller) pendingLen(id flash.ChipID) int {
 
 // armBuild schedules a transaction build for an idle chip after the
 // decision window. Requests committed within the window still make the
-// cut; later ones join the next transaction.
-func (ctl *controller) armBuild(id flash.ChipID) {
+// cut; later ones join the next transaction. busy is the caller's
+// causally-consistent view of the chip's R/B state at now (see commit).
+func (ctl *controller) armBuild(now sim.Time, id flash.ChipID, busy bool) {
 	off := ctl.offset(id)
-	if ctl.buildArmed[off] || ctl.chips[off].Busy() || len(ctl.pending[off]) == 0 {
+	if ctl.buildArmed[off] || busy || len(ctl.pending[off]) == 0 {
 		return
 	}
 	ctl.buildArmed[off] = true
-	ctl.eng.AfterTimer(ctl.tim.DecisionWindow, ctl.buildT[off])
+	ctl.eng.AtTimer(now+ctl.tim.DecisionWindow, ctl.buildT[off])
 }
 
 // build coalesces the committed queue into one transaction and executes it.
@@ -178,8 +251,6 @@ func (ctl *controller) build(now sim.Time, off int) {
 	}
 	ctl.pending[off] = rest
 
-	if ctl.onTxnStart != nil {
-		ctl.onTxnStart(now, chip.ID)
-	}
+	ctl.stage(stagedMsg{at: now, kind: stagedTxnStart, chip: chip.ID})
 	chip.Execute(txn, ctl.cbs[off])
 }

@@ -22,14 +22,11 @@ func freq(chip flash.ChipID, die, plane, block, page int, op flash.Op) flash.Req
 
 func TestControllerCoalescesWithinDecisionWindow(t *testing.T) {
 	eng, ctl := newTestController()
-	var done []*flash.Transaction
-	ctl.onTxnDone = func(now sim.Time, c flash.ChipID) {}
-	ctl.onReqDone = func(now sim.Time, r flash.Request) {}
 
 	// Two compatible requests committed back-to-back: the build fires
 	// after the decision window and must fuse them.
-	ctl.commit(freq(0, 0, 0, 3, 5, flash.OpRead))
-	ctl.commit(freq(0, 1, 0, 4, 2, flash.OpRead))
+	ctl.commit(0, freq(0, 0, 0, 3, 5, flash.OpRead), false)
+	ctl.commit(0, freq(0, 1, 0, 4, 2, flash.OpRead), false)
 
 	// Observe via chip stats after the run.
 	eng.Run(0)
@@ -40,16 +37,15 @@ func TestControllerCoalescesWithinDecisionWindow(t *testing.T) {
 	if st.TxnsByClass[flash.PAL2] != 1 {
 		t.Fatalf("fusion class wrong: %v", st.TxnsByClass)
 	}
-	_ = done
 }
 
 func TestControllerLateCommitMissesWindow(t *testing.T) {
 	eng, ctl := newTestController()
-	ctl.commit(freq(0, 0, 0, 3, 5, flash.OpRead))
+	ctl.commit(0, freq(0, 0, 0, 3, 5, flash.OpRead), false)
 	// Second request arrives after the window (and after the chip went
 	// busy): it must be a separate transaction.
-	eng.At(ctl.tim.DecisionWindow+1, func(sim.Time) {
-		ctl.commit(freq(0, 1, 0, 4, 2, flash.OpRead))
+	eng.At(ctl.tim.DecisionWindow+1, func(now sim.Time) {
+		ctl.commit(now, freq(0, 1, 0, 4, 2, flash.OpRead), ctl.chip(0).Busy())
 	})
 	eng.Run(0)
 	st := ctl.chip(0).Stats()
@@ -62,12 +58,13 @@ func TestControllerAccumulatesWhileBusy(t *testing.T) {
 	eng, ctl := newTestController()
 	// First request occupies the chip; four compatible requests commit
 	// while it is busy and must fuse into ONE follow-up transaction.
-	ctl.commit(freq(0, 0, 0, 1, 1, flash.OpRead))
-	eng.At(50*sim.Microsecond, func(sim.Time) { // mid-execution of txn 1
-		ctl.commit(freq(0, 0, 0, 2, 2, flash.OpRead))
-		ctl.commit(freq(0, 0, 1, 2, 2, flash.OpRead))
-		ctl.commit(freq(0, 1, 0, 3, 4, flash.OpRead))
-		ctl.commit(freq(0, 1, 1, 3, 4, flash.OpRead))
+	ctl.commit(0, freq(0, 0, 0, 1, 1, flash.OpRead), false)
+	eng.At(50*sim.Microsecond, func(now sim.Time) { // mid-execution of txn 1
+		busy := ctl.chip(0).Busy()
+		ctl.commit(now, freq(0, 0, 0, 2, 2, flash.OpRead), busy)
+		ctl.commit(now, freq(0, 0, 1, 2, 2, flash.OpRead), busy)
+		ctl.commit(now, freq(0, 1, 0, 3, 4, flash.OpRead), busy)
+		ctl.commit(now, freq(0, 1, 1, 3, 4, flash.OpRead), busy)
 	})
 	eng.Run(0)
 	st := ctl.chip(0).Stats()
@@ -81,8 +78,8 @@ func TestControllerAccumulatesWhileBusy(t *testing.T) {
 
 func TestControllerSeparatesOpKinds(t *testing.T) {
 	eng, ctl := newTestController()
-	ctl.commit(freq(0, 0, 0, 1, 1, flash.OpRead))
-	ctl.commit(freq(0, 1, 0, 2, 1, flash.OpProgram))
+	ctl.commit(0, freq(0, 0, 0, 1, 1, flash.OpRead), false)
+	ctl.commit(0, freq(0, 1, 0, 2, 1, flash.OpProgram), false)
 	eng.Run(0)
 	st := ctl.chip(0).Stats()
 	if st.Txns != 2 {
@@ -92,8 +89,8 @@ func TestControllerSeparatesOpKinds(t *testing.T) {
 
 func TestControllerIndependentChips(t *testing.T) {
 	eng, ctl := newTestController()
-	ctl.commit(freq(0, 0, 0, 1, 1, flash.OpRead))
-	ctl.commit(freq(1, 0, 0, 1, 1, flash.OpRead))
+	ctl.commit(0, freq(0, 0, 0, 1, 1, flash.OpRead), false)
+	ctl.commit(0, freq(1, 0, 0, 1, 1, flash.OpRead), false)
 	// Both chips busy concurrently (they share only the bus).
 	eng.RunUntil(30 * sim.Microsecond)
 	if !ctl.chip(0).Busy() || !ctl.chip(1).Busy() {
@@ -107,8 +104,8 @@ func TestControllerIndependentChips(t *testing.T) {
 
 func TestControllerPendingLen(t *testing.T) {
 	eng, ctl := newTestController()
-	ctl.commit(freq(0, 0, 0, 1, 1, flash.OpRead))
-	ctl.commit(freq(0, 0, 0, 2, 1, flash.OpRead)) // conflicts: same die/plane
+	ctl.commit(0, freq(0, 0, 0, 1, 1, flash.OpRead), false)
+	ctl.commit(0, freq(0, 0, 0, 2, 1, flash.OpRead), false) // conflicts: same die/plane
 	if got := ctl.pendingLen(0); got != 2 {
 		t.Fatalf("pendingLen = %d, want 2 before build", got)
 	}

@@ -81,6 +81,26 @@ type Device struct {
 
 	pumping bool
 
+	// chipBusyM mirrors each chip's R/B line as of the staged transaction
+	// start/done messages the device has processed. Host-side code (the
+	// scheduler's Fabric view, commit-time build arming) reads this mirror
+	// instead of the chip object: on the single-engine kernel the two are
+	// identical at every host event, and on the parallel kernel the chip
+	// object may have run ahead of the host clock, making the mirror the
+	// only causally correct view.
+	chipBusyM []bool
+
+	// flushT drains staged channel→device messages at the end of the
+	// current instant on the single-engine kernel. Its lane sorts after
+	// every channel lane, so it fires once all channel events of the
+	// instant have staged their messages.
+	flushT     *sim.Timer
+	flushArmed bool
+
+	// par drives the per-channel partitioned kernel; nil on the
+	// single-engine kernel.
+	par *parRunner
+
 	// onRetire, installed with SetIORetire, observes each host I/O after
 	// it has fully completed and left every device structure — the
 	// free-list recycling hook for the session/source layer.
@@ -104,6 +124,12 @@ type Device struct {
 	bytesWritten   int64
 	iosDone        int64
 	lastCompletion sim.Time
+
+	// sampleBuf is resultAt's per-chip sample scratch, reused across
+	// Results: metrics.Result.Compute folds the samples into aggregates
+	// without retaining the slice, so rendering a Result (the per-sweep-cell
+	// hot path) does not allocate per chip.
+	sampleBuf []metrics.ChipSample
 }
 
 // New builds a Device with the given scheduler.
@@ -136,7 +162,10 @@ func NewWithFTLMeta(cfg Config, scheduler sched.Scheduler, meta *ftl.BlockMeta) 
 		outstanding: make([]int, cfg.Geo.NumChips()),
 		ready:       sched.NewReadyIndex(cfg.Geo.NumChips()),
 		gcActive:    make([]bool, cfg.Geo.NumChips()),
+		chipBusyM:   make([]bool, cfg.Geo.NumChips()),
 	}
+	d.flushT = sim.NewTimer(d.flush)
+	d.flushT.SetLane(int32(cfg.Geo.Channels) + 1)
 	d.latency.SetCap(cfg.MetricsSampleCap)
 	d.composeBatch = true
 	d.composeTimer = sim.NewTimer(func(t sim.Time) {
@@ -162,22 +191,78 @@ func NewWithFTLMeta(cfg Config, scheduler sched.Scheduler, meta *ftl.BlockMeta) 
 		d.arrivalIO = nil
 		d.arrive(now, io)
 	})
-	d.ctrls = make([]*controller, cfg.Geo.Channels)
+	d.buildControllers(cfg.partitioned())
+	return d, nil
+}
+
+// buildControllers constructs the per-channel controllers, either all bound
+// to the device's single engine or — for the partitioned kernel — each to
+// its own per-channel sub-engine driven by the epoch runner.
+func (d *Device) buildControllers(partitioned bool) {
+	d.ctrls = make([]*controller, d.cfg.Geo.Channels)
 	for ch := range d.ctrls {
-		ctl := newController(d.eng, cfg.Geo, cfg.Tim, ch)
-		ctl.onReqDone = d.onFlashReqDone
-		ctl.onTxnStart = func(now sim.Time, _ flash.ChipID) {
-			d.account(now)
-			d.busyChips++
+		eng := d.eng
+		if partitioned {
+			eng = sim.NewEngine()
 		}
-		ctl.onTxnDone = func(now sim.Time, _ flash.ChipID) {
-			d.account(now)
-			d.busyChips--
-			d.pump(now)
+		ctl := newController(eng, d.cfg.Geo, d.cfg.Tim, ch)
+		if !partitioned {
+			ctl.noteStaged = d.noteStaged
 		}
 		d.ctrls[ch] = ctl
 	}
-	return d, nil
+	if partitioned {
+		d.par = newParRunner(d)
+	} else {
+		d.par = nil
+	}
+}
+
+// noteStaged arms the end-of-instant flush on the single-engine kernel.
+func (d *Device) noteStaged(now sim.Time) {
+	if d.flushArmed {
+		return
+	}
+	d.flushArmed = true
+	d.eng.AtTimer(now, d.flushT)
+}
+
+// flush applies every staged channel→device message of the current
+// instant, in (channel, staging order) — the same order the partitioned
+// kernel's epoch barrier applies them in.
+func (d *Device) flush(now sim.Time) {
+	d.flushArmed = false
+	for _, ctl := range d.ctrls {
+		for {
+			at, ok := ctl.stagedNext()
+			if !ok {
+				break
+			}
+			if at != now {
+				panic(fmt.Sprintf("ssd: staged message at %v surviving past flush at %v", at, now))
+			}
+			d.applyStaged(ctl.popStaged())
+		}
+	}
+}
+
+// applyStaged runs one channel→device message in host context.
+func (d *Device) applyStaged(msg stagedMsg) {
+	switch msg.kind {
+	case stagedTxnStart:
+		d.account(msg.at)
+		d.busyChips++
+		d.chipBusyM[msg.chip] = true
+	case stagedTxnDone:
+		d.account(msg.at)
+		d.busyChips--
+		d.chipBusyM[msg.chip] = false
+		d.pump(msg.at)
+	case stagedReqDone:
+		d.onFlashReqDone(msg.at, msg.r)
+	default:
+		panic("ssd: unknown staged message kind")
+	}
 }
 
 // Reset re-initializes the device in place for a new run, as if freshly
@@ -216,9 +301,28 @@ func (d *Device) Reset(cfg Config, scheduler sched.Scheduler) error {
 	} else {
 		d.queue = nvmhc.NewQueue(cfg.QueueDepth)
 	}
-	for _, ctl := range d.ctrls {
-		ctl.reset(cfg.Tim)
+	if was, want := d.cfg.partitioned(), cfg.partitioned(); was != want {
+		// The kernel partitioning changed across runs: controllers, buses
+		// and chips are bound to their engine at construction, so rebuild
+		// them on the new layout. Rare (a per-run knob flip), and the only
+		// Reset path that allocates.
+		d.cfg = cfg
+		d.buildControllers(want)
+	} else {
+		if d.par != nil {
+			for _, ctl := range d.ctrls {
+				ctl.eng.Reset()
+			}
+		}
+		for _, ctl := range d.ctrls {
+			ctl.reset(cfg.Tim)
+		}
 	}
+	for i := range d.chipBusyM {
+		d.chipBusyM[i] = false
+	}
+	d.flushT.Stop()
+	d.flushArmed = false
 	if r, ok := scheduler.(sched.StateResetter); ok {
 		r.ResetState()
 	}
@@ -289,9 +393,13 @@ func (d *Device) Geo() flash.Geometry { return d.cfg.Geo }
 // Outstanding implements sched.Fabric.
 func (d *Device) Outstanding(c flash.ChipID) int { return d.outstanding[int(c)] }
 
-// ChipBusy implements sched.Fabric.
+// ChipBusy implements sched.Fabric: the host-side R/B mirror, which
+// reflects exactly the transaction starts/ends whose staged messages the
+// device has processed. At every host event this equals the chip object's
+// own state on the single-engine kernel; on the partitioned kernel the
+// chip may have simulated ahead, and the mirror is the causal view.
 func (d *Device) ChipBusy(c flash.ChipID) bool {
-	return d.ctrls[d.cfg.Geo.Channel(c)].chip(c).Busy()
+	return d.chipBusyM[c]
 }
 
 // Ready implements sched.Fabric: the per-chip ready index.
@@ -380,11 +488,17 @@ func (d *Device) Drain(ctx context.Context) (*metrics.Result, error) {
 const cancelCheckEvents = 1 << 16
 
 func (d *Device) drain(ctx context.Context) (*metrics.Result, error) {
-	for d.eng.Pending() > 0 {
-		if err := ctx.Err(); err != nil {
+	if d.par != nil {
+		if err := d.par.drain(ctx); err != nil {
 			return d.Snapshot(), err
 		}
-		d.eng.Run(d.eng.Fired() + cancelCheckEvents)
+	} else {
+		for d.eng.Pending() > 0 {
+			if err := ctx.Err(); err != nil {
+				return d.Snapshot(), err
+			}
+			d.eng.Run(d.eng.Fired() + cancelCheckEvents)
+		}
 	}
 	d.account(d.eng.Now())
 	if d.inflight > 0 {
@@ -409,7 +523,11 @@ func (d *Device) Submit(io *req.IO) {
 // then moves the clock there, leaving later events queued. Session mode's
 // windowing primitive.
 func (d *Device) Advance(to sim.Time) {
-	d.eng.RunUntil(to)
+	if d.par != nil {
+		d.par.advance(to)
+	} else {
+		d.eng.RunUntil(to)
+	}
 	d.account(d.eng.Now())
 }
 
@@ -647,7 +765,7 @@ func (d *Device) commit(now sim.Time, m *req.Mem) {
 	m.State = req.StateCommitted
 	m.Committed = now
 	ch := d.cfg.Geo.Channel(m.Addr.Chip)
-	d.ctrls[ch].commit(flash.Request{Op: m.Op(), Addr: m.Addr, Token: m})
+	d.ctrls[ch].commit(now, flash.Request{Op: m.Op(), Addr: m.Addr, Token: m}, d.chipBusyM[m.Addr.Chip])
 }
 
 // onFlashReqDone routes flash-level completions: host memory requests
@@ -759,6 +877,11 @@ func (d *Device) seriesSnapshot() []metrics.SeriesPoint {
 }
 
 func (d *Device) resultAt(end sim.Time) *metrics.Result {
+	// Pre-sorting the live histogram lets the clone below inherit sorted
+	// storage: the Result's percentile reads then skip the copy-on-sort.
+	// Appends after this snapshot don't reorder the sorted prefix, so the
+	// clone stays consistent even while the run continues.
+	d.latency.PreSort()
 	r := &metrics.Result{
 		Scheduler:           d.sch.Name(),
 		Duration:            end,
@@ -772,7 +895,7 @@ func (d *Device) resultAt(end sim.Time) *metrics.Result {
 		GC:                  d.fl.Stats(),
 		Series:              d.seriesSnapshot(),
 	}
-	samples := make([]metrics.ChipSample, 0, d.cfg.Geo.NumChips())
+	samples := d.sampleBuf[:0]
 	for ch := range d.ctrls {
 		for off := 0; off < d.cfg.Geo.ChipsPerChan; off++ {
 			chip := d.ctrls[ch].chip(d.cfg.Geo.ChipAt(ch, off))
@@ -791,5 +914,6 @@ func (d *Device) resultAt(end sim.Time) *metrics.Result {
 		}
 	}
 	r.Compute(d.cfg.Geo, samples, d.busyIntegral, d.sysBusyTime)
+	d.sampleBuf = samples
 	return r
 }

@@ -93,7 +93,8 @@ func (r *gcRun) startReads(now sim.Time) {
 	r.phase = flash.OpRead
 	r.remaining = len(r.job.Migrations)
 	for _, mg := range r.job.Migrations {
-		r.ctl().commit(flash.Request{Op: flash.OpRead, Addr: mg.Src, Token: &gcStep{run: r, kind: flash.OpRead}})
+		r.ctl().commit(now, flash.Request{Op: flash.OpRead, Addr: mg.Src, Token: &gcStep{run: r, kind: flash.OpRead}},
+			r.dev.chipBusyM[mg.Src.Chip])
 	}
 }
 
@@ -102,7 +103,8 @@ func (r *gcRun) startPrograms(now sim.Time) {
 	r.remaining = len(r.job.Migrations)
 	for _, mg := range r.job.Migrations {
 		ch := r.dev.cfg.Geo.Channel(mg.Dst.Chip)
-		r.dev.ctrls[ch].commit(flash.Request{Op: flash.OpProgram, Addr: mg.Dst, Token: &gcStep{run: r, kind: flash.OpProgram}})
+		r.dev.ctrls[ch].commit(now, flash.Request{Op: flash.OpProgram, Addr: mg.Dst, Token: &gcStep{run: r, kind: flash.OpProgram}},
+			r.dev.chipBusyM[mg.Dst.Chip])
 	}
 }
 
@@ -111,7 +113,8 @@ func (r *gcRun) startErase(now sim.Time) {
 	r.remaining = 1
 	victim := r.job.Victim
 	victim.Page = 0
-	r.ctl().commit(flash.Request{Op: flash.OpErase, Addr: victim, Token: &gcStep{run: r, kind: flash.OpErase}})
+	r.ctl().commit(now, flash.Request{Op: flash.OpErase, Addr: victim, Token: &gcStep{run: r, kind: flash.OpErase}},
+		r.dev.chipBusyM[victim.Chip])
 }
 
 // stepDone advances the job when a member flash request completes.

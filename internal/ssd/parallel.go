@@ -1,0 +1,260 @@
+package ssd
+
+import (
+	"context"
+	"sync/atomic"
+
+	"sprinkler/internal/sim"
+)
+
+// Parallel per-channel device kernel.
+//
+// The serial kernel runs every component on one engine whose same-instant
+// order is (lane, schedule order): host events (lane 0) first, then each
+// channel's events (lane = channel+1) in channel order, then the staged
+// message flush (last lane). Channels interact with the host only through
+// two narrow edges:
+//
+//   - host → channel: commits. With GC disabled, the only committing host
+//     events are DMA compose-timer fires, so the next commit instant is
+//     statically known: at least ComposeLatency past the current epoch
+//     start (new compositions), and never before the already-scheduled
+//     compose fire.
+//   - channel → host: staged messages (transaction start/done, member
+//     completions), applied at end-of-instant in (channel, staging order).
+//
+// That gives a classic conservative lookahead: between one epoch start T
+// and the horizon S = min(T+ComposeLatency, pending compose fire), no
+// commit can occur, so every channel's events in [T, S) depend only on
+// state fixed at T — they can run concurrently, one goroutine per channel
+// group (phase A). The host then replays its own events and the staged
+// messages instant-by-instant over [T, S) (phase B), exactly as the serial
+// flush would have. When the horizon collapses (a compose fire at T), the
+// epoch degenerates to a single instant processed in serial lane order.
+//
+// Because per-engine schedule order restricted to a lane equals the serial
+// engine's (lane, seq) order restricted to that lane, the partitioned
+// execution replays the serial timeline event-for-event: Results are
+// byte-identical. The parity suite (TestParallelMatchesSerial) pins this.
+type parRunner struct {
+	d       *Device
+	workers int
+
+	// Worker pool, live only while a drain/advance call runs. Phase A
+	// hands every worker the epoch deadline; workers claim channels off
+	// the shared cursor and run their sub-engines to the deadline.
+	start  chan sim.Time
+	done   chan struct{}
+	cursor atomic.Int32
+	live   bool
+}
+
+func newParRunner(d *Device) *parRunner {
+	w := d.cfg.ParallelChannels
+	if w > d.cfg.Geo.Channels {
+		w = d.cfg.Geo.Channels
+	}
+	return &parRunner{d: d, workers: w}
+}
+
+// startPool spins up the phase-A workers for one top-level call.
+func (p *parRunner) startPool() {
+	if p.live {
+		return
+	}
+	p.start = make(chan sim.Time)
+	p.done = make(chan struct{})
+	for w := 0; w < p.workers; w++ {
+		go func() {
+			for deadline := range p.start {
+				for {
+					i := int(p.cursor.Add(1)) - 1
+					if i >= len(p.d.ctrls) {
+						break
+					}
+					p.d.ctrls[i].eng.RunUntil(deadline)
+				}
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	p.live = true
+}
+
+// stopPool shuts the workers down; channel state is fully synchronized
+// (the pool is only ever stopped between epochs).
+func (p *parRunner) stopPool() {
+	if !p.live {
+		return
+	}
+	close(p.start)
+	p.live = false
+}
+
+// runChannels advances every channel sub-engine through deadline: phase A.
+// The channel-claiming cursor plus the start/done handshakes give the
+// goroutines their happens-before edges with the host.
+func (p *parRunner) runChannels(deadline sim.Time) {
+	if !p.live || p.workers <= 1 {
+		for _, ctl := range p.d.ctrls {
+			ctl.eng.RunUntil(deadline)
+		}
+		return
+	}
+	p.cursor.Store(0)
+	for w := 0; w < p.workers; w++ {
+		p.start <- deadline
+	}
+	for w := 0; w < p.workers; w++ {
+		<-p.done
+	}
+}
+
+// nextInstant is the earliest pending instant across every engine. Staged
+// queues are empty between epochs, so they need no scan here.
+func (p *parRunner) nextInstant() (sim.Time, bool) {
+	t, ok := p.d.eng.NextAt()
+	for _, ctl := range p.d.ctrls {
+		if at, cok := ctl.eng.NextAt(); cok && (!ok || at < t) {
+			t, ok = at, true
+		}
+	}
+	return t, ok
+}
+
+// nextHostWork is the earliest instant with host events or undrained
+// staged messages: phase B's iteration variable.
+func (p *parRunner) nextHostWork() (sim.Time, bool) {
+	t, ok := p.d.eng.NextAt()
+	for _, ctl := range p.d.ctrls {
+		if at, sok := ctl.stagedNext(); sok && (!ok || at < t) {
+			t, ok = at, true
+		}
+	}
+	return t, ok
+}
+
+// applyStagedAt drains every channel's staged messages timestamped u, in
+// (channel, staging order) — the serial flush order.
+func (p *parRunner) applyStagedAt(u sim.Time) bool {
+	any := false
+	for _, ctl := range p.d.ctrls {
+		for {
+			at, ok := ctl.stagedNext()
+			if !ok || at != u {
+				break
+			}
+			p.d.applyStaged(ctl.popStaged())
+			any = true
+		}
+	}
+	return any
+}
+
+// step runs one epoch of events at instants <= limit. It returns false —
+// without advancing any clock — when no such events remain.
+func (p *parRunner) step(limit sim.Time) bool {
+	d := p.d
+	T, ok := p.nextInstant()
+	if !ok || T > limit {
+		return false
+	}
+
+	// Horizon: no commit can land in [T, S). New compositions started at
+	// or after T complete at >= T+ComposeLatency; the in-flight one (if
+	// any) completes at its already-scheduled fire time.
+	S := T + d.cfg.ComposeLatency
+	if at, pending := d.composeTimer.When(); pending && at < S {
+		S = at
+	}
+	if limit < sim.MaxTime && S > limit+1 {
+		S = limit + 1
+	}
+
+	if S <= T {
+		// The lookahead collapsed (a commit is due at T): process the
+		// single instant T in serial lane order.
+		p.instant(T)
+		return true
+	}
+
+	// Phase A: channels run [T, S) concurrently, staging messages.
+	p.runChannels(S - 1)
+
+	// Phase B: host events and staged messages, instant by instant. Host
+	// events here never commit (commits are compose fires, all >= S), so
+	// the channels' [T, S) state is already final.
+	for {
+		u, ok := p.nextHostWork()
+		if !ok || u >= S {
+			break
+		}
+		d.eng.RunUntil(u)
+		p.applyStagedAt(u)
+		// Events the staged processing scheduled back at u (admission
+		// chains) run after the flush, as on the serial kernel.
+		d.eng.RunUntil(u)
+	}
+	d.eng.RunUntil(S - 1)
+	return true
+}
+
+// instant processes one collapsed-horizon instant u in serial lane order:
+// host events, each channel's events in channel order, staged messages,
+// repeated until the instant quiesces (a commit at u can arm a build at u
+// when the decision window is zero, which stages more work at u).
+func (p *parRunner) instant(u sim.Time) {
+	d := p.d
+	for {
+		progress := false
+		if at, ok := d.eng.NextAt(); ok && at <= u {
+			d.eng.RunUntil(u)
+			progress = true
+		}
+		for _, ctl := range d.ctrls {
+			if at, ok := ctl.eng.NextAt(); ok && at <= u {
+				ctl.eng.RunUntil(u)
+				progress = true
+			}
+		}
+		if p.applyStagedAt(u) {
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// pollEpochs is how many epochs run between context polls during a drain.
+const pollEpochs = 1024
+
+// drain runs every engine dry, in epochs. The caller (Device.drain) does
+// the final accounting and stall check.
+func (p *parRunner) drain(ctx context.Context) error {
+	p.startPool()
+	defer p.stopPool()
+	for n := 0; ; n++ {
+		if n%pollEpochs == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if !p.step(sim.MaxTime) {
+			return nil
+		}
+	}
+}
+
+// advance runs epochs through `to` and then parks every clock exactly at
+// `to` — Device.Advance's contract on the partitioned kernel.
+func (p *parRunner) advance(to sim.Time) {
+	p.startPool()
+	defer p.stopPool()
+	for p.step(to) {
+	}
+	p.d.eng.RunUntil(to)
+	for _, ctl := range p.d.ctrls {
+		ctl.eng.RunUntil(to)
+	}
+}

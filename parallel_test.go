@@ -1,0 +1,263 @@
+package sprinkler_test
+
+// Parallel-kernel parity suite: the partitioned per-channel kernel must be
+// byte-identical to the serial kernel — same events, same tie-breaks, same
+// Result down to the last float bit. Every scheduler runs randomized
+// trials over geometry, queue depth, workload shape and preconditioning
+// pressure, and the full JSON-rendered Result is compared. A single
+// diverging field means the conservative lookahead admitted an event
+// reordering and fails the suite.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"sprinkler"
+)
+
+// parityConfig builds a randomized platform eligible for the partitioned
+// kernel (>= 2 channels, GC disabled).
+func parityConfig(rng *rand.Rand, kind sprinkler.SchedulerKind) sprinkler.Config {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Scheduler = kind
+	cfg.Channels = []int{2, 4, 8}[rng.Intn(3)]
+	cfg.ChipsPerChan = []int{1, 2, 4}[rng.Intn(3)]
+	cfg.BlocksPerPlane = 64
+	cfg.PagesPerBlock = 32
+	cfg.QueueDepth = []int{8, 32, 64}[rng.Intn(3)]
+	cfg.DisableGC = true
+	return cfg
+}
+
+// paritySource picks a randomized workload for the config.
+func paritySource(t *testing.T, rng *rand.Rand, cfg sprinkler.Config, n int) sprinkler.Source {
+	t.Helper()
+	switch rng.Intn(4) {
+	case 0:
+		src, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{
+			Name: "msnfs1", Requests: n, Seed: rng.Uint64(),
+		})
+		if err != nil {
+			t.Fatalf("workload source: %v", err)
+		}
+		return src
+	case 1:
+		return sprinkler.SliceSource(sprinkler.SequentialReads(n, 1+rng.Intn(8)))
+	case 2:
+		return sprinkler.SliceSource(sprinkler.SequentialWrites(n, 1+rng.Intn(8)))
+	default:
+		src, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{
+			Name: "proj0", Requests: n, Seed: rng.Uint64(),
+		})
+		if err != nil {
+			t.Fatalf("workload source: %v", err)
+		}
+		return src
+	}
+}
+
+// runOnce builds a device for cfg (optionally fragmented first) and runs
+// the source, returning the Result's JSON rendering.
+func runOnce(t *testing.T, cfg sprinkler.Config, precond bool, pseed uint64, src sprinkler.Source) string {
+	t.Helper()
+	dev, err := sprinkler.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if precond {
+		dev.Precondition(0.6, 0.3, pseed)
+	}
+	res, err := dev.Run(context.Background(), src)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestParallelMatchesSerial is the headline parity test: randomized trials
+// per scheduler, serial vs partitioned kernel, byte-identical Results.
+func TestParallelMatchesSerial(t *testing.T) {
+	trials := 4
+	requests := 600
+	if testing.Short() {
+		trials, requests = 2, 250
+	}
+	for _, kind := range sprinkler.Schedulers() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(len(kind)) * 7919))
+			for trial := 0; trial < trials; trial++ {
+				cfg := parityConfig(rng, kind)
+				precond := rng.Intn(2) == 0
+				pseed := rng.Uint64()
+				srcSeed := rng.Int63()
+
+				serial := cfg
+				serial.ParallelChannels = 0
+				parallel := cfg
+				parallel.ParallelChannels = 2 + rng.Intn(7) // 2..8 workers
+
+				sRNG := rand.New(rand.NewSource(srcSeed))
+				pRNG := rand.New(rand.NewSource(srcSeed))
+				got := runOnce(t, parallel, precond, pseed, paritySource(t, pRNG, parallel, requests))
+				want := runOnce(t, serial, precond, pseed, paritySource(t, sRNG, serial, requests))
+				if got != want {
+					t.Fatalf("trial %d (channels=%d chips/chan=%d qd=%d precond=%v workers=%d): parallel kernel diverged\n serial:   %s\n parallel: %s",
+						trial, cfg.Channels, cfg.ChipsPerChan, cfg.QueueDepth, precond, parallel.ParallelChannels, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFallbackWithGC asserts the knob is inert when the
+// configuration is ineligible (GC enabled): the device silently uses the
+// serial kernel and results match a knob-less run exactly.
+func TestParallelFallbackWithGC(t *testing.T) {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Channels = 4
+	cfg.ChipsPerChan = 2
+	cfg.BlocksPerPlane = 32
+	cfg.PagesPerBlock = 16
+	cfg.GCFreeTarget = 8 // keep planes under pressure so GC actually runs
+
+	knobbed := cfg
+	knobbed.ParallelChannels = 8
+
+	run := func(c sprinkler.Config) string {
+		dev, err := sprinkler.New(c)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		dev.Precondition(0.8, 0.5, 11)
+		res, err := dev.Run(context.Background(), sprinkler.SliceSource(sprinkler.SequentialWrites(800, 4)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.GCRuns == 0 {
+			t.Fatal("workload did not trigger GC; fallback untested")
+		}
+		b, _ := json.Marshal(res)
+		return string(b)
+	}
+	if got, want := run(knobbed), run(cfg); got != want {
+		t.Fatalf("ParallelChannels changed a GC run:\n want: %s\n got:  %s", want, got)
+	}
+}
+
+// TestParallelResetFlipsKernel asserts Device.Reset rebuilds the kernel
+// when the partitioning capability flips, in both directions, with parity
+// against fresh construction throughout.
+func TestParallelResetFlipsKernel(t *testing.T) {
+	serial := sprinkler.DefaultConfig()
+	serial.Channels = 4
+	serial.ChipsPerChan = 2
+	serial.BlocksPerPlane = 64
+	serial.PagesPerBlock = 32
+	serial.DisableGC = true
+	parallel := serial
+	parallel.ParallelChannels = 4
+
+	src := func() sprinkler.Source {
+		return sprinkler.SliceSource(sprinkler.SequentialReads(300, 4))
+	}
+	fingerprint := func(res *sprinkler.Result) string {
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(b)
+	}
+
+	dev, err := sprinkler.New(serial)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := dev.Run(context.Background(), src())
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	want := fingerprint(res)
+
+	// serial -> parallel -> serial, recycling the same device.
+	for i, cfg := range []sprinkler.Config{parallel, serial, parallel} {
+		if err := dev.Reset(cfg); err != nil {
+			t.Fatalf("Reset %d: %v", i, err)
+		}
+		res, err := dev.Run(context.Background(), src())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("reset %d (ParallelChannels=%d) diverged:\n want: %s\n got:  %s",
+				i, cfg.ParallelChannels, want, got)
+		}
+	}
+}
+
+// TestParallelSessionMatchesSerial drives the windowed Session API —
+// Feed/Advance/Snapshot/Drain — on both kernels and compares every
+// intermediate snapshot and the final Result.
+func TestParallelSessionMatchesSerial(t *testing.T) {
+	base := sprinkler.DefaultConfig()
+	base.Channels = 4
+	base.ChipsPerChan = 2
+	base.BlocksPerPlane = 64
+	base.PagesPerBlock = 32
+	base.DisableGC = true
+
+	type obs struct {
+		snaps []sprinkler.Snapshot
+		final string
+	}
+	drive := func(cfg sprinkler.Config) obs {
+		sess, err := sprinkler.Open(cfg)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		src := sprinkler.SliceSource(sprinkler.SequentialWrites(400, 4))
+		var o obs
+		for {
+			n, err := sess.Feed(src, 50)
+			if err != nil {
+				t.Fatalf("Feed: %v", err)
+			}
+			if err := sess.Advance(2_000_000); err != nil { // 2 ms windows
+				t.Fatalf("Advance: %v", err)
+			}
+			o.snaps = append(o.snaps, sess.Snapshot())
+			if n == 0 {
+				break
+			}
+		}
+		res, err := sess.Drain(context.Background())
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+		b, _ := json.Marshal(res)
+		o.final = string(b)
+		return o
+	}
+
+	parallel := base
+	parallel.ParallelChannels = 4
+	got, want := drive(parallel), drive(base)
+	if len(got.snaps) != len(want.snaps) {
+		t.Fatalf("window counts differ: serial %d, parallel %d", len(want.snaps), len(got.snaps))
+	}
+	for i := range want.snaps {
+		if got.snaps[i] != want.snaps[i] {
+			t.Fatalf("window %d snapshot diverged:\n serial:   %+v\n parallel: %+v", i, want.snaps[i], got.snaps[i])
+		}
+	}
+	if got.final != want.final {
+		t.Fatalf("drained result diverged:\n serial:   %s\n parallel: %s", want.final, got.final)
+	}
+}

@@ -150,10 +150,13 @@ func publicResult(r *metrics.Result) *Result {
 	} else {
 		out.WriteAmplification = 1
 	}
-	for _, p := range r.Series {
-		out.Series = append(out.Series, SeriesPoint{
-			Index: p.Index, ArrivalNS: int64(p.Arrival), LatencyNS: int64(p.Latency),
-		})
+	if len(r.Series) > 0 {
+		out.Series = make([]SeriesPoint, 0, len(r.Series))
+		for _, p := range r.Series {
+			out.Series = append(out.Series, SeriesPoint{
+				Index: p.Index, ArrivalNS: int64(p.Arrival), LatencyNS: int64(p.Latency),
+			})
+		}
 	}
 	return out
 }

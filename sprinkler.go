@@ -147,6 +147,18 @@ type Config struct {
 	// DisableGC turns background garbage collection off.
 	DisableGC bool
 
+	// ParallelChannels runs the device's event kernel partitioned by
+	// channel: each per-channel controller (bus + chips) gets its own
+	// sub-engine, and up to ParallelChannels OS threads advance the
+	// sub-engines in conservative lockstep epochs bounded by the DMA
+	// compose latency. Results are byte-identical to the serial kernel —
+	// this is a speed knob, not a model change. Values below 2 (the
+	// default) keep the single-engine serial kernel; the parallel kernel
+	// also requires at least two channels and DisableGC (background GC
+	// commits cross-channel flash traffic with zero lookahead), falling
+	// back to the serial kernel otherwise.
+	ParallelChannels int
+
 	// CollectSeries records a per-I/O latency series in the result.
 	CollectSeries bool
 
@@ -208,6 +220,7 @@ func (c Config) internalConfig() (ssd.Config, error) {
 	cfg.GCFreeTarget = c.GCFreeTarget
 	cfg.MetricsSampleCap = c.MetricsSampleCap
 	cfg.DisableGC = c.DisableGC
+	cfg.ParallelChannels = c.ParallelChannels
 	cfg.CollectSeries = c.CollectSeries
 	cfg.SeriesWindow = c.SeriesWindow
 
