@@ -58,6 +58,24 @@ func TestArenaReuseParityRandomized(t *testing.T) {
 			if rng.Intn(3) == 0 {
 				pre = &sprinkler.Precondition{FillFrac: 0.9, ChurnFrac: 0.4, Seed: rng.Uint64()}
 			}
+			// Half the cells run with fault injection armed — including
+			// erase faults and a spare pool, so Reset must also restore
+			// bad-block maps, spare counters and degraded state exactly.
+			if rng.Intn(2) == 0 {
+				cfg.Faults = sprinkler.FaultSpec{
+					ReadFailProb:    []float64{0.01, 0.1}[rng.Intn(2)],
+					ProgramFailProb: []float64{0.01, 0.1}[rng.Intn(2)],
+					EraseFailProb:   []float64{0, 0.5}[rng.Intn(2)],
+					ReadRetryMax:    1 + rng.Intn(3),
+					ReadRetryMult:   2,
+					RewriteMax:      2,
+					SpareBlockFrac:  0.05,
+					Seed:            rng.Uint64(),
+				}
+				if pre == nil { // erase faults need GC pressure to fire
+					pre = &sprinkler.Precondition{FillFrac: 0.9, ChurnFrac: 0.4, Seed: rng.Uint64()}
+				}
+			}
 			workload := workloads[rng.Intn(len(workloads))]
 			requests := 60 + rng.Intn(120)
 			seed := rng.Uint64()

@@ -24,13 +24,15 @@ func main() {
 	app := cliutil.NewApp("experiments")
 	defer app.Close()
 
-	fig := flag.String("fig", "all", "figure to regenerate: table1, 1, 6, 10a, 10b, 10c, 10d, 11, 12, 13, 14, 15, 16, 17, burst, ablation, summary, all")
+	fig := flag.String("fig", "all", "figure to regenerate: table1, 1, 6, 10a, 10b, 10c, 10d, 11, 12, 13, 14, 15, 16, 17, burst, ablation, faults, summary, all")
 	scale := flag.Float64("scale", 1.0, "experiment scale in (0,1]; smaller = faster")
 	chips := flag.Int("chips", 64, "platform size for the per-workload evaluation")
 	seed := flag.Uint64("seed", 0, "synthetic trace seed")
 	workers := flag.Int("workers", 0, "concurrent sweep cells (0 = all CPU cores)")
 	parallel := flag.Int("parallel-channels", 0, "per-device parallel-kernel worker threads (results stay byte-identical; GC-enabled cells fall back to the serial kernel; <2 keeps the serial kernel)")
 	noreuse := flag.Bool("noreuse", false, "build a fresh device per sweep cell instead of recycling through the device arena (results are identical; useful for profiling construction cost)")
+	var faults cliutil.Platform
+	faults.RegisterFaults(flag.CommandLine)
 	profiles := app.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -40,7 +42,7 @@ func main() {
 	app.Check(profiles.Start())
 	fail := app.Check
 
-	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse, Parallel: *parallel}
+	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse, Parallel: *parallel, Faults: faults.Faults()}
 	want := strings.ToLower(*fig)
 	has := func(names ...string) bool {
 		if want == "all" {
@@ -126,5 +128,10 @@ func main() {
 		rows, err := experiments.RunAblation(opts)
 		fail(err)
 		fmt.Println(experiments.FormatAblation(rows))
+	}
+	if has("faults") {
+		pts, err := experiments.RunFaultStudy(opts)
+		fail(err)
+		fmt.Println(experiments.FormatFaultStudy(pts))
 	}
 }

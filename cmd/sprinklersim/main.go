@@ -105,4 +105,11 @@ func main() {
 	if res.StaleRetranslations > 0 {
 		fmt.Printf("stale addresses  %d re-translations\n", res.StaleRetranslations)
 	}
+	if res.ReadRetries+res.ReadUncorrectable+res.ProgramFails+res.EraseFails+res.FailedIOs > 0 {
+		fmt.Printf("faults           %d read retries (%d uncorrectable), %d program fails, %d erase fails, %d failed I/Os\n",
+			res.ReadRetries, res.ReadUncorrectable, res.ProgramFails, res.EraseFails, res.FailedIOs)
+	}
+	if res.DegradedMode {
+		fmt.Printf("DEGRADED         spare blocks exhausted; drive is read-only (%d retired)\n", res.RetiredBlocks)
+	}
 }

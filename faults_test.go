@@ -1,0 +1,243 @@
+package sprinkler_test
+
+// Fault-injection pins: the three standing determinism contracts of the
+// fault model. (1) Serial and parallel kernels replay the identical fault
+// schedule — byte-identical JSON Results under randomized fault specs and
+// worker counts. (2) A zero-rate spec is byte-identical to a fault-free
+// build, even with retry-ladder knobs set: zero probabilities consume no
+// RNG draws. (3) Spare exhaustion degrades the drive to read-only mode
+// with a flagged Result instead of a panic or hang.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"sprinkler"
+)
+
+// parityFaults draws a randomized fault spec for the parity trials. Erase
+// faults and spares are left zero: parity configs disable GC, so the erase
+// path never runs there (it is pinned by the arena and degraded-mode
+// tests instead).
+func parityFaults(rng *rand.Rand) sprinkler.FaultSpec {
+	probs := []float64{0.005, 0.02, 0.08, 0.25}
+	spec := sprinkler.FaultSpec{
+		ReadFailProb:    probs[rng.Intn(len(probs))],
+		ProgramFailProb: probs[rng.Intn(len(probs))],
+		ReadRetryMax:    1 + rng.Intn(4),
+		ReadRetryMult:   1 + rng.Intn(3),
+		RewriteMax:      1 + rng.Intn(4),
+		Seed:            rng.Uint64(),
+	}
+	if rng.Intn(2) == 0 {
+		spec.OutagePeriodNS = int64(200_000 * (1 + rng.Intn(5)))
+		spec.OutageDurNS = spec.OutagePeriodNS / int64(2+rng.Intn(6))
+	}
+	return spec
+}
+
+// TestParallelMatchesSerialFaults extends the kernel parity pin to the
+// fault model: randomized fault rates, retry ladders and outage windows
+// must produce byte-identical Results under the serial and partitioned
+// kernels for every scheduler and worker count. A divergence means a
+// fault draw depended on event drain order.
+func TestParallelMatchesSerialFaults(t *testing.T) {
+	trials, requests := 4, 500
+	if testing.Short() {
+		trials, requests = 2, 200
+	}
+	for _, kind := range sprinkler.Schedulers() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(len(kind))*104729 + 17))
+			for trial := 0; trial < trials; trial++ {
+				cfg := parityConfig(rng, kind)
+				cfg.Faults = parityFaults(rng)
+				precond := rng.Intn(2) == 0
+				pseed := rng.Uint64()
+				wseed := rng.Int63()
+
+				serial := cfg
+				serial.ParallelChannels = 0
+				workers := 2 + rng.Intn(7)
+				parallel := cfg
+				parallel.ParallelChannels = workers
+
+				srcRng := rand.New(rand.NewSource(wseed))
+				want := runOnce(t, serial, precond, pseed, paritySource(t, srcRng, serial, requests))
+				srcRng = rand.New(rand.NewSource(wseed))
+				got := runOnce(t, parallel, precond, pseed, paritySource(t, srcRng, parallel, requests))
+				if want != got {
+					t.Fatalf("trial %d (workers=%d faults=%+v): parallel result diverges\nserial:   %s\nparallel: %s",
+						trial, workers, cfg.Faults, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFaultCountersNonZero guards the parity suite against
+// vacuity: with aggressive rates the fault counters must actually fire
+// under both kernels, so the parity trials above compare live fault
+// machinery rather than two idle models.
+func TestParallelFaultCountersNonZero(t *testing.T) {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Scheduler = sprinkler.SPK3
+	cfg.Channels = 4
+	cfg.ChipsPerChan = 2
+	cfg.BlocksPerPlane = 64
+	cfg.PagesPerBlock = 32
+	cfg.DisableGC = true
+	cfg.Faults = sprinkler.FaultSpec{
+		ReadFailProb:    0.3,
+		ProgramFailProb: 0.3,
+		ReadRetryMax:    3,
+		ReadRetryMult:   2,
+		RewriteMax:      3,
+		Seed:            7,
+	}
+	for _, workers := range []int{0, 4} {
+		cfg := cfg
+		cfg.ParallelChannels = workers
+		dev, err := sprinkler.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Precondition(0.5, 0.2, 11)
+		src, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{Name: "cfs0", Requests: 400, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dev.Run(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ReadRetries == 0 || res.ProgramFails == 0 {
+			t.Fatalf("workers=%d: fault model idle under 30%% rates: retries=%d programFails=%d",
+				workers, res.ReadRetries, res.ProgramFails)
+		}
+	}
+}
+
+// TestFaultZeroRateParity pins the "zero rates draw nothing" contract: a
+// spec with every probability zero but the ladder knobs set must be
+// byte-identical to a fully zero FaultSpec — on the GC-enabled default
+// pipeline, where any stray RNG draw would perturb the FTL stream.
+func TestFaultZeroRateParity(t *testing.T) {
+	base := smallConfig(sprinkler.SPK2)
+
+	armed := base
+	armed.Faults = sprinkler.FaultSpec{
+		ReadRetryMax:   4,
+		ReadRetryMult:  3,
+		RewriteMax:     2,
+		OutagePeriodNS: 0,
+		Seed:           0, // a nonzero seed with zero rates must also be inert; see below
+	}
+
+	run := func(cfg sprinkler.Config) string {
+		dev, err := sprinkler.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Precondition(0.9, 0.4, 5)
+		src, err := cfg.NewWorkloadSource(sprinkler.WorkloadSpec{Name: "hm0", Requests: 300, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dev.Run(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	want := run(base)
+	if got := run(armed); got != want {
+		t.Fatalf("zero-rate spec with ladder knobs diverges from fault-free build\nfault-free: %s\nzero-rate:  %s", want, got)
+	}
+	// The spare pool is the one knob that legitimately changes a zero-rate
+	// build (it shrinks usable capacity), so it is excluded here; the seed
+	// is not — rates of zero must never reach the RNG.
+	armed.Faults.Seed = 0xDECAFBAD
+	if got := run(armed); got != want {
+		t.Fatal("zero-rate spec consumed RNG draws: changing Faults.Seed changed the result")
+	}
+}
+
+// TestDegradedModeOnSpareExhaustion is the graceful-degradation pin:
+// every erase fails, the spare pool is tiny, and a write-heavy GC-stressed
+// workload must exhaust the spares. The run must complete cleanly with
+// the Result flagging degraded read-only mode and failed writes — not
+// panic, not hang.
+func TestDegradedModeOnSpareExhaustion(t *testing.T) {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Scheduler = sprinkler.SPK3
+	cfg.Channels = 2
+	cfg.ChipsPerChan = 1
+	cfg.BlocksPerPlane = 16
+	cfg.PagesPerBlock = 16
+	cfg.GCFreeTarget = 4
+	cfg.Faults = sprinkler.FaultSpec{
+		EraseFailProb:  1.0,
+		SpareBlockFrac: 0.1,
+		Seed:           13,
+	}
+	dev, err := sprinkler.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Precondition(0.95, 0.5, 21)
+	src, err := cfg.NewFixedSource(sprinkler.FixedSpec{Requests: 4000, Pages: 4, Write: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.Run(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DegradedMode {
+		t.Fatalf("drive did not degrade: %d erase fails, %d retired blocks, %d failed IOs",
+			res.EraseFails, res.RetiredBlocks, res.FailedIOs)
+	}
+	if res.EraseFails == 0 || res.RetiredBlocks == 0 {
+		t.Fatalf("degraded without erase activity: eraseFails=%d retired=%d", res.EraseFails, res.RetiredBlocks)
+	}
+	if res.FailedIOs == 0 {
+		t.Fatal("degraded read-only mode failed no writes")
+	}
+	if res.IOsCompleted == 0 {
+		t.Fatal("no I/Os completed before degradation")
+	}
+
+	// Degradation must survive Reset: the recycled device starts healthy
+	// again (spares restored) and replays the identical schedule.
+	before, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Reset(cfg)
+	dev.Precondition(0.95, 0.5, 21)
+	src, err = cfg.NewFixedSource(sprinkler.FixedSpec{Requests: 4000, Pages: 4, Write: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := dev.Run(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := json.Marshal(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("degraded run does not replay after Reset\nfresh: %s\nreset: %s", before, after)
+	}
+}

@@ -55,6 +55,12 @@ type Grid struct {
 	ChipsPerChan []int
 	QueueDepths  []int
 
+	// FaultRates is a built-in fault-injection axis: each value sets the
+	// cell's per-operation failure probabilities (read, program and
+	// erase) to it, on top of whatever else Base.Faults configures. An
+	// empty slice keeps Base.Faults untouched.
+	FaultRates []float64
+
 	// Vary appends custom axes, applied to the config in listed order
 	// after the built-in topology axes and before the scheduler is set.
 	Vary []Axis
@@ -121,6 +127,21 @@ func (g Grid) axes() []Axis {
 		out = append(out, ax)
 	}
 	if ax, ok := intAxis("queue_depth", "qd", g.QueueDepths, func(c *Config, v int) { c.QueueDepth = v }); ok {
+		out = append(out, ax)
+	}
+	if len(g.FaultRates) > 0 {
+		ax := Axis{Name: "fault_rate"}
+		for _, v := range g.FaultRates {
+			v := v
+			ax.Values = append(ax.Values, AxisValue{
+				Label: fmt.Sprintf("fr=%g", v),
+				Apply: func(c *Config) {
+					c.Faults.ReadFailProb = v
+					c.Faults.ProgramFailProb = v
+					c.Faults.EraseFailProb = v
+				},
+			})
+		}
 		out = append(out, ax)
 	}
 	for _, ax := range g.Vary {

@@ -110,6 +110,16 @@ type Platform struct {
 	Sched    string
 	GCStress bool
 	Parallel int
+
+	// Fault-injection knobs (-fault-*). FaultRate sets all three
+	// per-operation probabilities at once; the per-op flags override it.
+	FaultRate    float64
+	FaultRead    float64
+	FaultProgram float64
+	FaultErase   float64
+	FaultRetries int
+	FaultSpares  float64
+	FaultSeed    uint64
 }
 
 // Register adds the platform flags to fs with the shared defaults.
@@ -120,6 +130,41 @@ func (p *Platform) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&p.GCStress, "gc", false, "shrink blocks and precondition to 95% full so GC runs")
 	fs.IntVar(&p.Parallel, "parallel-channels", 0,
 		"partition the event kernel by channel and advance it with up to this many worker threads (results stay byte-identical; needs -gc off, falls back to the serial kernel otherwise; <2 keeps the serial kernel)")
+	p.RegisterFaults(fs)
+}
+
+// RegisterFaults adds only the -fault-* flags — for commands that manage
+// the rest of their platform flags themselves.
+func (p *Platform) RegisterFaults(fs *flag.FlagSet) {
+	fs.Float64Var(&p.FaultRate, "fault-rate", 0,
+		"per-operation flash failure probability (sets read, program and erase at once; 0 disables fault injection)")
+	fs.Float64Var(&p.FaultRead, "fault-read", -1, "read-sense failure probability (overrides -fault-rate)")
+	fs.Float64Var(&p.FaultProgram, "fault-program", -1, "program failure probability (overrides -fault-rate)")
+	fs.Float64Var(&p.FaultErase, "fault-erase", -1, "erase failure probability (overrides -fault-rate)")
+	fs.IntVar(&p.FaultRetries, "fault-retries", 4, "read-retry ladder depth (also bounds program-fail rewrites)")
+	fs.Float64Var(&p.FaultSpares, "fault-spares", 0,
+		"fraction of each plane's blocks reserved as bad-block spares (exhaustion degrades the drive to read-only)")
+	fs.Uint64Var(&p.FaultSeed, "fault-seed", 0, "base seed of the deterministic per-chip fault streams")
+}
+
+// Faults builds the fault spec the flags describe.
+func (p Platform) Faults() sprinkler.FaultSpec {
+	pick := func(v float64) float64 {
+		if v >= 0 {
+			return v
+		}
+		return p.FaultRate
+	}
+	return sprinkler.FaultSpec{
+		ReadFailProb:    pick(p.FaultRead),
+		ProgramFailProb: pick(p.FaultProgram),
+		EraseFailProb:   pick(p.FaultErase),
+		ReadRetryMax:    p.FaultRetries,
+		ReadRetryMult:   2,
+		RewriteMax:      p.FaultRetries,
+		SpareBlockFrac:  p.FaultSpares,
+		Seed:            p.FaultSeed,
+	}
 }
 
 // Config builds the platform configuration the flags describe.
@@ -128,6 +173,7 @@ func (p Platform) Config() sprinkler.Config {
 	cfg.QueueDepth = p.Queue
 	cfg.Scheduler = sprinkler.SchedulerKind(p.Sched)
 	cfg.ParallelChannels = p.Parallel
+	cfg.Faults = p.Faults()
 	if p.GCStress {
 		cfg.BlocksPerPlane = 24
 		cfg.PagesPerBlock = 64

@@ -41,6 +41,11 @@ type Options struct {
 	// byte-identical; cells whose configuration is ineligible (GC enabled)
 	// fall back to the serial kernel.
 	Parallel int
+	// Faults shapes the fault-injection study's base spec (retry ladder,
+	// rewrite bound, spare fraction, seed); zero fields take the study
+	// defaults. Only RunFaultStudy consults it — the paper's figures stay
+	// fault-free.
+	Faults sprinkler.FaultSpec
 }
 
 // Defaults fills unset options.

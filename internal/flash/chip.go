@@ -38,6 +38,12 @@ type ChipStats struct {
 	ReqsByClass [4]int64 // member requests served per FLPClass
 	Requests    int64
 	BusyAll     sim.TimedCounter // R/B asserted (any phase)
+
+	// Fault-model outcomes (all zero when the fault model is disabled).
+	ReadRetries       int64 // extra sense operations from the retry ladder
+	ReadUncorrectable int64 // members delivered Failed after ladder exhaustion
+	ProgramFails      int64 // members whose program reported failure
+	EraseFails        int64 // members whose erase reported failure
 }
 
 // Chip models one NAND flash target: several dies behind a single
@@ -65,6 +71,15 @@ type Chip struct {
 	bus   Bus
 	busy  bool
 	stats ChipStats
+
+	// Fault model. frng is nil when the model is disabled; retryRung and
+	// retryMask track the in-flight read-retry ladder (mask bit i = member
+	// i still failing ECC; transactions are bounded by MaxFLP, far below
+	// the 64-member mask capacity).
+	faults    FaultConfig
+	frng      *sim.Rand
+	retryRung int
+	retryMask uint64
 
 	// In-flight transaction state.
 	t     *Transaction
@@ -104,10 +119,14 @@ func NewChip(eng *sim.Engine, bus Bus, id ChipID, g Geometry, t Timing) *Chip {
 		c.stats.CellActive.Set(end, false)
 		c.stats.PlaneUse.Set(end, 0)
 		if c.t.Op == OpRead {
+			if c.maybeRetryRead(end) {
+				return
+			}
 			c.readOutPhase(end, 0)
 			return
 		}
 		// Programs and erases complete at cell end.
+		c.applyWriteFaults()
 		for _, r := range c.t.Requests {
 			if c.cb.RequestDone != nil {
 				c.cb.RequestDone(end, r)
@@ -162,10 +181,30 @@ func (c *Chip) Reset(t Timing) {
 	c.cb = Callbacks{}
 	c.idx = 0
 	c.dur, c.asked = 0, 0
+	c.retryRung, c.retryMask = 0, 0
 	c.submitEnd.Stop()
 	c.cellEnd.Stop()
 	c.readEnd.Stop()
 	c.statusEnd.Stop()
+}
+
+// SetFaults installs (or, with a disabled config, removes) the fault model
+// and reseeds the chip's deterministic fault stream. Called at construction
+// and again after Reset so an arena-reused chip replays the exact fault
+// pattern of a freshly built one.
+func (c *Chip) SetFaults(fc FaultConfig) {
+	c.faults = fc
+	c.retryRung, c.retryMask = 0, 0
+	if !fc.Enabled() {
+		c.frng = nil
+		return
+	}
+	seed := chipFaultSeed(fc.Seed, c.ID)
+	if c.frng == nil {
+		c.frng = sim.NewRand(seed)
+	} else {
+		c.frng.Reseed(seed)
+	}
 }
 
 // Busy reports the R/B state: true while a transaction is in flight.
@@ -231,12 +270,123 @@ func (c *Chip) submitPhase(now sim.Time, i int) {
 	c.bus.Acquire(c.dur, c.grantedSubmit)
 }
 
-// cellPhase runs the overlapped array operation.
+// cellPhase runs the overlapped array operation. With outage windows
+// configured, a phase that would start while a member die is transiently
+// unavailable waits out the remainder of that die's window first.
 func (c *Chip) cellPhase(now sim.Time) {
 	dur := c.cellDur(c.t)
+	if c.frng != nil && c.faults.OutagePeriod > 0 && c.faults.OutageDur > 0 {
+		var delay sim.Time
+		for _, r := range c.t.Requests {
+			if d := c.outageDelay(now, r.Addr.Die); d > delay {
+				delay = d
+			}
+		}
+		dur += delay
+	}
 	c.stats.CellActive.Set(now, true)
 	c.stats.PlaneUse.Set(now, float64(c.t.Degree()))
 	c.eng.AtTimer(now+dur, c.cellEnd)
+}
+
+// outageDelay returns how long a cell phase starting at now on the given die
+// must wait for the die's periodic outage window to close (zero when the die
+// is available). The window position is a pure function of (seed, chip, die,
+// time): no RNG draw, so the outage pattern cannot depend on drain order.
+func (c *Chip) outageDelay(now sim.Time, die int) sim.Time {
+	p, d := c.faults.OutagePeriod, c.faults.OutageDur
+	phase := dieOutagePhase(c.faults.Seed, c.ID, die, p)
+	pos := (now - phase) % p
+	if pos < 0 {
+		pos += p
+	}
+	if pos < d {
+		return d - pos
+	}
+	return 0
+}
+
+// maybeRetryRead implements the bounded read-retry ladder at cell-phase end.
+// It reports true when another (slower) sense was scheduled; false when the
+// transaction should proceed to read-out, with any members that exhausted
+// the ladder marked Failed (uncorrectable).
+func (c *Chip) maybeRetryRead(end sim.Time) bool {
+	if c.frng == nil || c.faults.ReadFailProb <= 0 {
+		return false
+	}
+	if c.retryRung == 0 {
+		// First sense: draw each member once.
+		c.retryMask = 0
+		for i := range c.t.Requests {
+			if c.frng.Float64() < c.faults.ReadFailProb {
+				c.retryMask |= 1 << uint(i)
+			}
+		}
+	} else {
+		// A retry sense just finished: redraw only the failing members.
+		for i := range c.t.Requests {
+			bit := uint64(1) << uint(i)
+			if c.retryMask&bit != 0 && c.frng.Float64() >= c.faults.ReadFailProb {
+				c.retryMask &^= bit
+			}
+		}
+	}
+	if c.retryMask == 0 {
+		c.retryRung = 0
+		return false
+	}
+	if c.retryRung >= c.faults.ReadRetryMax {
+		// Ladder exhausted: deliver the failing members as uncorrectable.
+		for i := range c.t.Requests {
+			if c.retryMask&(1<<uint(i)) != 0 {
+				c.t.Requests[i].Failed = true
+				c.stats.ReadUncorrectable++
+			}
+		}
+		c.retryRung, c.retryMask = 0, 0
+		return false
+	}
+	// Re-sense with an escalated (calibrated, slower) read: retry r costs
+	// r*ReadRetryMult times the base cell time.
+	c.retryRung++
+	c.stats.ReadRetries++
+	mult := c.faults.ReadRetryMult
+	if mult < 1 {
+		mult = 1
+	}
+	dur := c.cellDur(c.t) * sim.Time(c.retryRung*mult)
+	c.stats.CellActive.Set(end, true)
+	c.stats.PlaneUse.Set(end, float64(c.t.Degree()))
+	c.eng.AtTimer(end+dur, c.cellEnd)
+	return true
+}
+
+// applyWriteFaults draws program/erase outcomes for every member of the
+// in-flight transaction, marking failures before completions are delivered.
+func (c *Chip) applyWriteFaults() {
+	if c.frng == nil {
+		return
+	}
+	var p float64
+	switch c.t.Op {
+	case OpProgram:
+		p = c.faults.ProgramFailProb
+	case OpErase:
+		p = c.faults.EraseFailProb
+	}
+	if p <= 0 {
+		return
+	}
+	for i := range c.t.Requests {
+		if c.frng.Float64() < p {
+			c.t.Requests[i].Failed = true
+			if c.t.Op == OpProgram {
+				c.stats.ProgramFails++
+			} else {
+				c.stats.EraseFails++
+			}
+		}
+	}
 }
 
 // readOutPhase streams member i's page out of the data register.

@@ -46,6 +46,12 @@ type Request struct {
 	Op    Op
 	Addr  Addr
 	Token interface{}
+
+	// Failed is set by the chip's fault model when the operation did not
+	// succeed: an uncorrectable read (retry ladder exhausted), a program
+	// failure, or an erase failure. The controller routes failed
+	// completions to the recovery paths (rewrite, block retirement).
+	Failed bool
 }
 
 // Transaction is a set of same-kind requests to a single chip that the

@@ -85,6 +85,15 @@ type Config struct {
 	// wear-leveling.
 	WearDeltaMax int
 
+	// SpareBlockFrac reserves this fraction of every plane's blocks as a
+	// spare pool for bad-block replacement: a block retired by a
+	// (chip-level) erase failure is remapped to a spare, keeping the
+	// usable capacity constant until the pool exhausts — at which point
+	// the FTL reports Degraded and the device should stop admitting
+	// writes. Must be in [0, 1) and leave enough usable blocks for the GC
+	// free target; zero reserves nothing (today's behaviour).
+	SpareBlockFrac float64
+
 	// Seed drives the failure-injection generator.
 	Seed uint64
 }
@@ -113,6 +122,7 @@ type blockMeta struct {
 type planeState struct {
 	blocks []blockMeta
 	free   []int // erased block indices (LIFO)
+	spare  []int // reserved bad-block replacement blocks (LIFO)
 	active int   // current write block, -1 if none
 }
 
@@ -134,6 +144,7 @@ type BlockMeta struct {
 	blockPool  []blockMeta
 	bitmapPool []uint64
 	freePool   []int
+	sparePool  []int
 }
 
 // Geometry reports the geometry the metadata arena is sized for.
@@ -159,14 +170,17 @@ type FTL struct {
 	rng       *sim.Rand
 
 	// Counters.
-	hostWrites  int64
-	gcWrites    int64
-	gcReads     int64
-	gcErases    int64
-	gcRuns      int64
-	invalidated int64
-	badBlocks   int64
-	wlRuns      int64
+	hostWrites    int64
+	gcWrites      int64
+	gcReads       int64
+	gcErases      int64
+	gcRuns        int64
+	invalidated   int64
+	badBlocks     int64
+	wlRuns        int64
+	retiredBlocks int64
+	sparesUsed    int64
+	degraded      bool
 }
 
 // New builds an FTL with every block erased and the logical space unmapped.
@@ -184,6 +198,10 @@ func NewWithMeta(cfg Config, meta *BlockMeta) (*FTL, error) {
 	}
 	if cfg.GCFreeTarget < 1 {
 		return nil, fmt.Errorf("ftl: GCFreeTarget %d < 1", cfg.GCFreeTarget)
+	}
+	nSpare, err := spareBlocks(cfg)
+	if err != nil {
+		return nil, err
 	}
 	g := cfg.Geo
 	nPlanes := g.NumChips() * g.DiesPerChip * g.PlanesPerDie
@@ -213,7 +231,11 @@ func NewWithMeta(cfg Config, meta *BlockMeta) (*FTL, error) {
 			blockPool:  make([]blockMeta, nPlanes*g.BlocksPerPlane),
 			bitmapPool: make([]uint64, nPlanes*g.BlocksPerPlane*words),
 			freePool:   make([]int, nPlanes*g.BlocksPerPlane),
+			sparePool:  make([]int, nPlanes*g.BlocksPerPlane),
 		}
+	} else if meta.sparePool == nil {
+		// Retained arena predating the spare pool: grow it in place.
+		meta.sparePool = make([]int, nPlanes*g.BlocksPerPlane)
 	}
 	f.meta = meta
 	for i := range f.planes {
@@ -232,14 +254,35 @@ func NewWithMeta(cfg Config, meta *BlockMeta) (*FTL, error) {
 			blk.validCount, blk.written, blk.erases = 0, 0, 0
 			blk.full, blk.bad = false, false
 		}
-		// Free list in descending order so blocks are consumed 0,1,2,...
+		// The top nSpare block indices form the spare pool; the remainder
+		// build the free list in descending order so blocks are consumed
+		// 0,1,2,... (with nSpare == 0 this is exactly the historic layout).
+		ps.spare = meta.sparePool[i*g.BlocksPerPlane : i*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane]
+		for b := g.BlocksPerPlane - nSpare; b < g.BlocksPerPlane; b++ {
+			ps.spare = append(ps.spare, b)
+		}
 		ps.free = meta.freePool[i*g.BlocksPerPlane : i*g.BlocksPerPlane : (i+1)*g.BlocksPerPlane]
-		for b := g.BlocksPerPlane - 1; b >= 0; b-- {
+		for b := g.BlocksPerPlane - nSpare - 1; b >= 0; b-- {
 			ps.free = append(ps.free, b)
 		}
 		f.planes[i] = ps
 	}
 	return f, nil
+}
+
+// spareBlocks returns the per-plane spare-pool size for cfg, or an error
+// when the fraction is out of range or would starve the usable block budget
+// the garbage collector needs.
+func spareBlocks(cfg Config) (int, error) {
+	if cfg.SpareBlockFrac < 0 || cfg.SpareBlockFrac >= 1 {
+		return 0, fmt.Errorf("ftl: SpareBlockFrac %g outside [0, 1)", cfg.SpareBlockFrac)
+	}
+	n := int(cfg.SpareBlockFrac * float64(cfg.Geo.BlocksPerPlane))
+	if n > 0 && cfg.Geo.BlocksPerPlane-n <= cfg.GCFreeTarget+1 {
+		return 0, fmt.Errorf("ftl: SpareBlockFrac %g leaves %d usable blocks per plane, need more than GCFreeTarget+1 = %d",
+			cfg.SpareBlockFrac, cfg.Geo.BlocksPerPlane-n, cfg.GCFreeTarget+1)
+	}
+	return n, nil
 }
 
 // DetachBlockMeta hands the FTL's bulk block-metadata arena to the caller
@@ -260,6 +303,10 @@ func (f *FTL) Reset(cfg Config) error {
 	}
 	if cfg.GCFreeTarget < 1 {
 		return fmt.Errorf("ftl: GCFreeTarget %d < 1", cfg.GCFreeTarget)
+	}
+	nSpare, err := spareBlocks(cfg)
+	if err != nil {
+		return err
 	}
 	logical := cfg.LogicalPages
 	if logical <= 0 {
@@ -282,8 +329,12 @@ func (f *FTL) Reset(cfg Config) error {
 			blk.validCount, blk.written, blk.erases = 0, 0, 0
 			blk.full, blk.bad = false, false
 		}
+		ps.spare = ps.spare[:0]
+		for b := g.BlocksPerPlane - nSpare; b < g.BlocksPerPlane; b++ {
+			ps.spare = append(ps.spare, b)
+		}
 		ps.free = ps.free[:0]
-		for b := g.BlocksPerPlane - 1; b >= 0; b-- {
+		for b := g.BlocksPerPlane - nSpare - 1; b >= 0; b-- {
 			ps.free = append(ps.free, b)
 		}
 		ps.active = -1
@@ -294,6 +345,7 @@ func (f *FTL) Reset(cfg Config) error {
 	f.rng.Reseed(cfg.Seed + 0x5EED)
 	f.hostWrites, f.gcWrites, f.gcReads, f.gcErases, f.gcRuns = 0, 0, 0, 0, 0
 	f.invalidated, f.badBlocks, f.wlRuns = 0, 0, 0
+	f.retiredBlocks, f.sparesUsed, f.degraded = 0, 0, false
 	return nil
 }
 
@@ -630,7 +682,15 @@ func (f *FTL) bestPlaneOnChip(chip flash.ChipID, fallback int) int {
 // list, and the migration observer fires once per applied move.
 //
 // It returns the migrations actually applied.
-func (f *FTL) CommitGC(job *GCJob) []Migration {
+func (f *FTL) CommitGC(job *GCJob) []Migration { return f.CommitGCOutcome(job, false) }
+
+// CommitGCOutcome is CommitGC with the simulated erase outcome supplied by
+// the caller: when the chip-level fault model reported the victim's erase
+// as failed, the block is retired and a spare activated in its place
+// instead of returning to the free list. (The FTL's own legacy
+// EraseFailProb draw still applies when the erase succeeded, preserving the
+// historic stream.)
+func (f *FTL) CommitGCOutcome(job *GCJob, eraseFailed bool) []Migration {
 	if job.committed {
 		panic("ftl: GC job committed twice")
 	}
@@ -668,15 +728,67 @@ func (f *FTL) CommitGC(job *GCJob) []Migration {
 	if job.WearLeveling {
 		f.wlRuns++
 	}
-	if f.cfg.EraseFailProb > 0 && f.rng.Float64() < f.cfg.EraseFailProb {
+	switch {
+	case eraseFailed:
+		f.retireBlock(ps, job.Victim.Block)
+	case f.cfg.EraseFailProb > 0 && f.rng.Float64() < f.cfg.EraseFailProb:
 		blk.bad = true
 		blk.full = true // never allocatable again
 		f.badBlocks++
-	} else {
+	default:
 		ps.free = append(ps.free, job.Victim.Block)
 	}
 	f.gcErases++
 	return applied
+}
+
+// retireBlock marks a block bad and activates a spare in its place. When
+// the plane's spare pool is empty the FTL transitions to degraded mode:
+// usable capacity can no longer be held constant, so the device should stop
+// admitting writes (reads keep working).
+func (f *FTL) retireBlock(ps *planeState, block int) {
+	blk := &ps.blocks[block]
+	blk.bad = true
+	blk.full = true // never allocatable again
+	f.badBlocks++
+	f.retiredBlocks++
+	if n := len(ps.spare); n > 0 {
+		sp := ps.spare[n-1]
+		ps.spare = ps.spare[:n-1]
+		ps.free = append(ps.free, sp)
+		f.sparesUsed++
+	} else {
+		f.degraded = true
+	}
+}
+
+// Degraded reports whether a block retirement found the spare pool empty:
+// the drive can no longer guarantee its usable capacity and should be
+// treated as read-only. The flag is sticky until Reset.
+func (f *FTL) Degraded() bool { return f.degraded }
+
+// RemapProgramFail recovers a host write whose program operation reported
+// failure: the failed physical page is abandoned (invalidated — it holds
+// garbage) and the logical page is remapped to a freshly allocated one for
+// the caller to re-issue. ok is false when no rewrite is needed because the
+// host overwrote the LPN while the failed program was in flight (the lost
+// data was already stale). A non-nil error means the rewrite could not be
+// placed even using the host reserve; the caller should fail the I/O.
+func (f *FTL) RemapProgramFail(lpn req.LPN, failed flash.Addr) (a flash.Addr, ok bool, err error) {
+	cur, mapped := f.l2p.get(int64(lpn))
+	if !mapped || flash.PPN(cur) != f.geo.ToPPN(failed) {
+		return flash.Addr{}, false, nil
+	}
+	// Allocate before invalidating so a failed allocation leaves the
+	// mapping consistent (pointing at the garbage page, as a real drive
+	// that ran out of replacement space would).
+	a, err = f.allocate(f.stripeTarget(), 1)
+	if err != nil {
+		return flash.Addr{}, false, err
+	}
+	f.invalidate(failed)
+	f.markValid(a, lpn)
+	return a, true, nil
 }
 
 // wearSpread returns the min and max erase counts over a plane's blocks
@@ -705,29 +817,35 @@ func (f *FTL) wearSpread(ps *planeState) (minE, maxE, coldest int) {
 
 // Stats reports FTL activity counters.
 type Stats struct {
-	HostWrites  int64
-	GCWrites    int64
-	GCReads     int64
-	GCErases    int64
-	GCRuns      int64
-	Invalidated int64
-	MappedPages int64
-	BadBlocks   int64
-	WearLevels  int64
+	HostWrites    int64
+	GCWrites      int64
+	GCReads       int64
+	GCErases      int64
+	GCRuns        int64
+	Invalidated   int64
+	MappedPages   int64
+	BadBlocks     int64
+	WearLevels    int64
+	RetiredBlocks int64 // blocks retired via chip-level erase failures
+	SparesUsed    int64 // spare blocks activated to replace retirements
+	Degraded      bool  // spare pool exhausted; drive is read-only
 }
 
 // Stats returns a snapshot of the counters.
 func (f *FTL) Stats() Stats {
 	return Stats{
-		HostWrites:  f.hostWrites,
-		GCWrites:    f.gcWrites,
-		GCReads:     f.gcReads,
-		GCErases:    f.gcErases,
-		GCRuns:      f.gcRuns,
-		Invalidated: f.invalidated,
-		MappedPages: int64(f.l2p.len()),
-		BadBlocks:   f.badBlocks,
-		WearLevels:  f.wlRuns,
+		HostWrites:    f.hostWrites,
+		GCWrites:      f.gcWrites,
+		GCReads:       f.gcReads,
+		GCErases:      f.gcErases,
+		GCRuns:        f.gcRuns,
+		Invalidated:   f.invalidated,
+		MappedPages:   int64(f.l2p.len()),
+		BadBlocks:     f.badBlocks,
+		WearLevels:    f.wlRuns,
+		RetiredBlocks: f.retiredBlocks,
+		SparesUsed:    f.sparesUsed,
+		Degraded:      f.degraded,
 	}
 }
 
@@ -792,6 +910,18 @@ func (f *FTL) CheckInvariants() error {
 			}
 			if ps.blocks[b].bad {
 				return fmt.Errorf("ftl: plane %d free list contains bad block %d", i, b)
+			}
+		}
+		for _, b := range ps.spare {
+			if free[b] {
+				return fmt.Errorf("ftl: plane %d block %d is both free and spare", i, b)
+			}
+			free[b] = true
+			if ps.blocks[b].written != 0 || ps.blocks[b].validCount != 0 {
+				return fmt.Errorf("ftl: plane %d spare block %d not erased", i, b)
+			}
+			if ps.blocks[b].bad {
+				return fmt.Errorf("ftl: plane %d spare pool contains bad block %d", i, b)
 			}
 		}
 		for b := range ps.blocks {

@@ -25,6 +25,12 @@ type ChipSample struct {
 	TxnsByClass      [4]int64
 	ReqsByClass      [4]int64
 	Requests         int64
+
+	// Fault-model outcomes (zero when fault injection is disabled).
+	ReadRetries       int64
+	ReadUncorrectable int64
+	ProgramFails      int64
+	EraseFails        int64
 }
 
 // Breakdown is the §5.5 execution-time decomposition, as fractions of
@@ -108,6 +114,16 @@ type Result struct {
 	EmergencyGCs        int64
 	GC                  ftl.Stats
 
+	// Fault-injection outcomes: chip-level counters summed over the
+	// platform plus the host-visible failed-I/O count. DegradedMode
+	// mirrors the FTL's spare-exhaustion flag.
+	ReadRetries       int64
+	ReadUncorrectable int64
+	ProgramFails      int64
+	EraseFails        int64
+	FailedIOs         int64
+	DegradedMode      bool
+
 	Series []SeriesPoint
 }
 
@@ -160,6 +176,10 @@ func (r *Result) Compute(geo flash.Geometry, chips []ChipSample, busyChipIntegra
 		planeUse += c.PlaneUseIntegral
 		r.Transactions += c.Txns
 		r.Requests += c.Requests
+		r.ReadRetries += c.ReadRetries
+		r.ReadUncorrectable += c.ReadUncorrectable
+		r.ProgramFails += c.ProgramFails
+		r.EraseFails += c.EraseFails
 		for i, v := range c.TxnsByClass {
 			r.TxnsByClass[i] += v
 		}

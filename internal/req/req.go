@@ -99,6 +99,11 @@ type IO struct {
 	FirstData sim.Time // first memory request composed
 	Done      sim.Time // all memory requests served and data returned
 
+	// Failed marks an I/O that completed with an unrecoverable error: an
+	// uncorrectable read, a write whose rewrite ladder exhausted, or a
+	// write refused because the device degraded to read-only mode.
+	Failed bool
+
 	Mem          []*Mem
 	mems         []Mem // backing storage for Mem, kept for Reset reuse
 	doneMask     Bitmap
@@ -138,6 +143,7 @@ func (io *IO) Reset(id int64, kind Kind, start LPN, pages int, arrival sim.Time)
 	io.FUA = false
 	io.QSlot, io.Seq = -1, 0
 	io.Enqueued, io.FirstData, io.Done = 0, 0, 0
+	io.Failed = false
 	io.nDone = 0
 	io.firstDataSet = false
 	// Round grown capacities up so a recycled I/O converges on the
@@ -231,6 +237,11 @@ type Mem struct {
 	// while it awaits scheduling (-1 when not indexed). Owned by
 	// sched.ReadyIndex; it makes removal on commitment O(1).
 	ReadySlot int32
+
+	// Rewrites counts program-fail recoveries for this member: each one
+	// remaps the page to a fresh block and re-composes the write. Bounded
+	// by the device's rewrite ladder; reset with the parent I/O.
+	Rewrites uint8
 
 	Composed  sim.Time
 	Committed sim.Time

@@ -693,3 +693,83 @@ func TestDiscard(t *testing.T) {
 		t.Fatalf("SessionsDiscarded = %d, want 1", got)
 	}
 }
+
+// TestOpenRejectsInvalidFaultSpec: fault knobs ride the open request
+// through Config.Validate, so malformed specs are a 400, not a panic or a
+// silently clamped session.
+func TestOpenRejectsInvalidFaultSpec(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	for _, spec := range []sprinkler.FaultSpec{
+		{ReadFailProb: 2},
+		{ProgramFailProb: -0.1},
+		{ReadRetryMax: -1},
+		{OutageDurNS: 100},                       // duration without a period
+		{OutagePeriodNS: 100, OutageDurNS: 100},  // window covers the whole period
+		{SpareBlockFrac: 1},
+	} {
+		spec := spec
+		resp := postJSON(t, ts.URL+"/v1/sessions", OpenRequest{Faults: &spec}, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("open with fault spec %+v: status %d, want 400", spec, resp.StatusCode)
+		}
+	}
+	// A valid spec on the same server still opens.
+	openSession(t, ts, OpenRequest{Name: "ok", Faults: &sprinkler.FaultSpec{ReadFailProb: 0.01, ReadRetryMax: 2}})
+}
+
+// TestFaultSessionMetrics: a session opened with an aggressive fault spec
+// surfaces its fault counters in the session listing and the Prometheus
+// exposition.
+func TestFaultSessionMetrics(t *testing.T) {
+	srv, ts := newTestServer(t, testOptions())
+	openSession(t, ts, OpenRequest{
+		Name: "f",
+		Faults: &sprinkler.FaultSpec{
+			ReadFailProb:    0.4,
+			ProgramFailProb: 0.2,
+			ReadRetryMax:    3,
+			ReadRetryMult:   2,
+			RewriteMax:      3,
+			Seed:            17,
+		},
+	})
+	postJSON(t, ts.URL+"/v1/sessions/f/feed", FeedSpec{Workload: &WorkloadSpec{Name: "cfs1", Requests: 60}}, nil)
+	if r := postJSON(t, ts.URL+"/v1/sessions/f/advance", AdvanceRequest{DNS: int64(time.Second)}, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("advance: status %d", r.StatusCode)
+	}
+
+	var info SessionInfo
+	for _, s := range srv.Sessions() {
+		if s.ID == "f" {
+			info = s
+		}
+	}
+	if info.ID != "f" {
+		t.Fatal("session f missing from listing")
+	}
+	if info.ReadRetries == 0 {
+		t.Fatalf("session listing shows no read retries under a 40%% read-fail rate: %+v", info)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, series := range []string{
+		`sprinklerd_session_fault_read_retries{session="f"}`,
+		`sprinklerd_session_fault_program_fails{session="f"}`,
+		`sprinklerd_session_fault_retired_blocks{session="f"}`,
+		`sprinklerd_session_fault_failed_ios{session="f"}`,
+		`sprinklerd_session_fault_degraded{session="f"} 0`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("metrics exposition is missing %q:\n%s", series, text)
+		}
+	}
+}

@@ -64,4 +64,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, info := range sessions {
 		fmt.Fprintf(w, "sprinklerd_session_backlog{session=%q} %d\n", info.ID, info.Backlog)
 	}
+
+	faultGauges := []struct {
+		name, help string
+		v          func(SessionInfo) int64
+	}{
+		{"sprinklerd_session_fault_read_retries", "Read-retry ladder entries in the session's fault model.",
+			func(i SessionInfo) int64 { return i.ReadRetries }},
+		{"sprinklerd_session_fault_program_fails", "Program failures injected into the session.",
+			func(i SessionInfo) int64 { return i.ProgramFails }},
+		{"sprinklerd_session_fault_retired_blocks", "Blocks retired to the spare pool after erase failures.",
+			func(i SessionInfo) int64 { return i.RetiredBlocks }},
+		{"sprinklerd_session_fault_failed_ios", "Host I/Os failed unrecoverably by the fault model.",
+			func(i SessionInfo) int64 { return i.FailedIOs }},
+		{"sprinklerd_session_fault_degraded", "1 when the session's drive degraded to read-only mode.",
+			func(i SessionInfo) int64 {
+				if i.Degraded {
+					return 1
+				}
+				return 0
+			}},
+	}
+	for _, g := range faultGauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, info := range sessions {
+			fmt.Fprintf(w, "%s{session=%q} %d\n", g.name, info.ID, g.v(info))
+		}
+	}
 }

@@ -303,6 +303,12 @@ func (s *Server) sessionCfg(req OpenRequest) (sprinkler.Config, error) {
 	if req.ParallelChannels != 0 {
 		cfg.ParallelChannels = req.ParallelChannels
 	}
+	// A present fault spec replaces the base one wholesale (a partial
+	// overlay could silently mix two experiments' fault models); invalid
+	// knobs are carried into the config so Validate rejects them with 400.
+	if req.Faults != nil {
+		cfg.Faults = *req.Faults
+	}
 	// Clamp the session's memory budgets to the server's.
 	cfg.MaxBacklog = clampBudget(req.MaxBacklog, s.opts.MaxBacklog)
 	cfg.CollectSeries = req.CollectSeries && s.opts.SeriesWindow > 0
@@ -544,12 +550,17 @@ func (s *Server) Sessions() []SessionInfo {
 	for _, sess := range sessions {
 		snap, _, _ := sess.observe()
 		infos = append(infos, SessionInfo{
-			ID:         sess.id,
-			SimTimeNS:  snap.SimTimeNS,
-			WallNS:     now.Sub(sess.wallStart).Nanoseconds(),
-			Backlog:    snap.IOsSubmitted - snap.IOsCompleted,
-			IdleNS:     sess.idleFor(now).Nanoseconds(),
-			MaxBacklog: sess.maxBacklog,
+			ID:            sess.id,
+			SimTimeNS:     snap.SimTimeNS,
+			WallNS:        now.Sub(sess.wallStart).Nanoseconds(),
+			Backlog:       snap.IOsSubmitted - snap.IOsCompleted,
+			IdleNS:        sess.idleFor(now).Nanoseconds(),
+			MaxBacklog:    sess.maxBacklog,
+			ReadRetries:   snap.ReadRetries,
+			ProgramFails:  snap.ProgramFails,
+			RetiredBlocks: snap.RetiredBlocks,
+			FailedIOs:     snap.FailedIOs,
+			Degraded:      snap.DegradedMode,
 		})
 	}
 	return infos

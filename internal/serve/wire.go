@@ -49,6 +49,12 @@ type OpenRequest struct {
 	// to the server budget).
 	CollectSeries bool `json:"collectSeries,omitempty"`
 	SeriesWindow  int  `json:"seriesWindow,omitempty"`
+
+	// Faults, when present, replaces the daemon's base fault-injection
+	// spec for this session (sprinkler.FaultSpec on the wire). Invalid
+	// specs — probabilities outside [0, 1], degenerate outage windows,
+	// spare fractions outside [0, 1) — are rejected with 400.
+	Faults *sprinkler.FaultSpec `json:"faults,omitempty"`
 }
 
 // OpenResponse reports the admitted session and its resolved budgets.
@@ -150,6 +156,14 @@ type SessionInfo struct {
 	Backlog    int64  `json:"backlog"`
 	IdleNS     int64  `json:"idleNS"`
 	MaxBacklog int    `json:"maxBacklog"`
+
+	// Fault-injection counters, zero (and omitted) when the session runs
+	// fault-free. Degraded reports the drive's read-only state.
+	ReadRetries   int64 `json:"readRetries,omitempty"`
+	ProgramFails  int64 `json:"programFails,omitempty"`
+	RetiredBlocks int64 `json:"retiredBlocks,omitempty"`
+	FailedIOs     int64 `json:"failedIOs,omitempty"`
+	Degraded      bool  `json:"degraded,omitempty"`
 }
 
 // ListResponse is the session listing.

@@ -84,6 +84,12 @@ type Config struct {
 	// and falls back to the serial kernel otherwise.
 	ParallelChannels int
 
+	// Faults parameterizes deterministic fault injection (read retries,
+	// program/erase failures, transient die outages, spare-block
+	// provisioning). The zero value disables the model entirely and is
+	// byte-identical to a fault-free build.
+	Faults FaultSpec
+
 	// CollectSeries records one SeriesPoint per completed I/O (Figure 12).
 	CollectSeries bool
 
@@ -138,6 +144,105 @@ func (c *Config) Validate() error {
 	if c.ParallelChannels < 0 {
 		return fmt.Errorf("ssd: negative ParallelChannels")
 	}
+	if err := c.Faults.validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FaultSpec parameterizes the deterministic fault-injection subsystem. The
+// zero value disables every mechanism: no RNG stream is created, no draws
+// are made, and results are byte-identical to a fault-free build.
+type FaultSpec struct {
+	// Per-member failure probabilities for the three flash operations.
+	// A failed read sense enters the retry ladder; a failed program
+	// triggers a page rewrite to a fresh block; a failed (GC) erase
+	// retires the block to the spare pool.
+	ReadFailProb    float64
+	ProgramFailProb float64
+	EraseFailProb   float64
+
+	// ReadRetryMax bounds the read-retry ladder (0 = a failing sense is
+	// immediately uncorrectable); ReadRetryMult scales the escalating
+	// retry sense time (retry r costs r*mult × the base cell time; values
+	// below 1 behave as 1).
+	ReadRetryMax  int
+	ReadRetryMult int
+
+	// RewriteMax bounds program-fail recovery: how many times one page
+	// write may be remapped and re-issued before the host I/O is failed.
+	RewriteMax int
+
+	// OutagePeriod/OutageDur (ns) define per-die transient outage windows;
+	// a cell phase that would start during a die's window waits it out.
+	// Zero period or duration disables outages.
+	OutagePeriod sim.Time
+	OutageDur    sim.Time
+
+	// SpareBlockFrac reserves this fraction of every plane's blocks as
+	// bad-block replacement spares; retirements consume them, and
+	// exhaustion degrades the drive to read-only mode.
+	SpareBlockFrac float64
+
+	// Seed is the base fault seed; each chip derives an independent
+	// deterministic stream from it.
+	Seed uint64
+}
+
+// Enabled reports whether any fault mechanism is configured.
+func (fs *FaultSpec) Enabled() bool {
+	return fs.flashConfig().Enabled() || fs.SpareBlockFrac > 0
+}
+
+// flashConfig maps the spec onto the chip-level fault model.
+func (fs *FaultSpec) flashConfig() flash.FaultConfig {
+	return flash.FaultConfig{
+		ReadFailProb:    fs.ReadFailProb,
+		ProgramFailProb: fs.ProgramFailProb,
+		EraseFailProb:   fs.EraseFailProb,
+		ReadRetryMax:    fs.ReadRetryMax,
+		ReadRetryMult:   fs.ReadRetryMult,
+		OutagePeriod:    fs.OutagePeriod,
+		OutageDur:       fs.OutageDur,
+		Seed:            fs.Seed,
+	}
+}
+
+func (fs *FaultSpec) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReadFailProb", fs.ReadFailProb},
+		{"ProgramFailProb", fs.ProgramFailProb},
+		{"EraseFailProb", fs.EraseFailProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("ssd: fault %s %g outside [0, 1]", p.name, p.v)
+		}
+	}
+	if fs.ReadRetryMax < 0 {
+		return fmt.Errorf("ssd: negative fault ReadRetryMax")
+	}
+	if fs.ReadRetryMult < 0 {
+		return fmt.Errorf("ssd: negative fault ReadRetryMult")
+	}
+	if fs.RewriteMax < 0 {
+		return fmt.Errorf("ssd: negative fault RewriteMax")
+	}
+	if fs.OutagePeriod < 0 || fs.OutageDur < 0 {
+		return fmt.Errorf("ssd: negative fault outage window")
+	}
+	if fs.OutageDur > 0 && fs.OutagePeriod == 0 {
+		return fmt.Errorf("ssd: fault OutageDur set without OutagePeriod")
+	}
+	if fs.OutagePeriod > 0 && fs.OutageDur >= fs.OutagePeriod {
+		return fmt.Errorf("ssd: fault OutageDur %d must be shorter than OutagePeriod %d",
+			int64(fs.OutageDur), int64(fs.OutagePeriod))
+	}
+	if fs.SpareBlockFrac < 0 || fs.SpareBlockFrac >= 1 {
+		return fmt.Errorf("ssd: fault SpareBlockFrac %g outside [0, 1)", fs.SpareBlockFrac)
+	}
 	return nil
 }
 
@@ -170,5 +275,7 @@ func (c *Config) ftlConfig() ftl.Config {
 	fc.Allocation = c.Allocation
 	fc.EraseFailProb = c.EraseFailProb
 	fc.WearDeltaMax = c.WearDeltaMax
+	fc.SpareBlockFrac = c.Faults.SpareBlockFrac
+	fc.Seed = c.Faults.Seed
 	return fc
 }

@@ -80,7 +80,7 @@ type stagedMsg struct {
 	r    flash.Request // stagedReqDone payload
 }
 
-func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, channel int) *controller {
+func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, faults flash.FaultConfig, channel int) *controller {
 	n := geo.ChipsPerChan
 	ctl := &controller{
 		eng:        eng,
@@ -99,6 +99,7 @@ func newController(eng *sim.Engine, geo flash.Geometry, tim flash.Timing, channe
 		off := off
 		id := geo.ChipAt(channel, off)
 		ctl.chips[off] = flash.NewChip(eng, ctl.bus, id, geo, tim)
+		ctl.chips[off].SetFaults(faults)
 		ctl.txns[off] = &flash.Transaction{}
 		ctl.buildT[off] = sim.NewTimer(func(now sim.Time) {
 			ctl.buildArmed[off] = false
@@ -151,14 +152,16 @@ func (ctl *controller) popStaged() stagedMsg {
 }
 
 // reset returns the controller, its bus and its chips to the just-built
-// idle state for a new run, retaining every queue's storage. Timing is
-// per-run configuration and may change; geometry may not. The engine must
-// have been Reset first (no build, bus or chip event may be pending).
-func (ctl *controller) reset(tim flash.Timing) {
+// idle state for a new run, retaining every queue's storage. Timing and
+// fault injection are per-run configuration and may change; geometry may
+// not. The engine must have been Reset first (no build, bus or chip event
+// may be pending).
+func (ctl *controller) reset(tim flash.Timing, faults flash.FaultConfig) {
 	ctl.tim = tim
 	ctl.bus.Reset()
 	for off := range ctl.chips {
 		ctl.chips[off].Reset(tim)
+		ctl.chips[off].SetFaults(faults)
 		p := ctl.pending[off]
 		for i := range p {
 			p[i] = flash.Request{}

@@ -13,7 +13,7 @@ func newTestController() (*sim.Engine, *controller) {
 		Channels: 1, ChipsPerChan: 2, DiesPerChip: 2, PlanesPerDie: 2,
 		BlocksPerPlane: 16, PagesPerBlock: 8, PageSize: 2048,
 	}
-	return eng, newController(eng, geo, flash.DefaultTiming(), 0)
+	return eng, newController(eng, geo, flash.DefaultTiming(), flash.FaultConfig{}, 0)
 }
 
 func freq(chip flash.ChipID, die, plane, block, page int, op flash.Op) flash.Request {

@@ -110,6 +110,7 @@ type Device struct {
 	gcActiveCount int
 	emergencyGCs  int64
 	staleFixes    int64
+	failedIOs     int64 // host I/Os completed with Failed set (incl. refusals)
 
 	// Accounting.
 	busyChips      int
@@ -205,7 +206,7 @@ func (d *Device) buildControllers(partitioned bool) {
 		if partitioned {
 			eng = sim.NewEngine()
 		}
-		ctl := newController(eng, d.cfg.Geo, d.cfg.Tim, ch)
+		ctl := newController(eng, d.cfg.Geo, d.cfg.Tim, d.cfg.Faults.flashConfig(), ch)
 		if !partitioned {
 			ctl.noteStaged = d.noteStaged
 		}
@@ -315,7 +316,7 @@ func (d *Device) Reset(cfg Config, scheduler sched.Scheduler) error {
 			}
 		}
 		for _, ctl := range d.ctrls {
-			ctl.reset(cfg.Tim)
+			ctl.reset(cfg.Tim, cfg.Faults.flashConfig())
 		}
 	}
 	for i := range d.chipBusyM {
@@ -357,7 +358,7 @@ func (d *Device) Reset(cfg Config, scheduler sched.Scheduler) error {
 		d.gcActive[i] = false
 	}
 	d.gcActiveCount = 0
-	d.emergencyGCs, d.staleFixes = 0, 0
+	d.emergencyGCs, d.staleFixes, d.failedIOs = 0, 0, 0
 
 	d.busyChips = 0
 	d.busyIntegral = 0
@@ -608,6 +609,16 @@ func (d *Device) drainBacklog(now sim.Time) {
 	admitted := false
 	for d.backlogLen() > 0 && !d.queue.Full() {
 		io := d.backlog[d.backlogHead]
+		if io.Kind == req.Write && d.fl.Degraded() {
+			// Degraded read-only mode (spare pool exhausted): writes are
+			// refused at admission instead of wedging the allocator; reads
+			// keep flowing. The refusal is progress, so the source pull
+			// resumes below like any admission.
+			d.popBacklog()
+			d.refuseIO(now, io)
+			admitted = true
+			continue
+		}
 		ok := true
 		for _, m := range io.Mem {
 			if m.Resolved {
@@ -633,6 +644,23 @@ func (d *Device) drainBacklog(now sim.Time) {
 			d.scheduleNextArrival()
 		}
 		d.pump(now)
+	}
+}
+
+// refuseIO completes a host I/O as failed without servicing it (degraded
+// read-only mode). The I/O never secured a tag, so there is no queue
+// release; it is counted completed (with Failed set) so sessions and drains
+// converge instead of stalling, but contributes no latency or byte counts.
+func (d *Device) refuseIO(now sim.Time, io *req.IO) {
+	io.Failed = true
+	io.Done = now
+	d.iosDone++
+	d.failedIOs++
+	d.lastCompletion = now
+	d.account(now)
+	d.inflight--
+	if d.onRetire != nil {
+		d.onRetire(io)
 	}
 }
 
@@ -773,18 +801,75 @@ func (d *Device) commit(now sim.Time, m *req.Mem) {
 func (d *Device) onFlashReqDone(now sim.Time, r flash.Request) {
 	switch tok := r.Token.(type) {
 	case *req.Mem:
-		d.finishMem(now, tok)
+		d.finishMem(now, tok, r.Failed)
 	case *gcStep:
-		tok.advance(now)
+		tok.advance(now, r.Failed)
 	default:
 		panic(fmt.Sprintf("ssd: unknown token %T", r.Token))
 	}
 }
 
-func (d *Device) finishMem(now sim.Time, m *req.Mem) {
+// rewriteOutcome classifies program-fail recovery attempts.
+type rewriteOutcome int
+
+const (
+	// rewriteReissued: the page was remapped and the write re-entered the
+	// DMA compose queue; the member is not done.
+	rewriteReissued rewriteOutcome = iota
+	// rewriteStale: the host overwrote the LPN while the failed program
+	// was in flight, so the lost data was already stale; complete as-is.
+	rewriteStale
+	// rewriteExhausted: the rewrite ladder is spent or no replacement page
+	// could be allocated; the host I/O fails.
+	rewriteExhausted
+)
+
+// recoverProgramFail handles a host write whose program reported failure:
+// the FTL remaps the page to a fresh block and the member re-enters the DMA
+// compose queue. Routing the rewrite through the composer is what keeps the
+// parallel kernel's parity contract: the re-commit lands at least
+// ComposeLatency ahead of now, inside the epoch lookahead.
+func (d *Device) recoverProgramFail(now sim.Time, m *req.Mem) rewriteOutcome {
+	if int(m.Rewrites) >= d.cfg.Faults.RewriteMax {
+		return rewriteExhausted
+	}
+	a, ok, err := d.fl.RemapProgramFail(m.LPN, m.Addr)
+	if err != nil {
+		return rewriteExhausted
+	}
+	if !ok {
+		return rewriteStale
+	}
+	m.Rewrites++
+	m.Addr = a
+	m.State = req.StateComposed
+	m.Composed = now
+	d.outstanding[int(a.Chip)]++
+	d.composeQ = append(d.composeQ, m)
+	d.kickComposer(now)
+	return rewriteReissued
+}
+
+func (d *Device) finishMem(now sim.Time, m *req.Mem, failed bool) {
+	d.outstanding[int(m.Addr.Chip)]--
+	if failed {
+		if m.IO.Kind == req.Write {
+			switch d.recoverProgramFail(now, m) {
+			case rewriteReissued:
+				return
+			case rewriteStale:
+				// Lost data was stale; the member completes as served.
+			case rewriteExhausted:
+				m.IO.Failed = true
+			}
+		} else {
+			// Uncorrectable read: the retry ladder is exhausted and the
+			// payload is lost; the host I/O completes with an error.
+			m.IO.Failed = true
+		}
+	}
 	m.State = req.StateDone
 	m.Finished = now
-	d.outstanding[int(m.Addr.Chip)]--
 	io := m.IO
 	// Capture the kind before completion: completeIO may retire the I/O
 	// into a free list, after which io must not be read.
@@ -810,6 +895,9 @@ func (d *Device) completeIO(now sim.Time, io *req.IO) {
 		d.bytesWritten += io.Bytes(d.cfg.Geo.PageSize)
 	}
 	d.iosDone++
+	if io.Failed {
+		d.failedIOs++
+	}
 	d.lastCompletion = now
 	if d.cfg.CollectSeries {
 		p := metrics.SeriesPoint{Index: d.iosDone, Arrival: io.Arrival, Latency: io.Latency()}
@@ -893,6 +981,8 @@ func (d *Device) resultAt(end sim.Time) *metrics.Result {
 		StaleRetranslations: d.staleFixes,
 		EmergencyGCs:        d.emergencyGCs,
 		GC:                  d.fl.Stats(),
+		FailedIOs:           d.failedIOs,
+		DegradedMode:        d.fl.Degraded(),
 		Series:              d.seriesSnapshot(),
 	}
 	samples := d.sampleBuf[:0]
@@ -901,15 +991,19 @@ func (d *Device) resultAt(end sim.Time) *metrics.Result {
 			chip := d.ctrls[ch].chip(d.cfg.Geo.ChipAt(ch, off))
 			st := chip.Stats()
 			samples = append(samples, metrics.ChipSample{
-				Busy:             st.BusyAll.Total(end),
-				CellActive:       st.CellActive.Total(end),
-				BusActive:        st.BusActive.Total(end),
-				BusWait:          st.BusWait,
-				PlaneUseIntegral: st.PlaneUse.Integral(end),
-				Txns:             st.Txns,
-				TxnsByClass:      st.TxnsByClass,
-				ReqsByClass:      st.ReqsByClass,
-				Requests:         st.Requests,
+				Busy:              st.BusyAll.Total(end),
+				CellActive:        st.CellActive.Total(end),
+				BusActive:         st.BusActive.Total(end),
+				BusWait:           st.BusWait,
+				PlaneUseIntegral:  st.PlaneUse.Integral(end),
+				Txns:              st.Txns,
+				TxnsByClass:       st.TxnsByClass,
+				ReqsByClass:       st.ReqsByClass,
+				Requests:          st.Requests,
+				ReadRetries:       st.ReadRetries,
+				ReadUncorrectable: st.ReadUncorrectable,
+				ProgramFails:      st.ProgramFails,
+				EraseFails:        st.EraseFails,
 			})
 		}
 	}

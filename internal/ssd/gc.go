@@ -25,7 +25,7 @@ type gcStep struct {
 	kind flash.Op
 }
 
-func (s *gcStep) advance(now sim.Time) { s.run.stepDone(now, s.kind) }
+func (s *gcStep) advance(now sim.Time, failed bool) { s.run.stepDone(now, s.kind, failed) }
 
 // gcRun tracks one in-flight GC job on a chip.
 type gcRun struct {
@@ -35,6 +35,13 @@ type gcRun struct {
 	job       *ftl.GCJob
 	remaining int
 	phase     flash.Op // current phase: read -> program -> erase
+
+	// eraseFailed records a chip-level erase failure on the victim; the
+	// commit then retires the block to the spare pool instead of freeing
+	// it. Failed GC reads/programs are absorbed (the migration's mapping
+	// still commits): the model tracks timing and wear, not payload
+	// integrity, and the chip-level counters already record them.
+	eraseFailed bool
 }
 
 // maybeStartGC launches background collection for the plane containing
@@ -118,9 +125,12 @@ func (r *gcRun) startErase(now sim.Time) {
 }
 
 // stepDone advances the job when a member flash request completes.
-func (r *gcRun) stepDone(now sim.Time, kind flash.Op) {
+func (r *gcRun) stepDone(now sim.Time, kind flash.Op, failed bool) {
 	if kind != r.phase {
 		panic("ssd: GC completion out of phase")
+	}
+	if failed && kind == flash.OpErase {
+		r.eraseFailed = true
 	}
 	r.remaining--
 	if r.remaining > 0 {
@@ -140,7 +150,7 @@ func (r *gcRun) stepDone(now sim.Time, kind flash.Op) {
 // next victim if the plane is still under pressure.
 func (r *gcRun) finish(now sim.Time) {
 	d := r.dev
-	applied := d.fl.CommitGC(r.job)
+	applied := d.fl.CommitGCOutcome(r.job, r.eraseFailed)
 	d.applyMigrations(applied)
 	d.setGCActive(r.chip, false)
 	// Chain another pass while the plane stays pressured.

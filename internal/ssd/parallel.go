@@ -47,6 +47,15 @@ type parRunner struct {
 	done   chan struct{}
 	cursor atomic.Int32
 	live   bool
+
+	// engH orders the channel sub-engines by their next pending instant,
+	// replacing the per-epoch linear min-scan; stgH orders the channels
+	// with undrained staged messages by head timestamp during phase B.
+	// Both key ties by channel index, so equal-time pops come in channel
+	// order — the serial kernel's lane order. Storage is preallocated
+	// here once; epoch maintenance allocates nothing.
+	engH chHeap
+	stgH chHeap
 }
 
 func newParRunner(d *Device) *parRunner {
@@ -54,7 +63,113 @@ func newParRunner(d *Device) *parRunner {
 	if w > d.cfg.Geo.Channels {
 		w = d.cfg.Geo.Channels
 	}
-	return &parRunner{d: d, workers: w}
+	p := &parRunner{d: d, workers: w}
+	p.engH.init(d.cfg.Geo.Channels)
+	p.stgH.init(d.cfg.Geo.Channels)
+	return p
+}
+
+// chEnt is one channel's key in a chHeap.
+type chEnt struct {
+	at sim.Time
+	ch int32
+}
+
+// chHeap is a small indexed min-heap over channels keyed (at, ch). pos
+// tracks each channel's slot so an entry can be moved or removed in place.
+type chHeap struct {
+	ents []chEnt
+	pos  []int32 // channel -> slot in ents, -1 when absent
+}
+
+func (h *chHeap) init(n int) {
+	h.ents = make([]chEnt, 0, n)
+	h.pos = make([]int32, n)
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+func (h *chHeap) clear() {
+	for _, e := range h.ents {
+		h.pos[e.ch] = -1
+	}
+	h.ents = h.ents[:0]
+}
+
+func (h *chHeap) less(i, j int) bool {
+	return h.ents[i].at < h.ents[j].at ||
+		(h.ents[i].at == h.ents[j].at && h.ents[i].ch < h.ents[j].ch)
+}
+
+func (h *chHeap) swap(i, j int) {
+	h.ents[i], h.ents[j] = h.ents[j], h.ents[i]
+	h.pos[h.ents[i].ch] = int32(i)
+	h.pos[h.ents[j].ch] = int32(j)
+}
+
+func (h *chHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *chHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h.ents) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h.ents) && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// set inserts, moves, or (when !present) removes channel ch's entry.
+func (h *chHeap) set(ch int32, at sim.Time, present bool) {
+	i := h.pos[ch]
+	switch {
+	case present && i >= 0:
+		old := h.ents[i].at
+		h.ents[i].at = at
+		if at < old {
+			h.up(int(i))
+		} else if at > old {
+			h.down(int(i))
+		}
+	case present:
+		h.ents = append(h.ents, chEnt{at: at, ch: ch})
+		h.pos[ch] = int32(len(h.ents) - 1)
+		h.up(len(h.ents) - 1)
+	case i >= 0:
+		last := len(h.ents) - 1
+		h.swap(int(i), last)
+		h.ents = h.ents[:last]
+		h.pos[ch] = -1
+		if int(i) < last {
+			h.down(int(i))
+			h.up(int(i))
+		}
+	}
+}
+
+func (h *chHeap) min() (chEnt, bool) {
+	if len(h.ents) == 0 {
+		return chEnt{}, false
+	}
+	return h.ents[0], true
 }
 
 // startPool spins up the phase-A workers for one top-level call.
@@ -110,26 +225,29 @@ func (p *parRunner) runChannels(deadline sim.Time) {
 	}
 }
 
-// nextInstant is the earliest pending instant across every engine. Staged
-// queues are empty between epochs, so they need no scan here.
-func (p *parRunner) nextInstant() (sim.Time, bool) {
-	t, ok := p.d.eng.NextAt()
-	for _, ctl := range p.d.ctrls {
-		if at, cok := ctl.eng.NextAt(); cok && (!ok || at < t) {
-			t, ok = at, true
-		}
-	}
-	return t, ok
+// syncEng refreshes one channel's engine-heap entry from its sub-engine.
+func (p *parRunner) syncEng(ch int32) {
+	at, ok := p.d.ctrls[ch].eng.NextAt()
+	p.engH.set(ch, at, ok)
 }
 
-// nextHostWork is the earliest instant with host events or undrained
-// staged messages: phase B's iteration variable.
-func (p *parRunner) nextHostWork() (sim.Time, bool) {
+// rebuildEng resynchronizes the engine heap with every sub-engine — after
+// phase A (all channels advanced) or a collapsed instant (commits at u may
+// have scheduled channel work).
+func (p *parRunner) rebuildEng() {
+	p.engH.clear()
+	for i := range p.d.ctrls {
+		p.syncEng(int32(i))
+	}
+}
+
+// nextInstant is the earliest pending instant across every engine: the
+// host engine's peek against the channel heap's root. Staged queues are
+// empty between epochs, so they need no scan here.
+func (p *parRunner) nextInstant() (sim.Time, bool) {
 	t, ok := p.d.eng.NextAt()
-	for _, ctl := range p.d.ctrls {
-		if at, sok := ctl.stagedNext(); sok && (!ok || at < t) {
-			t, ok = at, true
-		}
+	if e, eok := p.engH.min(); eok && (!ok || e.at < t) {
+		t, ok = e.at, true
 	}
 	return t, ok
 }
@@ -180,17 +298,45 @@ func (p *parRunner) step(limit sim.Time) bool {
 
 	// Phase A: channels run [T, S) concurrently, staging messages.
 	p.runChannels(S - 1)
+	p.rebuildEng()
 
 	// Phase B: host events and staged messages, instant by instant. Host
 	// events here never commit (commits are compose fires, all >= S), so
-	// the channels' [T, S) state is already final.
+	// the channels' [T, S) state is already final and the staged queues
+	// only shrink: a one-time heap of per-channel head timestamps replaces
+	// the per-instant linear scans.
+	for i, ctl := range d.ctrls {
+		if at, sok := ctl.stagedNext(); sok {
+			p.stgH.set(int32(i), at, true)
+		}
+	}
 	for {
-		u, ok := p.nextHostWork()
+		u, ok := d.eng.NextAt()
+		if e, sok := p.stgH.min(); sok && (!ok || e.at < u) {
+			u, ok = e.at, true
+		}
 		if !ok || u >= S {
 			break
 		}
 		d.eng.RunUntil(u)
-		p.applyStagedAt(u)
+		// Drain every channel's messages at u in (channel, staging order):
+		// equal-time heap pops come in ascending channel index.
+		for {
+			e, sok := p.stgH.min()
+			if !sok || e.at != u {
+				break
+			}
+			ctl := d.ctrls[e.ch]
+			for {
+				at, mok := ctl.stagedNext()
+				if !mok || at != u {
+					break
+				}
+				d.applyStaged(ctl.popStaged())
+			}
+			at, mok := ctl.stagedNext()
+			p.stgH.set(e.ch, at, mok)
+		}
 		// Events the staged processing scheduled back at u (admission
 		// chains) run after the flush, as on the serial kernel.
 		d.eng.RunUntil(u)
@@ -221,6 +367,9 @@ func (p *parRunner) instant(u sim.Time) {
 			progress = true
 		}
 		if !progress {
+			// Commits at u may have scheduled channel work; resync the
+			// engine heap before the next epoch peeks it.
+			p.rebuildEng()
 			return
 		}
 	}
@@ -234,6 +383,7 @@ const pollEpochs = 1024
 func (p *parRunner) drain(ctx context.Context) error {
 	p.startPool()
 	defer p.stopPool()
+	p.rebuildEng()
 	for n := 0; ; n++ {
 		if n%pollEpochs == 0 {
 			if err := ctx.Err(); err != nil {
@@ -251,6 +401,7 @@ func (p *parRunner) drain(ctx context.Context) error {
 func (p *parRunner) advance(to sim.Time) {
 	p.startPool()
 	defer p.stopPool()
+	p.rebuildEng()
 	for p.step(to) {
 	}
 	p.d.eng.RunUntil(to)

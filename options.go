@@ -53,6 +53,9 @@ func (c Config) Validate() error {
 	if total := c.TotalPages(); c.LogicalPages > total {
 		return fmt.Errorf("sprinkler: Config.LogicalPages %d exceeds the %d physical pages", c.LogicalPages, total)
 	}
+	if err := c.Faults.check(); err != nil {
+		return err
+	}
 	return nil
 }
 

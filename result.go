@@ -104,6 +104,20 @@ type Result struct {
 	// callback (§4.3).
 	StaleRetranslations int64 `json:"staleRetranslations"`
 
+	// Fault-injection outcomes, all zero (and omitted from the wire
+	// encoding, so pre-fault clients are unaffected) when Config.Faults is
+	// the zero value: read-retry ladder entries, uncorrectable reads,
+	// program and erase failures at the chips, blocks retired to the spare
+	// pool, host I/Os failed unrecoverably, and whether the drive ended
+	// the run degraded to read-only mode (spare pool exhausted).
+	ReadRetries       int64 `json:"readRetries,omitempty"`
+	ReadUncorrectable int64 `json:"readUncorrectable,omitempty"`
+	ProgramFails      int64 `json:"programFails,omitempty"`
+	EraseFails        int64 `json:"eraseFails,omitempty"`
+	RetiredBlocks     int64 `json:"retiredBlocks,omitempty"`
+	FailedIOs         int64 `json:"failedIOs,omitempty"`
+	DegradedMode      bool  `json:"degradedMode,omitempty"`
+
 	// Series is the per-I/O latency series when CollectSeries was set.
 	Series []SeriesPoint `json:"series,omitempty"`
 }
@@ -143,6 +157,13 @@ func publicResult(r *metrics.Result) *Result {
 		BadBlocks:           r.GC.BadBlocks,
 		WearLevels:          r.GC.WearLevels,
 		StaleRetranslations: r.StaleRetranslations,
+		ReadRetries:         r.ReadRetries,
+		ReadUncorrectable:   r.ReadUncorrectable,
+		ProgramFails:        r.ProgramFails,
+		EraseFails:          r.EraseFails,
+		RetiredBlocks:       r.GC.RetiredBlocks,
+		FailedIOs:           r.FailedIOs,
+		DegradedMode:        r.DegradedMode,
 	}
 	out.FLPShares = r.FLP.Share
 	if r.GC.HostWrites > 0 {

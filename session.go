@@ -234,6 +234,15 @@ type Snapshot struct {
 	SysBusyNS        int64   `json:"rawSysBusyNS"`
 	QueueFullNS      int64   `json:"rawQueueFullNS"`
 	Chips            int     `json:"chips"`
+
+	// Fault-injection counters, all zero (and omitted on the wire) when
+	// fault injection is disabled. DegradedMode reports the drive's
+	// current read-only state, not a delta.
+	ReadRetries   int64 `json:"readRetries,omitempty"`
+	ProgramFails  int64 `json:"programFails,omitempty"`
+	RetiredBlocks int64 `json:"retiredBlocks,omitempty"`
+	FailedIOs     int64 `json:"failedIOs,omitempty"`
+	DegradedMode  bool  `json:"degradedMode,omitempty"`
 }
 
 // snapshotOf flattens an internal mid-run result.
@@ -256,6 +265,11 @@ func snapshotOf(r *metrics.Result, submitted int64, inflight int) Snapshot {
 		SysBusyNS:          int64(r.SysBusyTime),
 		QueueFullNS:        int64(r.QueueFullTime),
 		Chips:              r.Chips,
+		ReadRetries:        r.ReadRetries,
+		ProgramFails:       r.ProgramFails,
+		RetiredBlocks:      r.GC.RetiredBlocks,
+		FailedIOs:          r.FailedIOs,
+		DegradedMode:       r.DegradedMode,
 	}
 	return snap
 }
@@ -281,6 +295,11 @@ func (s Snapshot) Since(prev Snapshot) Snapshot {
 		SysBusyNS:        s.SysBusyNS - prev.SysBusyNS,
 		QueueFullNS:      s.QueueFullNS - prev.QueueFullNS,
 		Chips:            s.Chips,
+		ReadRetries:      s.ReadRetries - prev.ReadRetries,
+		ProgramFails:     s.ProgramFails - prev.ProgramFails,
+		RetiredBlocks:    s.RetiredBlocks - prev.RetiredBlocks,
+		FailedIOs:        s.FailedIOs - prev.FailedIOs,
+		DegradedMode:     s.DegradedMode,
 	}
 	if w.SimTimeNS > 0 {
 		secs := float64(w.SimTimeNS) / 1e9

@@ -159,6 +159,12 @@ type Config struct {
 	// back to the serial kernel otherwise.
 	ParallelChannels int
 
+	// Faults configures deterministic flash fault injection (read-retry
+	// ladders, program/erase failures, transient die outages, spare-block
+	// provisioning with degraded-mode fallback). The zero value disables
+	// the model entirely and is byte-identical to a fault-free build.
+	Faults FaultSpec
+
 	// CollectSeries records a per-I/O latency series in the result.
 	CollectSeries bool
 
@@ -167,6 +173,98 @@ type Config struct {
 	// arbitrarily long runs. Zero keeps the exact one-point-per-I/O
 	// series. Ignored unless CollectSeries is set.
 	SeriesWindow int
+}
+
+// FaultSpec configures deterministic flash fault injection. Faults are
+// drawn from per-chip deterministic streams derived from Seed in chip-local
+// order, so a fault schedule is a pure function of the configuration: the
+// serial and parallel kernels, and fresh versus arena-recycled devices, all
+// replay it byte-for-byte. The JSON tags make the spec part of the daemon's
+// wire format (session open requests).
+type FaultSpec struct {
+	// ReadFailProb, ProgramFailProb and EraseFailProb are per-member
+	// failure probabilities for the three flash operations. A failing
+	// read sense enters the retry ladder; a failed program is remapped to
+	// a fresh block and rewritten; a failed erase retires the block to
+	// the spare pool.
+	ReadFailProb    float64 `json:"readFailProb,omitempty"`
+	ProgramFailProb float64 `json:"programFailProb,omitempty"`
+	EraseFailProb   float64 `json:"eraseFailProb,omitempty"`
+
+	// ReadRetryMax bounds the read-retry ladder (0 = a failing sense is
+	// immediately uncorrectable); retry r costs r × ReadRetryMult × the
+	// base sense time (values below 1 behave as 1).
+	ReadRetryMax  int `json:"readRetryMax,omitempty"`
+	ReadRetryMult int `json:"readRetryMult,omitempty"`
+
+	// RewriteMax bounds program-fail recovery: how many times one page
+	// write may be remapped and re-issued before the host I/O is failed.
+	RewriteMax int `json:"rewriteMax,omitempty"`
+
+	// OutagePeriodNS/OutageDurNS define per-die transient outage windows:
+	// a flash operation that would start inside a die's window waits it
+	// out. Zero disables outages.
+	OutagePeriodNS int64 `json:"outagePeriodNS,omitempty"`
+	OutageDurNS    int64 `json:"outageDurNS,omitempty"`
+
+	// SpareBlockFrac reserves this fraction of each plane's blocks as
+	// bad-block replacement spares. Retirements consume spares; when they
+	// run out the drive degrades to read-only mode (Result.DegradedMode):
+	// pending and future writes are failed, reads keep being served.
+	SpareBlockFrac float64 `json:"spareBlockFrac,omitempty"`
+
+	// Seed is the base fault seed; each chip derives an independent
+	// stream from it.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// internal maps the public fault spec onto the engine's.
+func (f FaultSpec) internal() ssd.FaultSpec {
+	return ssd.FaultSpec{
+		ReadFailProb:    f.ReadFailProb,
+		ProgramFailProb: f.ProgramFailProb,
+		EraseFailProb:   f.EraseFailProb,
+		ReadRetryMax:    f.ReadRetryMax,
+		ReadRetryMult:   f.ReadRetryMult,
+		RewriteMax:      f.RewriteMax,
+		OutagePeriod:    simTime(f.OutagePeriodNS),
+		OutageDur:       simTime(f.OutageDurNS),
+		SpareBlockFrac:  f.SpareBlockFrac,
+		Seed:            f.Seed,
+	}
+}
+
+// check validates the spec with public field names in the errors.
+func (f FaultSpec) check() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReadFailProb", f.ReadFailProb},
+		{"ProgramFailProb", f.ProgramFailProb},
+		{"EraseFailProb", f.EraseFailProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("sprinkler: Config.Faults.%s %g outside [0, 1]", p.name, p.v)
+		}
+	}
+	if f.ReadRetryMax < 0 || f.ReadRetryMult < 0 || f.RewriteMax < 0 {
+		return fmt.Errorf("sprinkler: Config.Faults retry and rewrite bounds must be non-negative")
+	}
+	if f.OutagePeriodNS < 0 || f.OutageDurNS < 0 {
+		return fmt.Errorf("sprinkler: Config.Faults outage window must be non-negative")
+	}
+	if f.OutageDurNS > 0 && f.OutagePeriodNS == 0 {
+		return fmt.Errorf("sprinkler: Config.Faults.OutageDurNS set without OutagePeriodNS")
+	}
+	if f.OutagePeriodNS > 0 && f.OutageDurNS >= f.OutagePeriodNS {
+		return fmt.Errorf("sprinkler: Config.Faults.OutageDurNS %d must be shorter than OutagePeriodNS %d",
+			f.OutageDurNS, f.OutagePeriodNS)
+	}
+	if f.SpareBlockFrac < 0 || f.SpareBlockFrac >= 1 {
+		return fmt.Errorf("sprinkler: Config.Faults.SpareBlockFrac %g outside [0, 1)", f.SpareBlockFrac)
+	}
+	return nil
 }
 
 // TotalPages returns the platform's physical page count.
@@ -221,6 +319,7 @@ func (c Config) internalConfig() (ssd.Config, error) {
 	cfg.MetricsSampleCap = c.MetricsSampleCap
 	cfg.DisableGC = c.DisableGC
 	cfg.ParallelChannels = c.ParallelChannels
+	cfg.Faults = c.Faults.internal()
 	cfg.CollectSeries = c.CollectSeries
 	cfg.SeriesWindow = c.SeriesWindow
 

@@ -46,6 +46,13 @@ func wireResult() *sprinkler.Result {
 		BadBlocks:           1,
 		WearLevels:          2,
 		StaleRetranslations: 3,
+		ReadRetries:         12,
+		ReadUncorrectable:   1,
+		ProgramFails:        4,
+		EraseFails:          2,
+		RetiredBlocks:       2,
+		FailedIOs:           1,
+		DegradedMode:        true,
 		Series: []sprinkler.SeriesPoint{
 			{Index: 1, ArrivalNS: 100, LatencyNS: 200000},
 			{Index: 2, ArrivalNS: 300, LatencyNS: 190000},
@@ -73,6 +80,11 @@ func wireSnapshot() sprinkler.Snapshot {
 		SysBusyNS:          900000000,
 		QueueFullNS:        12345678,
 		Chips:              64,
+		ReadRetries:        12,
+		ProgramFails:       4,
+		RetiredBlocks:      2,
+		FailedIOs:          1,
+		DegradedMode:       true,
 	}
 }
 
@@ -154,5 +166,35 @@ func TestWireFormatRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(rb, rb2) {
 		t.Fatalf("Result does not round-trip: %s vs %s", rb, rb2)
+	}
+}
+
+// TestWireFormatOmitsZeroFaultCounters: the fault counters are additive
+// wire fields guarded by omitempty — a fault-free run encodes exactly the
+// pre-fault wire format, so archived results and old clients are
+// unaffected.
+func TestWireFormatOmitsZeroFaultCounters(t *testing.T) {
+	res := wireResult()
+	res.ReadRetries, res.ReadUncorrectable, res.ProgramFails = 0, 0, 0
+	res.EraseFails, res.RetiredBlocks, res.FailedIOs = 0, 0, 0
+	res.DegradedMode = false
+	snap := wireSnapshot()
+	snap.ReadRetries, snap.ProgramFails, snap.RetiredBlocks, snap.FailedIOs = 0, 0, 0, 0
+	snap.DegradedMode = false
+
+	for _, enc := range []struct {
+		name string
+		v    any
+	}{{"Result", res}, {"Snapshot", snap}} {
+		b, err := json.Marshal(enc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"readRetries", "readUncorrectable", "programFails",
+			"eraseFails", "retiredBlocks", "failedIOs", "degradedMode"} {
+			if bytes.Contains(b, []byte(key)) {
+				t.Errorf("%s with zero fault counters still encodes %q:\n%s", enc.name, key, b)
+			}
+		}
 	}
 }
