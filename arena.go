@@ -1,6 +1,7 @@
 package sprinkler
 
 import (
+	"fmt"
 	"sync"
 
 	"sprinkler/internal/ftl"
@@ -61,6 +62,12 @@ type DeviceArena struct {
 	// tables — the bulk of a device's memory — are not retained, so the
 	// eviction bound still bounds memory.
 	meta map[topology]retainedMeta
+
+	// snaps holds registered warm-state snapshots by name. Snapshots are
+	// decoded once and shared read-only by every hydration, so a sweep
+	// with a thousand aged-drive cells holds one decoded state, not a
+	// thousand.
+	snaps map[string]*DeviceSnapshot
 
 	stats ArenaStats
 }
@@ -170,6 +177,71 @@ func (a *DeviceArena) Get(cfg Config) (*Device, error) {
 		return d, nil
 	}
 	return newWithMeta(cfg, meta)
+}
+
+// RegisterSnapshot registers a decoded warm-state snapshot under a name
+// for GetFromSnapshot checkouts. Re-registering a name replaces the
+// earlier snapshot. The snapshot is shared read-only across hydrations;
+// registering on a nil arena is a no-op (nothing could ever look it up).
+func (a *DeviceArena) RegisterSnapshot(name string, snap *DeviceSnapshot) {
+	if a == nil || snap == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.snaps == nil {
+		a.snaps = make(map[string]*DeviceSnapshot)
+	}
+	a.snaps[name] = snap
+	a.mu.Unlock()
+}
+
+// Snapshot returns the snapshot registered under name, if any. Nil-safe.
+func (a *DeviceArena) Snapshot(name string) (*DeviceSnapshot, bool) {
+	if a == nil {
+		return nil, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.snaps[name]
+	return s, ok
+}
+
+// GetFromSnapshot checks a device out of the arena hydrated from the
+// named registered snapshot: the checkout goes through the ordinary Get
+// path (a pooled device on the snapshot's topology is Reset in place,
+// interacting with LRU eviction and the retained block-metadata arenas
+// exactly as any other checkout does), then the warm state is loaded
+// onto it. The optional cfg overrides the snapshot's embedded config; it
+// must satisfy CompatibleConfig — warm state is scheduler-independent, so
+// an aged-drive sweep hydrates one preconditioned state under each
+// scheduler at fresh-drive cost, but a knob that shaped the warm-up
+// itself is refused rather than silently diverging from a replay.
+//
+// On a hydration error the device is discarded, never pooled: its state
+// may be partially applied.
+func (a *DeviceArena) GetFromSnapshot(name string, cfg ...Config) (*Device, error) {
+	snap, ok := a.Snapshot(name)
+	if !ok {
+		return nil, fmt.Errorf("sprinkler: no snapshot registered as %q", name)
+	}
+	runCfg := snap.cfg
+	if len(cfg) > 1 {
+		return nil, fmt.Errorf("sprinkler: GetFromSnapshot takes at most one config override")
+	}
+	if len(cfg) == 1 {
+		if !snap.CompatibleConfig(cfg[0]) {
+			return nil, fmt.Errorf("sprinkler: config for snapshot %q differs beyond the scheduler and host-side observation knobs", name)
+		}
+		runCfg = cfg[0]
+	}
+	d, err := a.Get(runCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.hydrate(d); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Put returns a device to the arena for reuse, evicting the

@@ -13,6 +13,7 @@ package sprinkler_test
 // cmd/experiments prints.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
@@ -354,6 +355,70 @@ func BenchmarkSweepPooledSources(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		runSweepBench(b, sprinkler.Runner{Workers: 1, Arena: arena}, cells)
 	}
+}
+
+// BenchmarkWarmRestore prices the warm-state checkpoint/restore path
+// against the preconditioning it replaces, on a GC-heavy 64-chip aged
+// platform. "precondition" is the reference: build a fresh device and
+// simulate the fill+churn aging pass. "restore" reads the same warm
+// state back from an in-memory snapshot (decode + hydrate, the
+// RestoreDevice path); "hydrate" hydrates from an already-decoded
+// DeviceSnapshot (the DeviceArena/Runner path, paying no parsing). The
+// restored device is byte-identical in behavior to the preconditioned
+// one (TestSnapshotRestoreReplayParity), so the ns/op ratio between
+// "precondition" and "restore" is the speedup a snapshot-hydrated sweep
+// cell sees — >=10x at this scale, and growing with device size since
+// restore cost scales with state size while preconditioning scales with
+// simulated work. CI guards the restore rows' allocs/op against
+// bench/BENCH_pr9_baseline.txt.
+func BenchmarkWarmRestore(b *testing.B) {
+	cfg := sprinkler.Platform(64)
+	cfg.Scheduler = sprinkler.SPK3
+	cfg.BlocksPerPlane = 24
+	cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+	const fill, churn, seed = 0.9, 0.4, 42
+
+	src, err := sprinkler.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.Precondition(fill, churn, seed)
+	var buf bytes.Buffer
+	if err := src.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	snap, err := sprinkler.ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("precondition", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := sprinkler.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Precondition(fill, churn, seed)
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sprinkler.RestoreDevice(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hydrate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.NewDevice(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDeviceSPK3 measures raw simulator throughput: one 64-chip SSD

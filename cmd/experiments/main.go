@@ -31,6 +31,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sweep cells (0 = all CPU cores)")
 	parallel := flag.Int("parallel-channels", 0, "per-device parallel-kernel worker threads (results stay byte-identical; GC-enabled cells fall back to the serial kernel; <2 keeps the serial kernel)")
 	noreuse := flag.Bool("noreuse", false, "build a fresh device per sweep cell instead of recycling through the device arena (results are identical; useful for profiling construction cost)")
+	saveState := flag.String("save-state", "", "precondition the evaluation platform to GC steady state once, write its warm state to this file, and exit")
+	loadState := flag.String("load-state", "", "hydrate every evaluation cell from this warm-state snapshot (aged-drive evaluation at fresh-drive cost)")
 	var faults cliutil.Platform
 	faults.RegisterFaults(flag.CommandLine)
 	profiles := app.ProfileFlags(flag.CommandLine)
@@ -42,7 +44,12 @@ func main() {
 	app.Check(profiles.Start())
 	fail := app.Check
 
-	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse, Parallel: *parallel, Faults: faults.Faults()}
+	opts := experiments.Options{Scale: *scale, Chips: *chips, Seed: *seed, Workers: *workers, NoReuse: *noreuse, Parallel: *parallel, Faults: faults.Faults(), LoadState: *loadState}
+	if *saveState != "" {
+		app.Check(experiments.SaveWarmState(opts, *saveState))
+		fmt.Printf("warm state saved to %s\n", *saveState)
+		return
+	}
 	want := strings.ToLower(*fig)
 	has := func(names ...string) bool {
 		if want == "all" {

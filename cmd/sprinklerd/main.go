@@ -44,6 +44,7 @@ func main() {
 	idleExpiry := flag.Duration("idle-expiry", 2*time.Minute, "reclaim sessions idle this long (0 disables)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "max wait for a busy session before 503")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "per-session drain budget at expiry/shutdown")
+	snapshotDir := flag.String("snapshot-dir", "", "directory of warm-state snapshot files that sessions may name via warmState (empty disables)")
 	smoke := flag.String("smoke", "", "run the smoke client against a daemon at this URL and exit")
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 	opts.IdleExpiry = *idleExpiry
 	opts.RequestTimeout = *reqTimeout
 	opts.DrainTimeout = *drainTimeout
+	opts.SnapshotDir = *snapshotDir
 	app.Check(opts.BaseConfig.Validate())
 
 	srv := serve.NewServer(opts)

@@ -35,12 +35,16 @@ func main() {
 	pages := flag.Int("pages", 8, "pages per request for -seqread/-seqwrite")
 	rate := flag.Float64("rate", 0, "open-loop Poisson arrival rate (requests/s); 0 keeps trace timing")
 	seed := flag.Uint64("seed", 0, "trace seed")
+	var warm cliutil.WarmState
+	warm.Register(flag.CommandLine)
 	flag.Parse()
 
-	cfg := plat.Config()
+	// The device comes first: under -load-state the snapshot supplies the
+	// platform, and the sources below must size themselves to it.
+	dev, cfg, err := warm.Device(plat.Config(), plat.Precondition(*seed))
+	app.Check(err)
 
 	var src sprinkler.Source
-	var err error
 	switch {
 	case *traceFile != "":
 		f, ferr := os.Open(*traceFile)
@@ -69,12 +73,6 @@ func main() {
 	}
 	if *rate > 0 {
 		src = sprinkler.Poisson(src, *rate, *seed)
-	}
-
-	dev, err := sprinkler.New(cfg)
-	app.Check(err)
-	if pre := plat.Precondition(*seed); pre != nil {
-		dev.Precondition(pre.FillFrac, pre.ChurnFrac, pre.Seed)
 	}
 
 	res, err := dev.Run(context.Background(), src)

@@ -70,6 +70,14 @@ type Grid struct {
 	// (later axes win).
 	Precondition *Precondition
 
+	// Snapshot names a registered warm-state snapshot in the Runner's
+	// arena; every cell hydrates its device from it instead of
+	// preconditioning, so an aged-drive grid runs at fresh-drive cost.
+	// Cell configs must satisfy the snapshot's CompatibleConfig (the
+	// scheduler axis sweeps freely), and the grid must not also set
+	// Precondition (cells carrying both fail).
+	Snapshot string
+
 	// Seed is mixed into every derived cell seed, re-rolling the grid's
 	// traces wholesale without renaming cells.
 	Seed uint64
@@ -249,6 +257,7 @@ func (g Grid) Cells() []Cell {
 					Seed:         g.cellSeed(key),
 					Labels:       labels,
 					Precondition: pre,
+					Snapshot:     g.Snapshot,
 					SourceKey:    key + "|" + sourceConfigKey(cfg),
 					Source: func(seed uint64) (Source, error) {
 						return src.New(cfg, seed)

@@ -190,3 +190,70 @@ func (p Platform) Precondition(seed uint64) *sprinkler.Precondition {
 	}
 	return &sprinkler.Precondition{FillFrac: 0.95, ChurnFrac: 0.5, Seed: seed}
 }
+
+// WarmState is the shared -save-state/-load-state flag pair: write a
+// device's warm state once after preconditioning, hydrate it on later
+// invocations instead of re-running the warm-up.
+type WarmState struct {
+	SavePath string
+	LoadPath string
+}
+
+// Register adds the warm-state flags to fs.
+func (w *WarmState) Register(fs *flag.FlagSet) {
+	fs.StringVar(&w.SavePath, "save-state", "",
+		"write the device's warm state (after any preconditioning) to this file, then run as usual")
+	fs.StringVar(&w.LoadPath, "load-state", "",
+		"hydrate the device from this warm-state snapshot instead of preconditioning (the platform comes from the snapshot; -sched still applies)")
+}
+
+// Device builds the run's device honouring the warm-state flags. With
+// -load-state the snapshot supplies the platform — only the caller's
+// scheduler choice carries over — and pre is skipped, since the snapshot
+// already embodies a warm-up. Otherwise a fresh device is built from cfg
+// and pre applied. With -save-state the device's warm state is written
+// before returning. The returned config is the one the device actually
+// runs (the snapshot's under -load-state); callers must build their
+// sources from it.
+func (w *WarmState) Device(cfg sprinkler.Config, pre *sprinkler.Precondition) (*sprinkler.Device, sprinkler.Config, error) {
+	var dev *sprinkler.Device
+	if w.LoadPath != "" {
+		f, err := os.Open(w.LoadPath)
+		if err != nil {
+			return nil, cfg, err
+		}
+		snap, err := sprinkler.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, cfg, err
+		}
+		run := snap.Config()
+		run.Scheduler = cfg.Scheduler
+		if dev, err = snap.NewDevice(run); err != nil {
+			return nil, cfg, err
+		}
+		cfg = run
+	} else {
+		var err error
+		if dev, err = sprinkler.New(cfg); err != nil {
+			return nil, cfg, err
+		}
+		if pre != nil {
+			dev.Precondition(pre.FillFrac, pre.ChurnFrac, pre.Seed)
+		}
+	}
+	if w.SavePath != "" {
+		f, err := os.Create(w.SavePath)
+		if err != nil {
+			return nil, cfg, err
+		}
+		err = dev.Checkpoint(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, cfg, err
+		}
+	}
+	return dev, cfg, nil
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 
 	"sprinkler"
 )
@@ -46,6 +47,13 @@ type Options struct {
 	// defaults. Only RunFaultStudy consults it — the paper's figures stay
 	// fault-free.
 	Faults sprinkler.FaultSpec
+	// LoadState, when set, hydrates every cell of the 5-scheduler ×
+	// 16-workload evaluation from this warm-state snapshot file (written
+	// by SaveWarmState) instead of running on a fresh drive, so an
+	// aged-drive evaluation pays fresh-drive cost. The snapshot's platform
+	// must match the evaluation's (Chips/Parallel flags included);
+	// scheduler and workload axes sweep freely over the one warm state.
+	LoadState string
 }
 
 // Defaults fills unset options.
@@ -115,26 +123,73 @@ type Evaluation struct {
 func RunEvaluation(opts Options) (*Evaluation, error) {
 	opts = opts.Defaults()
 	workloads := sprinkler.Workloads()
-	cells := sprinkler.Grid{
+	grid := sprinkler.Grid{
 		Base:       opts.platform(),
 		Schedulers: schedulerKinds(SchedulerNames),
 		Workloads:  workloads,
 		Requests:   opts.scaled(3000, 120),
 		MaxPages:   256, // cap at 512 KB per request, §2.1's "several bytes to MB"
 		Seed:       opts.Seed,
-	}.Cells()
+	}
+	runner := opts.runner()
+	if opts.LoadState != "" {
+		snap, err := readWarmState(opts.LoadState)
+		if err != nil {
+			return nil, err
+		}
+		if !snap.CompatibleConfig(grid.Base) {
+			return nil, fmt.Errorf("experiments: warm state %s was captured on a different platform than the evaluation's (re-save it with the same -chips/-parallel-channels)", opts.LoadState)
+		}
+		arena := sprinkler.NewDeviceArena()
+		arena.RegisterSnapshot("warm", snap)
+		runner.Arena = arena
+		grid.Snapshot = "warm"
+	}
+	cells := grid.Cells()
 
 	ev := &Evaluation{Workloads: workloads, Results: make(map[string]map[string]*sprinkler.Result)}
 	for _, name := range SchedulerNames {
 		ev.Results[name] = make(map[string]*sprinkler.Result)
 	}
-	for _, cr := range opts.runner().Run(context.Background(), cells) {
+	for _, cr := range runner.Run(context.Background(), cells) {
 		if cr.Err != nil {
 			return nil, cr.Err
 		}
 		ev.Results[cr.Labels["scheduler"]][cr.Labels["workload"]] = cr.Result
 	}
 	return ev, nil
+}
+
+// SaveWarmState preconditions the evaluation platform to GC steady state
+// (the §5.9 parameters: fill 95%, churn 50%) and writes the device's warm
+// state to path, so later evaluations with Options.LoadState hydrate from
+// it instead of replaying the warm-up per cell.
+func SaveWarmState(opts Options, path string) error {
+	opts = opts.Defaults()
+	dev, err := sprinkler.New(opts.platform())
+	if err != nil {
+		return err
+	}
+	dev.Precondition(0.95, 0.5, opts.Seed)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = dev.Checkpoint(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readWarmState decodes a snapshot file written by SaveWarmState.
+func readWarmState(path string) (*sprinkler.DeviceSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sprinkler.ReadSnapshot(f)
 }
 
 // fmtF renders a float with the given decimals.

@@ -210,6 +210,28 @@ func (c *Chip) SetFaults(fc FaultConfig) {
 // Busy reports the R/B state: true while a transaction is in flight.
 func (c *Chip) Busy() bool { return c.busy }
 
+// FaultRNGState captures the chip's fault-stream generator state; ok is
+// false when the fault model is disabled (no generator exists). Part of
+// the warm-state checkpoint: the stream's position encodes how many
+// fault draws the warm-up consumed.
+func (c *Chip) FaultRNGState() (state uint64, ok bool) {
+	if c.frng == nil {
+		return 0, false
+	}
+	return c.frng.State(), true
+}
+
+// SetFaultRNGState restores a captured fault-stream position. SetFaults
+// must have installed the fault model first (it owns the generator's
+// existence and seeding); restoring onto a chip without a generator is a
+// checkpoint/config mismatch and panics.
+func (c *Chip) SetFaultRNGState(state uint64) {
+	if c.frng == nil {
+		panic("flash: SetFaultRNGState without a fault model")
+	}
+	c.frng.SetState(state)
+}
+
 // Stats exposes the accounting counters (read-only use by metrics).
 func (c *Chip) Stats() *ChipStats { return &c.stats }
 

@@ -204,3 +204,34 @@ func (q *Queue) Admitted() int64 { return q.admitted }
 
 // Released returns the number of I/Os ever released.
 func (q *Queue) Released() int64 { return q.released }
+
+// QueueState is the persistent state of a drained Queue: the lifetime
+// admission/release counters (Seq assignment continues from Admitted)
+// and the queue-full stall accounting. Tag occupancy is never part of a
+// checkpoint — checkpoints are taken at quiescence, when every tag is
+// free.
+type QueueState struct {
+	Admitted int64
+	Released int64
+	Full     sim.TimedCounterState
+}
+
+// State captures the queue's persistent counters. The queue must be
+// empty (quiescent); occupied tags cannot be serialized.
+func (q *Queue) State() (QueueState, error) {
+	if q.count != 0 {
+		return QueueState{}, fmt.Errorf("nvmhc: State with %d queued I/Os", q.count)
+	}
+	return QueueState{Admitted: q.admitted, Released: q.released, Full: q.full.State()}, nil
+}
+
+// SetState restores captured counters onto an empty queue, so the next
+// Enqueue continues the admission sequence where the checkpointed run
+// left off.
+func (q *Queue) SetState(st QueueState) {
+	if q.count != 0 {
+		panic(fmt.Sprintf("nvmhc: SetState with %d queued I/Os", q.count))
+	}
+	q.admitted, q.released = st.Admitted, st.Released
+	q.full.SetState(st.Full)
+}

@@ -13,6 +13,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +62,14 @@ type Options struct {
 	// DrainTimeout bounds one session's final drain during idle expiry
 	// and shutdown; a session that cannot finish in time is discarded.
 	DrainTimeout time.Duration
+
+	// SnapshotDir, when set, lets OpenRequest.WarmState name a warm-state
+	// snapshot file (written by Device.Checkpoint / the CLI -save-state
+	// flags) inside this directory. The session's device hydrates from it
+	// instead of preconditioning, so an aged-drive session opens at
+	// fresh-drive cost. Snapshots are decoded once and cached for the
+	// server's lifetime.
+	SnapshotDir string
 }
 
 // DefaultOptions returns the daemon defaults: the paper's 64-chip
@@ -110,6 +120,12 @@ type Server struct {
 	draining bool
 
 	counters Counters
+
+	// snapMu guards the decoded warm-state snapshot cache. Decoding is a
+	// cold path (once per name); holding the lock across it keeps two
+	// racing opens from decoding the same file twice.
+	snapMu    sync.Mutex
+	snapCache map[string]*sprinkler.DeviceSnapshot
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -271,9 +287,64 @@ func (e *errRejected) Error() string { return e.msg }
 // state (e.g. feeding before naming a workload).
 var errNotFound = errors.New("no such session")
 
+// loadSnapshot resolves a WarmState name to a decoded snapshot, reading
+// and caching <SnapshotDir>/<name> on first use. Names are bare file
+// names — path separators (a client reaching outside the directory) are
+// rejected.
+func (s *Server) loadSnapshot(name string) (*sprinkler.DeviceSnapshot, error) {
+	if s.opts.SnapshotDir == "" {
+		return nil, fmt.Errorf("warmState: server has no snapshot directory (start sprinklerd with -snapshot-dir)")
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return nil, fmt.Errorf("warmState: invalid snapshot name %q", name)
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if snap, ok := s.snapCache[name]; ok {
+		return snap, nil
+	}
+	f, err := os.Open(filepath.Join(s.opts.SnapshotDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("warmState %q: %w", name, err)
+	}
+	defer f.Close()
+	snap, err := sprinkler.ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("warmState %q: %w", name, err)
+	}
+	if s.snapCache == nil {
+		s.snapCache = make(map[string]*sprinkler.DeviceSnapshot)
+	}
+	s.snapCache[name] = snap
+	return snap, nil
+}
+
 // sessionCfg resolves an OpenRequest against the server's base platform
-// and budgets.
-func (s *Server) sessionCfg(req OpenRequest) (sprinkler.Config, error) {
+// and budgets. With a warm-state snapshot the platform comes from the
+// snapshot itself — only the scheduler choice and the host-side
+// observation budgets apply on top — so the platform knobs are rejected
+// rather than silently ignored.
+func (s *Server) sessionCfg(req OpenRequest, snap *sprinkler.DeviceSnapshot) (sprinkler.Config, error) {
+	if snap != nil {
+		if req.Chips > 0 || req.Queue > 0 || req.GCStress || req.ParallelChannels != 0 || req.Faults != nil {
+			return sprinkler.Config{}, fmt.Errorf("warmState sessions take their platform from the snapshot; chips, queue, gcStress, parallelChannels and faults cannot be combined with it")
+		}
+		cfg := snap.Config()
+		if req.Scheduler != "" {
+			cfg.Scheduler = sprinkler.SchedulerKind(req.Scheduler)
+		}
+		cfg.MaxBacklog = clampBudget(req.MaxBacklog, s.opts.MaxBacklog)
+		cfg.CollectSeries = req.CollectSeries && s.opts.SeriesWindow > 0
+		if cfg.CollectSeries {
+			cfg.SeriesWindow = clampBudget(req.SeriesWindow, s.opts.SeriesWindow)
+		} else {
+			cfg.SeriesWindow = 0
+		}
+		if err := cfg.Validate(); err != nil {
+			return cfg, err
+		}
+		return cfg, nil
+	}
 	cfg := s.opts.BaseConfig
 	if req.Chips > 0 || req.Queue > 0 || req.Scheduler != "" || req.GCStress {
 		// Rebuild the platform through the shared CLI plumbing semantics:
@@ -338,7 +409,14 @@ func clampBudget(want, budget int) int {
 // Open admits a new session, or rejects it with an errRejected carrying
 // the HTTP status and Retry-After.
 func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
-	cfg, err := s.sessionCfg(req)
+	var snap *sprinkler.DeviceSnapshot
+	if req.WarmState != "" {
+		var err error
+		if snap, err = s.loadSnapshot(req.WarmState); err != nil {
+			return nil, nil, err
+		}
+	}
+	cfg, err := s.sessionCfg(req, snap)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -398,6 +476,9 @@ func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
 	s.mu.Unlock()
 
 	opts := []sprinkler.Option{sprinkler.WithArena(s.arena)}
+	if snap != nil {
+		opts = append(opts, sprinkler.WithSnapshot(snap))
+	}
 	if req.GCStress {
 		opts = append(opts, sprinkler.WithPrecondition(sprinkler.Precondition{
 			FillFrac: 0.95, ChurnFrac: 0.5, Seed: req.Seed,
@@ -425,6 +506,7 @@ func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
 		MaxBacklog:       cfg.MaxBacklog,
 		SeriesWindow:     cfg.SeriesWindow,
 		ParallelChannels: cfg.ParallelChannels,
+		WarmState:        req.WarmState,
 	}, nil
 }
 

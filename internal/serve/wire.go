@@ -55,6 +55,15 @@ type OpenRequest struct {
 	// specs — probabilities outside [0, 1], degenerate outage windows,
 	// spare fractions outside [0, 1) — are rejected with 400.
 	Faults *sprinkler.FaultSpec `json:"faults,omitempty"`
+
+	// WarmState names a warm-state snapshot file in the daemon's snapshot
+	// directory (-snapshot-dir); the session's device hydrates from it
+	// instead of preconditioning, so an aged-drive session opens at
+	// fresh-drive cost. The snapshot supplies the platform — only
+	// Scheduler and the observation budgets (MaxBacklog, CollectSeries,
+	// SeriesWindow) apply on top; combining it with the platform knobs or
+	// GCStress is rejected with 400.
+	WarmState string `json:"warmState,omitempty"`
 }
 
 // OpenResponse reports the admitted session and its resolved budgets.
@@ -68,6 +77,9 @@ type OpenResponse struct {
 	// ParallelChannels is the session's resolved parallel-kernel worker
 	// count (zero when the serial kernel was selected).
 	ParallelChannels int `json:"parallelChannels,omitempty"`
+
+	// WarmState echoes the snapshot the session hydrated from, if any.
+	WarmState string `json:"warmState,omitempty"`
 }
 
 // IORequest is one I/O to submit (sprinkler.Request on the wire).

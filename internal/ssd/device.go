@@ -164,6 +164,7 @@ func NewWithFTLMeta(cfg Config, scheduler sched.Scheduler, meta *ftl.BlockMeta) 
 		ready:       sched.NewReadyIndex(cfg.Geo.NumChips()),
 		gcActive:    make([]bool, cfg.Geo.NumChips()),
 		chipBusyM:   make([]bool, cfg.Geo.NumChips()),
+		sampleBuf:   make([]metrics.ChipSample, 0, cfg.Geo.NumChips()),
 	}
 	d.flushT = sim.NewTimer(d.flush)
 	d.flushT.SetLane(int32(cfg.Geo.Channels) + 1)

@@ -63,6 +63,7 @@ func (c Config) Validate() error {
 type options struct {
 	precondition *Precondition
 	arena        *DeviceArena
+	snapshot     *DeviceSnapshot
 }
 
 // Option customizes Open.
@@ -81,6 +82,17 @@ type Precondition struct {
 // WithPrecondition fragments the device before any request is served.
 func WithPrecondition(p Precondition) Option {
 	return func(o *options) { o.precondition = &p }
+}
+
+// WithSnapshot hydrates the session's device from a decoded warm-state
+// snapshot instead of preconditioning it, so a session over an aged
+// drive opens at fresh-drive cost. The session config must match the
+// snapshot's in every field except Scheduler, and the option is mutually
+// exclusive with WithPrecondition — the snapshot already embodies a
+// warm-up. Composes with WithArena: the pooled device is Reset and then
+// hydrated.
+func WithSnapshot(snap *DeviceSnapshot) Option {
+	return func(o *options) { o.snapshot = snap }
 }
 
 // WithArena checks the session's device out of the arena instead of

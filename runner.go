@@ -29,6 +29,15 @@ type Cell struct {
 	// Precondition optionally fragments the device before the run.
 	Precondition *Precondition
 
+	// Snapshot, when non-empty, names a warm-state snapshot registered in
+	// the Runner's Arena (RegisterSnapshot): the cell's device is hydrated
+	// from it instead of running Precondition, so an aged-drive sweep pays
+	// fresh-drive cost per cell. The cell's Config must satisfy the
+	// snapshot's CompatibleConfig. Mutually exclusive with Precondition —
+	// a cell carrying both fails rather than guessing which warm-up was
+	// meant.
+	Snapshot string
+
 	// Seed overrides the derived per-cell seed when non-zero. Cells that
 	// must share a trace (the same workload under different schedulers)
 	// set the same non-zero Seed.
@@ -157,13 +166,44 @@ func (r Runner) runCell(ctx context.Context, c Cell, i int, arena *DeviceArena) 
 		out.Err = fmt.Errorf("sprinkler: cell %q has no Source", c.Name)
 		return out
 	}
-	dev, err := arena.Get(c.Config)
-	if err != nil {
-		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
-		return out
-	}
-	if p := c.Precondition; p != nil {
-		dev.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
+	var dev *Device
+	var err error
+	if c.Snapshot != "" {
+		if c.Precondition != nil {
+			out.Err = fmt.Errorf("sprinkler: cell %q has both Snapshot and Precondition", c.Name)
+			return out
+		}
+		// The snapshot registry lives on the runner's own arena so that
+		// NoReuse (nil checkout arena) still resolves names; only the
+		// device checkout path degrades to a fresh build.
+		if arena != nil {
+			dev, err = arena.GetFromSnapshot(c.Snapshot, c.Config)
+		} else {
+			snap, ok := r.Arena.Snapshot(c.Snapshot)
+			switch {
+			case !ok:
+				err = fmt.Errorf("no snapshot registered as %q", c.Snapshot)
+			case !snap.CompatibleConfig(c.Config):
+				err = fmt.Errorf("config for snapshot %q differs beyond the scheduler and host-side observation knobs", c.Snapshot)
+			default:
+				if dev, err = New(c.Config); err == nil {
+					err = snap.hydrate(dev)
+				}
+			}
+		}
+		if err != nil {
+			out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
+			return out
+		}
+	} else {
+		dev, err = arena.Get(c.Config)
+		if err != nil {
+			out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
+			return out
+		}
+		if p := c.Precondition; p != nil {
+			dev.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)
+		}
 	}
 	src, err := arena.GetSource(c.SourceKey, out.Seed, c.Source)
 	if err != nil {

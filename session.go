@@ -49,6 +49,14 @@ func Open(cfg Config, opts ...Option) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if o.snapshot != nil {
+		if o.precondition != nil {
+			return nil, fmt.Errorf("sprinkler: Open with both WithSnapshot and WithPrecondition (the snapshot already embodies a warm-up)")
+		}
+		if !o.snapshot.CompatibleConfig(cfg) {
+			return nil, fmt.Errorf("sprinkler: session config differs from the snapshot's beyond the scheduler and host-side observation knobs")
+		}
+	}
 	s := &Session{cfg: cfg}
 	if o.arena != nil {
 		pub, err := o.arena.Get(cfg)
@@ -69,6 +77,13 @@ func Open(cfg Config, opts ...Option) (*Session, error) {
 		}
 		s.dev = inner
 		s.pool = new(ioPool)
+	}
+	if snap := o.snapshot; snap != nil {
+		// On error the device is tainted (possibly part-hydrated): it is
+		// dropped here, never handed back to the arena.
+		if err := snap.hydrateInner(s.dev, cfg); err != nil {
+			return nil, err
+		}
 	}
 	if p := o.precondition; p != nil {
 		s.dev.Precondition(p.FillFrac, p.ChurnFrac, p.Seed)

@@ -1,0 +1,45 @@
+//go:build ignore
+
+// gen_snapshot writes testdata/warm_v1.snap, the golden warm-state
+// fixture TestSnapshotGoldenFixture decodes. Regenerate only on a
+// deliberate format-version bump (and then add a new fixture rather than
+// replacing this one, so older versions stay covered):
+//
+//	go run testdata/gen_snapshot.go testdata/warm_v1.snap
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sprinkler"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: gen_snapshot <out.snap>")
+		os.Exit(2)
+	}
+	cfg := sprinkler.Platform(8) // 2 channels x 4 chips
+	cfg.Scheduler = sprinkler.SPK3
+	cfg.BlocksPerPlane = 24
+	cfg.PagesPerBlock = 32
+	cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+	dev, err := sprinkler.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	dev.Precondition(0.9, 0.4, 1234)
+	f, err := os.Create(os.Args[1])
+	if err != nil {
+		panic(err)
+	}
+	if err := dev.Checkpoint(f); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	fi, _ := os.Stat(os.Args[1])
+	fmt.Printf("wrote %s (%d bytes)\n", os.Args[1], fi.Size())
+}
