@@ -357,6 +357,33 @@ func BenchmarkSweepPooledSources(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepReusedResults layers the caller-owned result arena on the
+// fully pooled sweep: devices, sources, retired-I/O free lists, and now
+// the Result objects and the CellResult slice all recycle between
+// iterations (Runner.Results + ResultArena.Recycle). The delta against
+// BenchmarkSweepPooledSources is the per-sweep result rendering and
+// Runner bookkeeping this PR eliminates; CI guards allocs/op against
+// bench/BENCH_pr10_baseline.txt.
+func BenchmarkSweepReusedResults(b *testing.B) {
+	b.ReportAllocs()
+	cells := sweepBenchCells()
+	arena := sprinkler.NewDeviceArena()
+	results := sprinkler.NewResultArena()
+	r := sprinkler.Runner{Workers: 1, Arena: arena, Results: results}
+	for i := 0; i < b.N; i++ {
+		crs := r.Run(context.Background(), cells)
+		for _, cr := range crs {
+			if cr.Err != nil {
+				b.Fatal(cr.Err)
+			}
+			if cr.Result.IOsCompleted == 0 {
+				b.Fatalf("cell %s completed nothing", cr.Name)
+			}
+		}
+		results.Recycle(crs)
+	}
+}
+
 // BenchmarkWarmRestore prices the warm-state checkpoint/restore path
 // against the preconditioning it replaces, on a GC-heavy 64-chip aged
 // platform. "precondition" is the reference: build a fresh device and
@@ -447,6 +474,19 @@ func BenchmarkDeviceSPK3(b *testing.B) {
 // coordination overhead and to expose the scaling curve on multi-core
 // hosts. On a single-core runner (GOMAXPROCS=1) the parallel rows can
 // only show overhead, never speedup; read them accordingly.
+//
+// Three variants cover the kernel's eligibility surface:
+//
+//	ch8,ch16   — pristine drive, GC off (the original PR 7 rows)
+//	gc/ch8     — aged drive under collection pressure: the configuration
+//	             the paper actually evaluates, preconditioned per
+//	             iteration, with background GC competing during the run
+//	gc/ch8/hydrated — identical aged runs, but the warm state comes from
+//	             one snapshot hydrated per iteration instead of
+//	             re-simulating the aging pass
+//
+// CI guards the w1 (serial-path) rows of the gc and hydrated variants
+// against bench/BENCH_pr10_baseline.txt.
 func BenchmarkParallelDevice(b *testing.B) {
 	for _, channels := range []int{8, 16} {
 		for _, workers := range []int{1, 2, 4, 8} {
@@ -474,6 +514,87 @@ func BenchmarkParallelDevice(b *testing.B) {
 				}
 			})
 		}
+	}
+
+	gcCfg := func(workers int) sprinkler.Config {
+		cfg := sprinkler.DefaultConfig()
+		cfg.Channels = 8
+		cfg.ChipsPerChan = 2
+		cfg.BlocksPerPlane = 24
+		cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+		cfg.GCFreeTarget = 8
+		cfg.QueueDepth = 64
+		cfg.ParallelChannels = workers
+		return cfg
+	}
+	const fill, churn, pseed = 0.8, 0.5, 17
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("gc/ch8/w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := gcCfg(workers)
+			for i := 0; i < b.N; i++ {
+				dev, err := sprinkler.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev.Precondition(fill, churn, pseed)
+				reqs, err := cfg.GenerateWorkload("msnfs1", 600, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := dev.RunRequests(reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.GCRuns == 0 {
+					b.Fatal("aged run triggered no GC; the row prices nothing")
+				}
+			}
+		})
+	}
+
+	// One warm snapshot, captured once, hydrates every iteration of the
+	// hydrated rows — the sweep-cell shape PR 9 built and this PR lets
+	// run on the partitioned kernel.
+	var warm bytes.Buffer
+	{
+		cfg := gcCfg(0)
+		dev, err := sprinkler.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev.Precondition(fill, churn, pseed)
+		if err := dev.Checkpoint(&warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap, err := sprinkler.ReadSnapshot(bytes.NewReader(warm.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("gc/ch8/hydrated/w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := gcCfg(workers)
+			for i := 0; i < b.N; i++ {
+				dev, err := snap.NewDevice(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs, err := cfg.GenerateWorkload("msnfs1", 600, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := dev.RunRequests(reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.GCRuns == 0 {
+					b.Fatal("hydrated run triggered no GC; the row prices nothing")
+				}
+			}
+		})
 	}
 }
 

@@ -129,7 +129,7 @@ func (p *Platform) Register(fs *flag.FlagSet) {
 	fs.StringVar(&p.Sched, "sched", "SPK3", "scheduler: VAS, PAS, SPK1, SPK2, SPK3")
 	fs.BoolVar(&p.GCStress, "gc", false, "shrink blocks and precondition to 95% full so GC runs")
 	fs.IntVar(&p.Parallel, "parallel-channels", 0,
-		"partition the event kernel by channel and advance it with up to this many worker threads (results stay byte-identical; needs -gc off, falls back to the serial kernel otherwise; <2 keeps the serial kernel)")
+		"partition the event kernel by channel and advance it with up to this many worker threads (results stay byte-identical, GC and faults included; <2 or a single-channel platform keeps the serial kernel)")
 	p.RegisterFaults(fs)
 }
 

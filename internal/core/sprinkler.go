@@ -212,8 +212,17 @@ func (s *Sprinkler) Select(now sim.Time, q *nvmhc.Queue, fab sched.Fabric) []*re
 				}
 			}
 		} else {
+			// Same chip count, new index (a recycled device after Reset):
+			// invalidate every memo but keep the grown order/group storage —
+			// re-growing it from nil cost ~35 allocations per sweep cell,
+			// the dominant residual alloc in pooled sweeps. Stale request
+			// pointers are cleared so the dead run's objects are not pinned.
 			for i := range s.caches {
-				s.caches[i] = faroCache{groups: s.caches[i].groups[:0]}
+				cc := &s.caches[i]
+				for j := range cc.order {
+					cc.order[j] = nil
+				}
+				s.caches[i] = faroCache{order: cc.order[:0], groups: cc.groups[:0]}
 			}
 		}
 	}

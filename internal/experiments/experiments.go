@@ -39,8 +39,9 @@ type Options struct {
 	NoReuse bool
 	// Parallel sets Config.ParallelChannels on every cell: the partitioned
 	// per-channel kernel with this many worker threads. Results are
-	// byte-identical; cells whose configuration is ineligible (GC enabled)
-	// fall back to the serial kernel.
+	// byte-identical, GC-active and fault-armed cells included; cells whose
+	// configuration has no cross-channel lookahead to exploit (fewer than
+	// two channels) fall back to the serial kernel.
 	Parallel int
 	// Faults shapes the fault-injection study's base spec (retry ladder,
 	// rewrite bound, spare fraction, seed); zero fields take the study

@@ -32,9 +32,10 @@ type FaultPoint struct {
 // faultPlatform is the GC-stressed §5.9 platform with the retry ladder and
 // a thin spare pool configured: erase failures retire blocks into the
 // spares, so the highest rates push the drive toward degraded mode within
-// the run.
-func faultPlatform(chips int, scale float64, spec sprinkler.FaultSpec) sprinkler.Config {
-	cfg := fig17Platform(chips, scale)
+// the run. The options' kernel knob rides along via fig17Platform.
+func faultPlatform(o Options) sprinkler.Config {
+	spec := o.Faults
+	cfg := fig17Platform(o.Chips, o)
 	if spec.ReadRetryMax == 0 {
 		spec.ReadRetryMax = 4
 	}
@@ -67,7 +68,7 @@ func RunFaultStudy(opts Options) ([]FaultPoint, error) {
 
 	cells := sprinkler.Grid{
 		Name:       "faults",
-		Base:       faultPlatform(opts.Chips, opts.Scale, opts.Faults),
+		Base:       faultPlatform(opts),
 		Schedulers: schedulerKinds(schedulers),
 		FaultRates: rates,
 		Precondition: &sprinkler.Precondition{

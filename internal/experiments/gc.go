@@ -23,12 +23,15 @@ type Fig17Point struct {
 // fig17Platform keeps planes small so preconditioning to 95% is fast and
 // the measured writes quickly push planes to the GC threshold. Scaled-down
 // runs shrink the per-plane capacity further: preconditioning cost is
-// linear in physical pages and dominates the figure's runtime.
-func fig17Platform(chips int, scale float64) sprinkler.Config {
+// linear in physical pages and dominates the figure's runtime. The
+// options' kernel knob rides along: GC-active cells run the partitioned
+// kernel too.
+func fig17Platform(chips int, o Options) sprinkler.Config {
 	cfg := Platform(chips)
+	cfg.ParallelChannels = o.Parallel
 	cfg.BlocksPerPlane = 24
 	cfg.PagesPerBlock = 64
-	if scale < 0.5 {
+	if o.Scale < 0.5 {
 		cfg.BlocksPerPlane = 12
 		cfg.PagesPerBlock = 32
 	}
@@ -62,11 +65,11 @@ func RunFig17(opts Options) ([]Fig17Point, error) {
 	chipLabel := func(chips int) string { return fmt.Sprintf("%dc", chips) }
 	cells := sprinkler.Grid{
 		Name:       "fig17",
-		Base:       fig17Platform(chipCounts[0], opts.Scale),
+		Base:       fig17Platform(chipCounts[0], opts),
 		Schedulers: schedulerKinds(schedulers),
 		Vary: []sprinkler.Axis{
 			platformAxis("chips", chipCounts, chipLabel,
-				func(chips int) sprinkler.Config { return fig17Platform(chips, opts.Scale) }),
+				func(chips int) sprinkler.Config { return fig17Platform(chips, opts) }),
 			gcAxis,
 		},
 		Sources: fixedSources(sizesKB, opts.Seed, true, false, volumeCount(totalKB)),

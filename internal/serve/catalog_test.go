@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestListSnapshots pins the snapshot catalog: every file in the daemon's
+// -snapshot-dir is listed sorted by name, valid images carry the config
+// summary and aged stats, a corrupt file is surfaced with Error set, and
+// subdirectories are skipped.
+func TestListSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	snap := writeWarmState(t, dir, "aged.snap")
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	opts.SnapshotDir = dir
+	_, ts := newTestServer(t, opts)
+
+	resp, err := http.Get(ts.URL + "/v1/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var list ListSnapshotsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Snapshots) != 2 {
+		t.Fatalf("got %d rows, want 2 (subdir skipped): %+v", len(list.Snapshots), list.Snapshots)
+	}
+
+	good := list.Snapshots[0]
+	if good.Name != "aged.snap" || good.Error != "" {
+		t.Fatalf("first row should be the valid image: %+v", good)
+	}
+	cfg := snap.Config()
+	if good.Config == nil || good.Config.Channels != cfg.Channels ||
+		good.Config.ChipsPerChan != cfg.ChipsPerChan ||
+		good.Config.Scheduler != string(cfg.Scheduler) ||
+		good.Config.LogicalPages != cfg.LogicalPages ||
+		good.Config.GCEnabled != !cfg.DisableGC {
+		t.Errorf("config summary mismatch: %+v vs %+v", good.Config, cfg)
+	}
+	want := snap.Stats()
+	if good.Stats == nil || *good.Stats != want {
+		t.Errorf("stats mismatch: %+v, want %+v", good.Stats, want)
+	}
+
+	bad := list.Snapshots[1]
+	if bad.Name != "corrupt.snap" || bad.Error == "" || bad.Config != nil || bad.Stats != nil {
+		t.Errorf("corrupt image should be listed with Error and nothing else: %+v", bad)
+	}
+}
+
+// TestListSnapshotsNoDir pins the 404 when the daemon was started without
+// a snapshot directory.
+func TestListSnapshotsNoDir(t *testing.T) {
+	_, ts := newTestServer(t, testOptions())
+	resp, err := http.Get(ts.URL + "/v1/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}

@@ -21,6 +21,7 @@ const maxBodyBytes = 8 << 20
 //
 //	POST   /v1/sessions                  open a named session (429/503 + Retry-After under pressure)
 //	GET    /v1/sessions                  list open sessions
+//	GET    /v1/snapshots                 catalog of -snapshot-dir warm states (404 when unconfigured)
 //	POST   /v1/sessions/{id}/submit      admit one or a batch of I/Os
 //	POST   /v1/sessions/{id}/feed        build a workload server-side and feed it
 //	POST   /v1/sessions/{id}/advance     run simulated time forward; returns the new snapshot
@@ -36,6 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleOpen)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshots)
 	mux.HandleFunc("POST /v1/sessions/{id}/submit", s.withSession(s.handleSubmit))
 	mux.HandleFunc("POST /v1/sessions/{id}/feed", s.withSession(s.handleFeed))
 	mux.HandleFunc("POST /v1/sessions/{id}/advance", s.withSession(s.handleAdvance))
@@ -115,6 +117,15 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ListResponse{Sessions: s.Sessions(), Draining: s.Draining()})
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.listSnapshots()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ListSnapshotsResponse{Snapshots: infos})
 }
 
 // withSession resolves the {id} path value and serializes the handler

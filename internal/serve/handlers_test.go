@@ -703,8 +703,8 @@ func TestOpenRejectsInvalidFaultSpec(t *testing.T) {
 		{ReadFailProb: 2},
 		{ProgramFailProb: -0.1},
 		{ReadRetryMax: -1},
-		{OutageDurNS: 100},                       // duration without a period
-		{OutagePeriodNS: 100, OutageDurNS: 100},  // window covers the whole period
+		{OutageDurNS: 100},                      // duration without a period
+		{OutagePeriodNS: 100, OutageDurNS: 100}, // window covers the whole period
 		{SpareBlockFrac: 1},
 	} {
 		spec := spec

@@ -152,9 +152,9 @@ type session struct {
 	seed       uint64
 	maxBacklog int
 
-	sem  chan struct{} // capacity 1: the simulation lock
-	sess *sprinkler.Session
-	src  sprinkler.Source // current feed source, nil until first feed
+	sem         chan struct{} // capacity 1: the simulation lock
+	sess        *sprinkler.Session
+	src         sprinkler.Source // current feed source, nil until first feed
 	feedBounded bool
 
 	wallStart time.Time
@@ -317,6 +317,48 @@ func (s *Server) loadSnapshot(name string) (*sprinkler.DeviceSnapshot, error) {
 	}
 	s.snapCache[name] = snap
 	return snap, nil
+}
+
+// listSnapshots builds the snapshot catalog from SnapshotDir. Every
+// regular file in the directory is listed; ones that parse as snapshots
+// carry a config summary and aged stats (decoded through the same cache
+// the open path hydrates from, so a catalogued image opens for free),
+// damaged ones carry the parse error. With no directory configured the
+// catalog does not exist, which surfaces as 404 — not an empty list.
+func (s *Server) listSnapshots() ([]SnapshotInfo, error) {
+	if s.opts.SnapshotDir == "" {
+		return nil, fmt.Errorf("%w: server has no snapshot directory (start sprinklerd with -snapshot-dir)", errNotFound)
+	}
+	entries, err := os.ReadDir(s.opts.SnapshotDir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot directory: %w", err)
+	}
+	infos := make([]SnapshotInfo, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info := SnapshotInfo{Name: e.Name()}
+		snap, err := s.loadSnapshot(e.Name())
+		if err != nil {
+			info.Error = err.Error()
+		} else {
+			cfg := snap.Config()
+			stats := snap.Stats()
+			info.Config = &SnapshotConfigSummary{
+				Scheduler:    string(cfg.Scheduler),
+				Channels:     cfg.Channels,
+				ChipsPerChan: cfg.ChipsPerChan,
+				QueueDepth:   cfg.QueueDepth,
+				LogicalPages: cfg.LogicalPages,
+				GCEnabled:    !cfg.DisableGC,
+				FaultsArmed:  cfg.Faults != (sprinkler.FaultSpec{}),
+			}
+			info.Stats = &stats
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
 }
 
 // sessionCfg resolves an OpenRequest against the server's base platform
@@ -499,13 +541,19 @@ func (s *Server) Open(req OpenRequest) (*session, *OpenResponse, error) {
 	sess.publish(inner.Snapshot())
 	sess.unlock()
 	s.counters.SessionsOpened.Add(1)
+	// Echo the kernel the session actually resolved to, not the raw
+	// knob: zero tells the client the serial fallback engaged.
+	parallel := cfg.ParallelChannels
+	if !cfg.UsesParallelKernel() {
+		parallel = 0
+	}
 	return sess, &OpenResponse{
 		ID:               id,
 		Chips:            cfg.Channels * cfg.ChipsPerChan,
 		Scheduler:        string(cfg.Scheduler),
 		MaxBacklog:       cfg.MaxBacklog,
 		SeriesWindow:     cfg.SeriesWindow,
-		ParallelChannels: cfg.ParallelChannels,
+		ParallelChannels: parallel,
 		WarmState:        req.WarmState,
 	}, nil
 }

@@ -30,9 +30,11 @@ type OpenRequest struct {
 	// ParallelChannels overrides the daemon's parallel-kernel worker count
 	// for this session (zero keeps the daemon's base; negative is
 	// rejected). Results are byte-identical either way — the knob only
-	// buys wall-clock speed; the device falls back to the serial kernel
-	// when the session's configuration is ineligible (GC enabled, fewer
-	// than two channels).
+	// buys wall-clock speed. GC-enabled sessions run the partitioned
+	// kernel too; the device falls back to the serial kernel only when
+	// the configuration has no cross-channel lookahead to exploit (fewer
+	// than two channels). OpenResponse.ParallelChannels echoes the
+	// resolution: zero means the serial kernel engaged.
 	ParallelChannels int `json:"parallelChannels,omitempty"`
 
 	// Seed feeds preconditioning and server-built workload sources.
@@ -182,6 +184,37 @@ type SessionInfo struct {
 type ListResponse struct {
 	Sessions []SessionInfo `json:"sessions"`
 	Draining bool          `json:"draining"`
+}
+
+// SnapshotConfigSummary condenses the configuration a warm-state image
+// was captured under to what a client needs for choosing one: the
+// platform shape, whether collection and faults were live during aging,
+// and the scheduler (hydration may override it).
+type SnapshotConfigSummary struct {
+	Scheduler    string `json:"scheduler"`
+	Channels     int    `json:"channels"`
+	ChipsPerChan int    `json:"chipsPerChan"`
+	QueueDepth   int    `json:"queueDepth"`
+	LogicalPages int64  `json:"logicalPages,omitempty"`
+	GCEnabled    bool   `json:"gcEnabled"`
+	FaultsArmed  bool   `json:"faultsArmed,omitempty"`
+}
+
+// SnapshotInfo is one row of the snapshot catalog: a warm-state image in
+// the daemon's -snapshot-dir, named as OpenRequest.WarmState accepts it.
+// A file that fails to parse as a snapshot is still listed, with Error
+// set and no config or stats — the catalog surfaces a corrupt image
+// rather than hiding it.
+type SnapshotInfo struct {
+	Name   string                   `json:"name"`
+	Config *SnapshotConfigSummary   `json:"config,omitempty"`
+	Stats  *sprinkler.SnapshotStats `json:"stats,omitempty"`
+	Error  string                   `json:"error,omitempty"`
+}
+
+// ListSnapshotsResponse is the snapshot catalog, sorted by name.
+type ListSnapshotsResponse struct {
+	Snapshots []SnapshotInfo `json:"snapshots"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

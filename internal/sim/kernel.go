@@ -160,6 +160,16 @@ type Engine struct {
 	heap    []int32 // 4-ary heap of slab indices, ordered by (at, seq)
 	fired   uint64
 	stopped bool
+
+	// capT/capActive bound RunUntil below its deadline: with a cap set,
+	// RunUntil executes no event later than capT and leaves the clock
+	// where the last event ran instead of advancing it to the deadline.
+	// The parallel device kernel caps a channel's sub-engine at the
+	// instant of a staged completion whose host-side processing can
+	// commit garbage-collection traffic back onto that channel, so the
+	// channel parks there until the coordinator has applied the commit.
+	capT      Time
+	capActive bool
 }
 
 // NewEngine returns an Engine at time zero with an empty event queue.
@@ -323,6 +333,24 @@ func (e *Engine) AfterTimer(delay Time, t *Timer) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// CapRun bounds subsequent RunUntil calls to events at or before t. When a
+// cap is already set the earlier bound wins. Callable from within an
+// executing event: the current RunUntil honours the cap for the events it
+// has not yet popped, finishes any remaining events at instants <= t, and
+// stops without advancing the clock past the last executed event.
+func (e *Engine) CapRun(t Time) {
+	if !e.capActive || t < e.capT {
+		e.capT = t
+	}
+	e.capActive = true
+}
+
+// Uncap clears the RunUntil bound set by CapRun.
+func (e *Engine) Uncap() { e.capActive = false }
+
+// CappedAt returns the active RunUntil bound, if any.
+func (e *Engine) CappedAt() (Time, bool) { return e.capT, e.capActive }
+
 // Reset returns the engine to time zero with an empty event queue, as if
 // freshly constructed — but with the slab and heap storage retained, so a
 // reused engine schedules its next run without growing allocations. Every
@@ -340,6 +368,7 @@ func (e *Engine) Reset() {
 	}
 	e.heap = e.heap[:0]
 	e.now, e.seq, e.fired, e.stopped = 0, 0, 0, false
+	e.capT, e.capActive = 0, false
 }
 
 // pop removes and returns the earliest event's payload, releasing its slot
@@ -379,18 +408,22 @@ func (e *Engine) Run(budget uint64) Time {
 
 // RunUntil executes events with timestamps <= deadline and then advances the
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
+// With a CapRun bound below the deadline, execution stops at the bound
+// instead and the clock stays at the last executed event.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		if e.slab[e.heap[0]].at > deadline {
+		at := e.slab[e.heap[0]].at
+		if at > deadline || (e.capActive && at > e.capT) {
 			break
 		}
-		at, fn := e.pop()
+		var fn Event
+		at, fn = e.pop()
 		e.now = at
 		e.fired++
 		fn(e.now)
 	}
-	if e.now < deadline {
+	if e.now < deadline && !e.capActive {
 		e.now = deadline
 	}
 }

@@ -400,6 +400,22 @@ func (h *Histogram) Clone() Histogram {
 	return c
 }
 
+// Borrow returns a transient read-only snapshot that aliases the live
+// sample AND bucket storage without marking the live histogram shared.
+// Unlike Clone, the live histogram's next Reset reuses its grown storage
+// — the point of borrowing: result rendering that flattens the snapshot
+// immediately pays no storage churn on recycled devices. The borrow must
+// be discarded before the histogram next observes or resets; retaining
+// it would read mutated bucket counters or freed sample storage. The
+// borrow itself is marked shared, so a sort on an unsorted borrow copies
+// rather than reordering values under the live histogram (PreSort first
+// and even that copy is skipped).
+func (h *Histogram) Borrow() Histogram {
+	c := *h
+	c.shared = true
+	return c
+}
+
 // String summarizes the histogram.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f",

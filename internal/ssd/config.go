@@ -77,11 +77,13 @@ type Config struct {
 	// conservative lockstep epochs bounded by the DMA compose latency —
 	// the only statically-known cross-channel delay. Values below 2
 	// (default) keep the single-engine serial kernel. The partitioned
-	// kernel produces timelines byte-identical to the serial one; it
-	// engages only when the configuration's cross-channel lookahead is
-	// non-degenerate (at least two channels, ComposeLatency > 0, and GC
-	// disabled — background GC commits flash traffic with zero lookahead),
-	// and falls back to the serial kernel otherwise.
+	// kernel produces timelines byte-identical to the serial one — with
+	// background GC enabled too: GC traffic is chip-local, so a channel
+	// whose completion can trigger collection parks at that instant until
+	// the epoch coordinator delivers the resulting commits. It engages
+	// only when the configuration's cross-channel lookahead is
+	// non-degenerate (at least two channels and ComposeLatency > 0), and
+	// falls back to the serial kernel otherwise.
 	ParallelChannels int
 
 	// Faults parameterizes deterministic fault injection (read retries,
@@ -248,14 +250,19 @@ func (fs *FaultSpec) validate() error {
 
 // partitioned reports whether this configuration runs the per-channel
 // partitioned kernel: the knob asks for it and the cross-channel lookahead
-// is non-degenerate. Background GC injects flash traffic synchronously at
-// completion-processing time (including cross-channel migration programs),
-// collapsing the lookahead to zero, so GC configurations always use the
-// serial kernel.
+// is non-degenerate (at least two channels, ComposeLatency > 0). GC no
+// longer forces the serial fallback: its flash traffic is chip-local, so
+// the kernel parks a channel at a completion that can trigger collection
+// and delivers the resulting commits at the epoch barrier (see
+// parallel.go).
 func (c *Config) partitioned() bool {
 	return c.ParallelChannels >= 2 && c.Geo.Channels >= 2 &&
-		c.DisableGC && c.ComposeLatency > 0
+		c.ComposeLatency > 0
 }
+
+// Partitioned exposes the kernel resolution to the public API layer
+// (Config.UsesParallelKernel) and the serving daemon's session echo.
+func (c *Config) Partitioned() bool { return c.partitioned() }
 
 // logicalPages resolves the default logical space.
 func (c *Config) logicalPages() int64 {

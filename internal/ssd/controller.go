@@ -5,6 +5,7 @@ import (
 
 	"sprinkler/internal/bus"
 	"sprinkler/internal/flash"
+	"sprinkler/internal/req"
 	"sprinkler/internal/sim"
 )
 
@@ -58,6 +59,15 @@ type controller struct {
 	// now. The single-engine device arms its flush event from it; the
 	// parallel kernel leaves it nil and drains at epoch barriers.
 	noteStaged func(now sim.Time)
+
+	// parkOnHazard is set by the parallel kernel when GC is enabled:
+	// staging a completion whose host-side processing can commit GC flash
+	// traffic back onto this channel caps the sub-engine at the staging
+	// instant, so the channel waits there for the epoch coordinator to
+	// deliver the commit before simulating past it. GC migrations are
+	// chip-local (ftl.PlanGC allocates destinations on the victim's chip),
+	// so the commit always targets the channel that parked.
+	parkOnHazard bool
 }
 
 // stagedKind discriminates channel→device messages.
@@ -128,6 +138,28 @@ func (ctl *controller) stage(msg stagedMsg) {
 	if ctl.noteStaged != nil {
 		ctl.noteStaged(msg.at)
 	}
+	if ctl.parkOnHazard && msg.kind == stagedReqDone && hazardousToken(msg.r.Token) {
+		ctl.eng.CapRun(msg.at)
+	}
+}
+
+// hazardousToken reports whether the host-side processing of a completed
+// request can commit new flash traffic at the completion instant: GC step
+// completions chain the job's next phase (reads → programs → erase → next
+// victim), and host write completions can arm a new collection
+// (maybeStartGC). Both commit onto the completing request's own chip, so
+// the staging channel parks and no other channel is affected. Reading the
+// token from channel context is race-free: the fields inspected are set
+// before the request is committed to the channel and never change while it
+// is in flight.
+func hazardousToken(tok interface{}) bool {
+	switch t := tok.(type) {
+	case *gcStep:
+		return true
+	case *req.Mem:
+		return t.IO.Kind == req.Write
+	}
+	return false
 }
 
 // stagedNext peeks the first undrained message's timestamp.

@@ -101,6 +101,17 @@ type Device struct {
 	// single-engine kernel.
 	par *parRunner
 
+	// retransQ holds the fire times of pending stale-read retranslate
+	// commits (finishCompose's RetranslatePenalty events), head-indexed in
+	// schedule order — which is fire-time order, because the composer
+	// serializes compositions and the penalty is constant. The parallel
+	// kernel bounds its epoch horizon by the queue head: a retranslated
+	// commit is a host event that lands on an arbitrary channel with no
+	// compose-latency lookahead, so no channel may simulate past it.
+	// Maintained on both kernels (serial never reads it).
+	retransQ    []sim.Time
+	retransHead int
+
 	// onRetire, installed with SetIORetire, observes each host I/O after
 	// it has fully completed and left every device structure — the
 	// free-list recycling hook for the session/source layer.
@@ -131,12 +142,31 @@ type Device struct {
 	// without retaining the slice, so rendering a Result (the per-sweep-cell
 	// hot path) does not allocate per chip.
 	sampleBuf []metrics.ChipSample
+
+	// transientResults marks every Result this device renders as
+	// flatten-and-discard: the caller promises not to retain the
+	// metrics.Result (or read its Latency histogram) past the next
+	// Observe/Reset, so resultAt borrows the live latency storage
+	// instead of Clone-sharing it, and the device's next Reset reuses
+	// the grown sample array rather than re-growing from nil. The public
+	// API layer sets this — its Run/Drain/Snapshot paths all flatten the
+	// internal result immediately — while internal callers keeping
+	// self-contained Results leave it off.
+	transientResults bool
 }
 
 // New builds a Device with the given scheduler.
 func New(cfg Config, scheduler sched.Scheduler) (*Device, error) {
 	return NewWithFTLMeta(cfg, scheduler, nil)
 }
+
+// SetTransientResults declares that every metrics.Result this device
+// renders is flattened and discarded before the device next observes a
+// sample or resets — the public API's contract. Rendering then borrows
+// the live latency storage instead of Clone-sharing it, so recycled
+// devices keep their grown sample arrays across runs. Callers that
+// retain Results (or read Latency later) must leave this off.
+func (d *Device) SetTransientResults(on bool) { d.transientResults = on }
 
 // NewWithFTLMeta builds a Device like New, reusing a retained FTL
 // block-metadata arena (from a previously discarded device on the same
@@ -211,6 +241,7 @@ func (d *Device) buildControllers(partitioned bool) {
 		if !partitioned {
 			ctl.noteStaged = d.noteStaged
 		}
+		ctl.parkOnHazard = partitioned && !d.cfg.DisableGC
 		d.ctrls[ch] = ctl
 	}
 	if partitioned {
@@ -318,6 +349,9 @@ func (d *Device) Reset(cfg Config, scheduler sched.Scheduler) error {
 		}
 		for _, ctl := range d.ctrls {
 			ctl.reset(cfg.Tim, cfg.Faults.flashConfig())
+			// DisableGC is a per-run knob that can flip without changing the
+			// kernel partitioning, so re-derive the hazard-parking flag.
+			ctl.parkOnHazard = d.par != nil && !cfg.DisableGC
 		}
 	}
 	for i := range d.chipBusyM {
@@ -342,6 +376,8 @@ func (d *Device) Reset(cfg Config, scheduler sched.Scheduler) error {
 	d.composing = false
 	d.composeM = nil
 	d.composeTimer.Stop()
+	d.retransQ = d.retransQ[:0]
+	d.retransHead = 0
 
 	for i := range d.backlog {
 		d.backlog[i] = nil
@@ -780,7 +816,9 @@ func (d *Device) finishCompose(now sim.Time, m *req.Mem) {
 				// The scheduler planned against a stale layout: the core
 				// must re-translate before commitment.
 				d.staleFixes++
+				d.pushRetrans(now + d.cfg.RetranslatePenalty)
 				d.eng.After(d.cfg.RetranslatePenalty, func(t sim.Time) {
+					d.popRetrans(t)
 					d.commit(t, m)
 				})
 				return
@@ -788,6 +826,36 @@ func (d *Device) finishCompose(now sim.Time, m *req.Mem) {
 		}
 	}
 	d.commit(now, m)
+}
+
+// pushRetrans records a pending retranslate commit's fire time. Pushes are
+// fire-time monotone: the composer serializes compositions and the penalty
+// is constant.
+func (d *Device) pushRetrans(at sim.Time) {
+	if n := len(d.retransQ); n > d.retransHead && d.retransQ[n-1] > at {
+		panic("ssd: retranslate fire times out of order")
+	}
+	d.retransQ = append(d.retransQ, at)
+}
+
+// popRetrans retires the head entry when its commit fires.
+func (d *Device) popRetrans(at sim.Time) {
+	if d.retransHead >= len(d.retransQ) || d.retransQ[d.retransHead] != at {
+		panic("ssd: retranslate queue out of sync")
+	}
+	d.retransHead++
+	if d.retransHead == len(d.retransQ) {
+		d.retransQ = d.retransQ[:0]
+		d.retransHead = 0
+	}
+}
+
+// nextRetrans peeks the earliest pending retranslate commit's fire time.
+func (d *Device) nextRetrans() (sim.Time, bool) {
+	if d.retransHead >= len(d.retransQ) {
+		return 0, false
+	}
+	return d.retransQ[d.retransHead], true
 }
 
 func (d *Device) commit(now sim.Time, m *req.Mem) {
@@ -971,13 +1039,19 @@ func (d *Device) resultAt(end sim.Time) *metrics.Result {
 	// Appends after this snapshot don't reorder the sorted prefix, so the
 	// clone stays consistent even while the run continues.
 	d.latency.PreSort()
+	var lat sim.Histogram
+	if d.transientResults {
+		lat = d.latency.Borrow()
+	} else {
+		lat = d.latency.Clone()
+	}
 	r := &metrics.Result{
 		Scheduler:           d.sch.Name(),
 		Duration:            end,
 		IOsCompleted:        d.iosDone,
 		BytesRead:           d.bytesRead,
 		BytesWritten:        d.bytesWritten,
-		Latency:             d.latency.Clone(),
+		Latency:             lat,
 		QueueFullTime:       d.queue.FullTime(end),
 		StaleRetranslations: d.staleFixes,
 		EmergencyGCs:        d.emergencyGCs,

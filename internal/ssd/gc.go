@@ -110,6 +110,13 @@ func (r *gcRun) startPrograms(now sim.Time) {
 	r.remaining = len(r.job.Migrations)
 	for _, mg := range r.job.Migrations {
 		ch := r.dev.cfg.Geo.Channel(mg.Dst.Chip)
+		// The parallel kernel's hazard parking relies on GC traffic staying
+		// on the victim's channel (ftl.PlanGC allocates destinations on the
+		// victim's chip). Fail loudly if the FTL ever breaks that contract
+		// rather than silently diverging from the serial timeline.
+		if r.dev.par != nil && ch != r.dev.cfg.Geo.Channel(r.chip) {
+			panic("ssd: GC migration program left the victim chip's channel")
+		}
 		r.dev.ctrls[ch].commit(now, flash.Request{Op: flash.OpProgram, Addr: mg.Dst, Token: &gcStep{run: r, kind: flash.OpProgram}},
 			r.dev.chipBusyM[mg.Dst.Chip])
 	}

@@ -15,22 +15,34 @@ import (
 // message flush (last lane). Channels interact with the host only through
 // two narrow edges:
 //
-//   - host → channel: commits. With GC disabled, the only committing host
-//     events are DMA compose-timer fires, so the next commit instant is
-//     statically known: at least ComposeLatency past the current epoch
-//     start (new compositions), and never before the already-scheduled
-//     compose fire.
+//   - host → channel: commits. The committing host events are DMA
+//     compose-timer fires (at least ComposeLatency past the current epoch
+//     start for new compositions, never before the already-scheduled
+//     fire) and stale-read retranslations (at the recorded fire times the
+//     device's retranslate queue exposes). Processing a staged completion
+//     can also commit — GC chains its next phase, a host write completion
+//     can arm a collection — but GC migrations are chip-local, so those
+//     commits always target the channel that staged the completion.
 //   - channel → host: staged messages (transaction start/done, member
 //     completions), applied at end-of-instant in (channel, staging order).
 //
 // That gives a classic conservative lookahead: between one epoch start T
-// and the horizon S = min(T+ComposeLatency, pending compose fire), no
-// commit can occur, so every channel's events in [T, S) depend only on
-// state fixed at T — they can run concurrently, one goroutine per channel
-// group (phase A). The host then replays its own events and the staged
-// messages instant-by-instant over [T, S) (phase B), exactly as the serial
-// flush would have. When the horizon collapses (a compose fire at T), the
+// and the horizon S = min(T+ComposeLatency, pending compose fire, pending
+// retranslate fire), no commit from the host's own schedule can occur, so
+// every channel's events in [T, S) depend only on state fixed at T — they
+// can run concurrently, one goroutine per channel group (phase A). The
+// host then replays its own events and the staged messages
+// instant-by-instant over [T, S) (phase B), exactly as the serial flush
+// would have. When the horizon collapses (a commit is due at T), the
 // epoch degenerates to a single instant processed in serial lane order.
+//
+// With GC enabled, staged-completion processing commits mid-epoch. The
+// epoch then runs in rounds: a channel staging a hazardous completion (a
+// GC step, or a host write that can arm a collection) parks its
+// sub-engine at the staging instant, phase B advances only through the
+// earliest parked instant — delivering the hazard's chip-local commits to
+// the channel parked exactly there — and the next round resumes it. See
+// step for the mechanics.
 //
 // Because per-engine schedule order restricted to a lane equals the serial
 // engine's (lane, seq) order restricted to that lane, the partitioned
@@ -278,11 +290,17 @@ func (p *parRunner) step(limit sim.Time) bool {
 		return false
 	}
 
-	// Horizon: no commit can land in [T, S). New compositions started at
-	// or after T complete at >= T+ComposeLatency; the in-flight one (if
-	// any) completes at its already-scheduled fire time.
+	// Horizon: no commit can land in [T, S) from the host's own schedule.
+	// New compositions started at or after T complete at >=
+	// T+ComposeLatency; the in-flight one (if any) completes at its
+	// already-scheduled fire time; a pending stale-read retranslation
+	// commits at its recorded fire time with no compose lookahead, so it
+	// bounds the horizon too.
 	S := T + d.cfg.ComposeLatency
 	if at, pending := d.composeTimer.When(); pending && at < S {
+		S = at
+	}
+	if at, pending := d.nextRetrans(); pending && at < S {
 		S = at
 	}
 	if limit < sim.MaxTime && S > limit+1 {
@@ -296,50 +314,83 @@ func (p *parRunner) step(limit sim.Time) bool {
 		return true
 	}
 
-	// Phase A: channels run [T, S) concurrently, staging messages.
-	p.runChannels(S - 1)
-	p.rebuildEng()
-
-	// Phase B: host events and staged messages, instant by instant. Host
-	// events here never commit (commits are compose fires, all >= S), so
-	// the channels' [T, S) state is already final and the staged queues
-	// only shrink: a one-time heap of per-channel head timestamps replaces
-	// the per-instant linear scans.
-	for i, ctl := range d.ctrls {
-		if at, sok := ctl.stagedNext(); sok {
-			p.stgH.set(int32(i), at, true)
-		}
-	}
+	// The epoch runs in rounds. With GC disabled there is exactly one:
+	// phase A (channels run [T, S) concurrently, staging messages), then
+	// phase B (host events and staged messages, instant by instant). With
+	// GC enabled, host-side processing of a staged completion can commit
+	// new flash traffic at the staging instant — but only onto the staging
+	// channel itself (GC migrations are chip-local), so that channel parks
+	// there: its sub-engine caps phase A at the hazard instant
+	// (controller.stage → CapRun). Phase B then advances only through the
+	// earliest parked instant uH, delivering the hazard's commits to the
+	// channel parked exactly there, and the next round resumes it. Rounds
+	// repeat until no channel parks before S; each round consumes at least
+	// one hazard, so the loop terminates.
 	for {
-		u, ok := d.eng.NextAt()
-		if e, sok := p.stgH.min(); sok && (!ok || e.at < u) {
-			u, ok = e.at, true
+		p.runChannels(S - 1)
+		p.rebuildEng()
+
+		uH := S // no parked channel: this round finishes the epoch
+		for _, ctl := range d.ctrls {
+			if at, capped := ctl.eng.CappedAt(); capped && at < uH {
+				uH = at
+			}
 		}
-		if !ok || u >= S {
-			break
+
+		// Phase B: host events and staged messages through min(S-1, uH),
+		// in instant order. Host events here never commit (compose and
+		// retranslate fires are all >= S); staged hazard processing can,
+		// but only onto channels parked at the current instant. The staged
+		// heap is re-seeded each round: parked channels stage more
+		// messages when they resume.
+		p.stgH.clear()
+		for i, ctl := range d.ctrls {
+			if at, sok := ctl.stagedNext(); sok {
+				p.stgH.set(int32(i), at, true)
+			}
 		}
-		d.eng.RunUntil(u)
-		// Drain every channel's messages at u in (channel, staging order):
-		// equal-time heap pops come in ascending channel index.
 		for {
-			e, sok := p.stgH.min()
-			if !sok || e.at != u {
+			u, ok := d.eng.NextAt()
+			if e, sok := p.stgH.min(); sok && (!ok || e.at < u) {
+				u, ok = e.at, true
+			}
+			if !ok || u >= S || u > uH {
 				break
 			}
-			ctl := d.ctrls[e.ch]
+			d.eng.RunUntil(u)
+			// Drain every channel's messages at u in (channel, staging
+			// order): equal-time heap pops come in ascending channel index.
 			for {
-				at, mok := ctl.stagedNext()
-				if !mok || at != u {
+				e, sok := p.stgH.min()
+				if !sok || e.at != u {
 					break
 				}
-				d.applyStaged(ctl.popStaged())
+				ctl := d.ctrls[e.ch]
+				for {
+					at, mok := ctl.stagedNext()
+					if !mok || at != u {
+						break
+					}
+					d.applyStaged(ctl.popStaged())
+				}
+				at, mok := ctl.stagedNext()
+				p.stgH.set(e.ch, at, mok)
 			}
-			at, mok := ctl.stagedNext()
-			p.stgH.set(e.ch, at, mok)
+			// Events the staged processing scheduled back at u (admission
+			// chains) run after the flush, as on the serial kernel.
+			d.eng.RunUntil(u)
 		}
-		// Events the staged processing scheduled back at u (admission
-		// chains) run after the flush, as on the serial kernel.
-		d.eng.RunUntil(u)
+
+		if uH >= S {
+			break
+		}
+		// Unpark the channels whose hazard instant was just processed;
+		// channels parked later keep their cap for a following round.
+		for _, ctl := range d.ctrls {
+			if at, capped := ctl.eng.CappedAt(); capped && at <= uH {
+				ctl.eng.Uncap()
+			}
+		}
 	}
 	d.eng.RunUntil(S - 1)
 	return true
@@ -367,6 +418,12 @@ func (p *parRunner) instant(u sim.Time) {
 			progress = true
 		}
 		if !progress {
+			// Hazard caps set while draining this instant are spent (every
+			// staged message at u has been applied); clear them so the next
+			// epoch's phase A does not falsely park.
+			for _, ctl := range d.ctrls {
+				ctl.eng.Uncap()
+			}
 			// Commits at u may have scheduled channel work; resync the
 			// engine heap before the next epoch peeks it.
 			p.rebuildEng()

@@ -187,13 +187,11 @@ func (d *Device) LoadState(st *DeviceState) error {
 	if n := d.cfg.Geo.NumChips(); len(st.Chips) != n {
 		return fmt.Errorf("ssd: snapshot has %d chips, device has %d", len(st.Chips), n)
 	}
-	if d.par != nil {
-		if len(st.Channels) != len(d.ctrls) {
-			return fmt.Errorf("ssd: snapshot has %d channel clocks, partitioned device needs %d",
-				len(st.Channels), len(d.ctrls))
-		}
-	} else if len(st.Channels) != 0 {
-		return fmt.Errorf("ssd: snapshot has %d channel clocks, serial device expects none", len(st.Channels))
+	if d.par != nil && len(st.Channels) != 0 && len(st.Channels) != len(d.ctrls) {
+		// A serial capture (no channel clocks) adapts below; a partitioned
+		// capture must match the channel count exactly.
+		return fmt.Errorf("ssd: snapshot has %d channel clocks, partitioned device needs %d",
+			len(st.Channels), len(d.ctrls))
 	}
 	if w := d.cfg.SeriesWindow; d.cfg.CollectSeries && w > 0 && len(st.Series) > w {
 		return fmt.Errorf("ssd: snapshot series holds %d points, window is %d", len(st.Series), w)
@@ -204,9 +202,22 @@ func (d *Device) LoadState(st *DeviceState) error {
 	d.eng.SetClock(st.Engine)
 	if d.par != nil {
 		for ch, ctl := range d.ctrls {
-			ctl.eng.SetClock(st.Channels[ch])
+			if len(st.Channels) == 0 {
+				// Serial capture hydrating a partitioned device: the model
+				// state is kernel-independent (the snapshot is quiescent, so
+				// no events carry over), and a sub-engine's clock only needs
+				// to not be ahead of the next commit it receives. Adopt the
+				// host clock; the sequence counter restarts, which preserves
+				// FIFO tie-breaking for all future events.
+				ctl.eng.SetClock(sim.EngineClock{Now: st.Engine.Now})
+			} else {
+				ctl.eng.SetClock(st.Channels[ch])
+			}
 		}
 	}
+	// A partitioned capture hydrating a serial device needs no adaptation:
+	// the host clock subsumes the channel clocks (each is at most the epoch
+	// horizon the host reached), so st.Channels is simply ignored.
 	d.queue.SetState(st.Queue)
 	d.busyIntegral = st.BusyIntegral
 	d.sysBusyTime = st.SysBusyTime

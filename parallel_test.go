@@ -9,6 +9,7 @@ package sprinkler_test
 // reordering and fails the suite.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math/rand"
@@ -18,7 +19,10 @@ import (
 )
 
 // parityConfig builds a randomized platform eligible for the partitioned
-// kernel (>= 2 channels, GC disabled).
+// kernel (>= 2 channels). Each trial lands in one of three cells:
+// pristine (GC off), GC-active (clipped logical space keeps planes under
+// collection pressure), or fault-armed (GC on plus the full flash fault
+// model: retry ladders, program rewrites, block retirements, spares).
 func parityConfig(rng *rand.Rand, kind sprinkler.SchedulerKind) sprinkler.Config {
 	cfg := sprinkler.DefaultConfig()
 	cfg.Scheduler = kind
@@ -27,7 +31,27 @@ func parityConfig(rng *rand.Rand, kind sprinkler.SchedulerKind) sprinkler.Config
 	cfg.BlocksPerPlane = 64
 	cfg.PagesPerBlock = 32
 	cfg.QueueDepth = []int{8, 32, 64}[rng.Intn(3)]
-	cfg.DisableGC = true
+	switch rng.Intn(3) {
+	case 0: // pristine
+		cfg.DisableGC = true
+	case 1: // GC-active
+		cfg.BlocksPerPlane = 24
+		cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+		cfg.GCFreeTarget = 8
+	default: // fault-armed, GC on
+		cfg.BlocksPerPlane = 32
+		cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+		cfg.Faults = sprinkler.FaultSpec{
+			ReadFailProb:    0.02,
+			ProgramFailProb: 0.02,
+			EraseFailProb:   0.05,
+			ReadRetryMax:    3,
+			ReadRetryMult:   2,
+			RewriteMax:      4,
+			SpareBlockFrac:  0.08,
+			Seed:            rng.Uint64(),
+		}
+	}
 	return cfg
 }
 
@@ -109,18 +133,20 @@ func TestParallelMatchesSerial(t *testing.T) {
 				got := runOnce(t, parallel, precond, pseed, paritySource(t, pRNG, parallel, requests))
 				want := runOnce(t, serial, precond, pseed, paritySource(t, sRNG, serial, requests))
 				if got != want {
-					t.Fatalf("trial %d (channels=%d chips/chan=%d qd=%d precond=%v workers=%d): parallel kernel diverged\n serial:   %s\n parallel: %s",
-						trial, cfg.Channels, cfg.ChipsPerChan, cfg.QueueDepth, precond, parallel.ParallelChannels, want, got)
+					t.Fatalf("trial %d (channels=%d chips/chan=%d qd=%d precond=%v gc=%v faults=%v workers=%d): parallel kernel diverged\n serial:   %s\n parallel: %s",
+						trial, cfg.Channels, cfg.ChipsPerChan, cfg.QueueDepth, precond,
+						!cfg.DisableGC, cfg.Faults != (sprinkler.FaultSpec{}), parallel.ParallelChannels, want, got)
 				}
 			}
 		})
 	}
 }
 
-// TestParallelFallbackWithGC asserts the knob is inert when the
-// configuration is ineligible (GC enabled): the device silently uses the
-// serial kernel and results match a knob-less run exactly.
-func TestParallelFallbackWithGC(t *testing.T) {
+// TestParallelWithGCEngages asserts a GC-active configuration now keeps
+// the partitioned kernel — UsesParallelKernel reports it engaged — and
+// that a run with background collection actually firing stays
+// byte-identical to the serial kernel.
+func TestParallelWithGCEngages(t *testing.T) {
 	cfg := sprinkler.DefaultConfig()
 	cfg.Channels = 4
 	cfg.ChipsPerChan = 2
@@ -130,6 +156,12 @@ func TestParallelFallbackWithGC(t *testing.T) {
 
 	knobbed := cfg
 	knobbed.ParallelChannels = 8
+	if !knobbed.UsesParallelKernel() {
+		t.Fatal("GC-enabled config no longer resolves to the partitioned kernel")
+	}
+	if cfg.UsesParallelKernel() {
+		t.Fatal("knob-less config resolves to the partitioned kernel")
+	}
 
 	run := func(c sprinkler.Config) string {
 		dev, err := sprinkler.New(c)
@@ -142,13 +174,152 @@ func TestParallelFallbackWithGC(t *testing.T) {
 			t.Fatalf("Run: %v", err)
 		}
 		if res.GCRuns == 0 {
-			t.Fatal("workload did not trigger GC; fallback untested")
+			t.Fatal("workload did not trigger GC; parity under collection untested")
 		}
 		b, _ := json.Marshal(res)
 		return string(b)
 	}
 	if got, want := run(knobbed), run(cfg); got != want {
-		t.Fatalf("ParallelChannels changed a GC run:\n want: %s\n got:  %s", want, got)
+		t.Fatalf("partitioned kernel diverged under GC:\n serial:   %s\n parallel: %s", want, got)
+	}
+}
+
+// TestParallelFallbackIneligible pins the remaining serial-fallback
+// corner: a single-channel platform has no cross-channel lookahead to
+// exploit, so the knob must resolve to the serial kernel and stay inert.
+func TestParallelFallbackIneligible(t *testing.T) {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChan = 4
+	cfg.BlocksPerPlane = 32
+	cfg.PagesPerBlock = 16
+	cfg.GCFreeTarget = 8
+
+	knobbed := cfg
+	knobbed.ParallelChannels = 8
+	if knobbed.UsesParallelKernel() {
+		t.Fatal("single-channel config resolved to the partitioned kernel")
+	}
+
+	run := func(c sprinkler.Config) string {
+		dev, err := sprinkler.New(c)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		dev.Precondition(0.8, 0.5, 11)
+		res, err := dev.Run(context.Background(), sprinkler.SliceSource(sprinkler.SequentialWrites(400, 4)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		b, _ := json.Marshal(res)
+		return string(b)
+	}
+	if got, want := run(knobbed), run(cfg); got != want {
+		t.Fatalf("ParallelChannels changed a single-channel run:\n want: %s\n got:  %s", want, got)
+	}
+}
+
+// TestParallelDegradedModeParity drives both kernels through spare-pool
+// exhaustion — every erase fails, spares are scarce, the drive degrades
+// to read-only mode mid-run — and demands byte-identical Results,
+// including the degraded flag and the failed-write accounting.
+func TestParallelDegradedModeParity(t *testing.T) {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Scheduler = sprinkler.SPK3
+	cfg.Channels = 4
+	cfg.ChipsPerChan = 1
+	cfg.BlocksPerPlane = 16
+	cfg.PagesPerBlock = 16
+	cfg.GCFreeTarget = 4
+	cfg.Faults = sprinkler.FaultSpec{
+		EraseFailProb:  1.0,
+		SpareBlockFrac: 0.1,
+		Seed:           13,
+	}
+
+	run := func(c sprinkler.Config) string {
+		dev, err := sprinkler.New(c)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		dev.Precondition(0.95, 0.5, 21)
+		src, err := c.NewFixedSource(sprinkler.FixedSpec{Requests: 4000, Pages: 4, Write: true, Seed: 3})
+		if err != nil {
+			t.Fatalf("source: %v", err)
+		}
+		res, err := dev.Run(context.Background(), src)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !res.DegradedMode {
+			t.Fatalf("drive did not degrade: %d erase fails, %d retired, %d failed IOs",
+				res.EraseFails, res.RetiredBlocks, res.FailedIOs)
+		}
+		b, _ := json.Marshal(res)
+		return string(b)
+	}
+
+	parallel := cfg
+	parallel.ParallelChannels = 4
+	if !parallel.UsesParallelKernel() {
+		t.Fatal("degraded-mode config did not resolve to the partitioned kernel")
+	}
+	if got, want := run(parallel), run(cfg); got != want {
+		t.Fatalf("partitioned kernel diverged through spare exhaustion:\n serial:   %s\n parallel: %s", want, got)
+	}
+}
+
+// TestParallelSnapshotHydrated captures one warm GC-pressured snapshot
+// and hydrates it into both kernels — CompatibleConfig tolerates the
+// ParallelChannels difference — then runs the same write-heavy workload
+// on each and demands byte-identical Results with collection active.
+func TestParallelSnapshotHydrated(t *testing.T) {
+	cfg := sprinkler.DefaultConfig()
+	cfg.Scheduler = sprinkler.SPK2
+	cfg.Channels = 4
+	cfg.ChipsPerChan = 2
+	cfg.BlocksPerPlane = 24
+	cfg.PagesPerBlock = 16
+	cfg.LogicalPages = cfg.TotalPages() * 85 / 100
+	cfg.GCFreeTarget = 8
+
+	warm, err := sprinkler.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	warm.Precondition(0.8, 0.5, 23)
+	var buf bytes.Buffer
+	if err := warm.Checkpoint(&buf); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	snap, err := sprinkler.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+
+	run := func(c sprinkler.Config) string {
+		dev, err := snap.NewDevice(c)
+		if err != nil {
+			t.Fatalf("NewDevice(ParallelChannels=%d): %v", c.ParallelChannels, err)
+		}
+		res, err := dev.Run(context.Background(), sprinkler.SliceSource(sprinkler.SequentialWrites(500, 4)))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.GCRuns == 0 {
+			t.Fatal("hydrated run triggered no GC; warm-state parity untested")
+		}
+		b, _ := json.Marshal(res)
+		return string(b)
+	}
+
+	parallel := cfg
+	parallel.ParallelChannels = 4
+	if !parallel.UsesParallelKernel() {
+		t.Fatal("hydration config did not resolve to the partitioned kernel")
+	}
+	if got, want := run(parallel), run(cfg); got != want {
+		t.Fatalf("snapshot-hydrated kernels diverged:\n serial:   %s\n parallel: %s", want, got)
 	}
 }
 

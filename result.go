@@ -123,8 +123,15 @@ type Result struct {
 }
 
 // publicResult flattens the internal result.
-func publicResult(r *metrics.Result) *Result {
-	out := &Result{
+func publicResult(r *metrics.Result) *Result { return publicResultInto(new(Result), r) }
+
+// publicResultInto flattens the internal result into out — a fresh
+// object, or one recycled through a ResultArena. Every field is
+// overwritten; the only state that survives from out's previous life is
+// the capacity of its Series storage.
+func publicResultInto(out *Result, r *metrics.Result) *Result {
+	series := out.Series[:0]
+	*out = Result{
 		Scheduler:           r.Scheduler,
 		DurationNS:          int64(r.Duration),
 		IOsCompleted:        r.IOsCompleted,
@@ -172,12 +179,12 @@ func publicResult(r *metrics.Result) *Result {
 		out.WriteAmplification = 1
 	}
 	if len(r.Series) > 0 {
-		out.Series = make([]SeriesPoint, 0, len(r.Series))
 		for _, p := range r.Series {
-			out.Series = append(out.Series, SeriesPoint{
+			series = append(series, SeriesPoint{
 				Index: p.Index, ArrivalNS: int64(p.Arrival), LatencyNS: int64(p.Latency),
 			})
 		}
+		out.Series = series
 	}
 	return out
 }

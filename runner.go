@@ -92,6 +92,69 @@ type Runner struct {
 	// through the arena — the reference path reuse-parity tests and
 	// benchmarks compare against.
 	NoReuse bool
+
+	// Results, when non-nil, is the caller-owned result arena: Run draws
+	// its CellResult slice and each cell's Result object from it instead
+	// of allocating, and the caller hands a consumed sweep's results back
+	// with Recycle. Rendering into a recycled Result is byte-identical to
+	// a fresh one. Nil (the default) allocates per sweep as always.
+	Results *ResultArena
+}
+
+// ResultArena recycles the result buffers a Runner produces: the
+// []CellResult slice and the Result objects (with their latency-series
+// storage) inside it. A sweep loop that consumes each sweep's results
+// and then Recycles them makes result rendering allocation-free at
+// steady state. Opt in via Runner.Results; safe for concurrent use by
+// the Runner's workers. The zero value is ready to use.
+type ResultArena struct {
+	mu     sync.Mutex
+	free   []*Result
+	slices [][]CellResult
+}
+
+// NewResultArena returns an empty result arena.
+func NewResultArena() *ResultArena { return &ResultArena{} }
+
+// Recycle returns a finished sweep's results — the slice and every
+// Result in it — to the arena. The caller must be completely done with
+// them: a later Run on a Runner sharing this arena overwrites both.
+func (a *ResultArena) Recycle(results []CellResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range results {
+		if results[i].Result != nil {
+			a.free = append(a.free, results[i].Result)
+		}
+		results[i] = CellResult{}
+	}
+	a.slices = append(a.slices, results[:0])
+}
+
+// getResult pops a recycled Result, or allocates the arena's first few.
+func (a *ResultArena) getResult() *Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.free); n > 0 {
+		r := a.free[n-1]
+		a.free = a.free[:n-1]
+		return r
+	}
+	return new(Result)
+}
+
+// getSlice finds a recycled CellResult slice with enough capacity.
+func (a *ResultArena) getSlice(n int) []CellResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range a.slices {
+		if cap(s) >= n {
+			a.slices[i] = a.slices[len(a.slices)-1]
+			a.slices = a.slices[:len(a.slices)-1]
+			return s[:n]
+		}
+	}
+	return make([]CellResult, n)
 }
 
 // cellSeed derives a cell's seed: the explicit per-cell seed when set,
@@ -136,7 +199,12 @@ func (r Runner) Run(ctx context.Context, cells []Cell) []CellResult {
 	if r.NoReuse {
 		arena = nil
 	}
-	results := make([]CellResult, len(cells))
+	var results []CellResult
+	if r.Results != nil {
+		results = r.Results.getSlice(len(cells))
+	} else {
+		results = make([]CellResult, len(cells))
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -210,7 +278,12 @@ func (r Runner) runCell(ctx context.Context, c Cell, i int, arena *DeviceArena) 
 		out.Err = fmt.Errorf("sprinkler: cell %q: %w", c.Name, err)
 		return out
 	}
-	res, err := dev.Run(ctx, src)
+	var res *Result
+	if r.Results != nil {
+		res, err = dev.runInto(ctx, src, r.Results.getResult())
+	} else {
+		res, err = dev.Run(ctx, src)
+	}
 	if err != nil {
 		// The device (and the source feeding it) may hold mid-run state —
 		// cancellation, stalls: drop both rather than recycling a

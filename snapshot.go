@@ -58,23 +58,72 @@ type DeviceSnapshot struct {
 // Config returns the configuration the snapshot was captured under.
 func (s *DeviceSnapshot) Config() Config { return s.cfg }
 
+// SnapshotStats summarizes how aged a snapshot's captured device is —
+// the numbers a catalog shows so a client can pick a warm state without
+// hydrating it. All counters are cumulative over the capture's history.
+type SnapshotStats struct {
+	// SimTimeNS is the captured simulation clock.
+	SimTimeNS int64 `json:"simTimeNS"`
+
+	// IOsCompleted counts host I/Os the captured device had completed.
+	IOsCompleted int64 `json:"iosCompleted"`
+
+	// HostWrites/GCRuns/GCErases measure the aging itself: page writes
+	// the host issued, and how much background collection they forced.
+	HostWrites int64 `json:"hostWrites"`
+	GCRuns     int64 `json:"gcRuns"`
+	GCErases   int64 `json:"gcErases"`
+
+	// BadBlocks/RetiredBlocks/SparesUsed/Degraded carry the fault
+	// model's wear state: blocks retired to the spare pool and whether
+	// the drive was already degraded to read-only when captured.
+	BadBlocks     int64 `json:"badBlocks,omitempty"`
+	RetiredBlocks int64 `json:"retiredBlocks,omitempty"`
+	SparesUsed    int64 `json:"sparesUsed,omitempty"`
+	Degraded      bool  `json:"degraded,omitempty"`
+
+	// SeriesPoints counts carried latency-series points (non-zero only
+	// for mid-experiment captures, which constrain hydration configs).
+	SeriesPoints int `json:"seriesPoints,omitempty"`
+}
+
+// Stats summarizes the snapshot's warm state.
+func (s *DeviceSnapshot) Stats() SnapshotStats {
+	return SnapshotStats{
+		SimTimeNS:     int64(s.state.Engine.Now),
+		IOsCompleted:  s.state.IOsDone,
+		HostWrites:    s.state.FTL.HostWrites,
+		GCRuns:        s.state.FTL.GCRuns,
+		GCErases:      s.state.FTL.GCErases,
+		BadBlocks:     s.state.FTL.BadBlocks,
+		RetiredBlocks: s.state.FTL.RetiredBlocks,
+		SparesUsed:    s.state.FTL.SparesUsed,
+		Degraded:      s.state.FTL.Degraded,
+		SeriesPoints:  len(s.state.Series),
+	}
+}
+
 // CompatibleConfig reports whether cfg may run on a device hydrated from
 // this snapshot: it must equal the captured configuration in every field
-// except Scheduler, MaxBacklog, CollectSeries and SeriesWindow. Warm
-// state is scheduler-independent (preconditioning never touches the
-// scheduler, and per-run scheduler state is never part of a snapshot),
-// MaxBacklog only bounds host-side buffering (arrival timestamps — and
-// therefore the simulation — are unaffected), and the series knobs only
-// select what a run records. Any other difference would change what the
-// warm-up itself produced, so it is refused. One caveat enforced at
-// hydration time: a snapshot that itself carries latency-series points
-// (captured mid-experiment rather than after preconditioning) requires
-// the series knobs to match exactly, since a different window would have
-// retained a different history.
+// except Scheduler, MaxBacklog, ParallelChannels, CollectSeries and
+// SeriesWindow. Warm state is scheduler-independent (preconditioning
+// never touches the scheduler, and per-run scheduler state is never part
+// of a snapshot), MaxBacklog only bounds host-side buffering (arrival
+// timestamps — and therefore the simulation — are unaffected),
+// ParallelChannels only selects the event kernel (serial and partitioned
+// kernels produce byte-identical timelines, and a quiescent snapshot
+// carries no pending events, so hydration adapts the clock shape), and
+// the series knobs only select what a run records. Any other difference
+// would change what the warm-up itself produced, so it is refused. One
+// caveat enforced at hydration time: a snapshot that itself carries
+// latency-series points (captured mid-experiment rather than after
+// preconditioning) requires the series knobs to match exactly, since a
+// different window would have retained a different history.
 func (s *DeviceSnapshot) CompatibleConfig(cfg Config) bool {
 	c := s.cfg
 	c.Scheduler = cfg.Scheduler
 	c.MaxBacklog = cfg.MaxBacklog
+	c.ParallelChannels = cfg.ParallelChannels
 	c.CollectSeries = cfg.CollectSeries
 	c.SeriesWindow = cfg.SeriesWindow
 	return c == cfg

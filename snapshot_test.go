@@ -161,8 +161,8 @@ func TestSnapshotSchedulerOverride(t *testing.T) {
 }
 
 // TestSnapshotConfigCompatibility pins which knobs may differ between
-// capture and hydration (scheduler, host-side observation budgets) and
-// that everything else is refused.
+// capture and hydration (scheduler, host-side observation budgets, the
+// event-kernel selector) and that everything else is refused.
 func TestSnapshotConfigCompatibility(t *testing.T) {
 	base := agedConfig(sprinkler.SPK3)
 	raw := checkpointOf(t, base, 0.7, 0.2, 3)
@@ -175,6 +175,7 @@ func TestSnapshotConfigCompatibility(t *testing.T) {
 		func(c *sprinkler.Config) { c.Scheduler = sprinkler.VAS },
 		func(c *sprinkler.Config) { c.MaxBacklog = 4096 },
 		func(c *sprinkler.Config) { c.CollectSeries = true; c.SeriesWindow = 64 },
+		func(c *sprinkler.Config) { c.ParallelChannels = 2 },
 	}
 	for i, mutate := range allowed {
 		cfg := base
@@ -191,7 +192,6 @@ func TestSnapshotConfigCompatibility(t *testing.T) {
 		func(c *sprinkler.Config) { c.ChipsPerChan *= 2 },
 		func(c *sprinkler.Config) { c.QueueDepth = 8 },
 		func(c *sprinkler.Config) { c.MetricsSampleCap = 128 },
-		func(c *sprinkler.Config) { c.ParallelChannels = 2 },
 		func(c *sprinkler.Config) { c.Faults.ReadFailProb = 0.5 },
 		func(c *sprinkler.Config) { c.LogicalPages = c.TotalPages() / 2 },
 	}

@@ -152,11 +152,14 @@ type Config struct {
 	// sub-engine, and up to ParallelChannels OS threads advance the
 	// sub-engines in conservative lockstep epochs bounded by the DMA
 	// compose latency. Results are byte-identical to the serial kernel —
-	// this is a speed knob, not a model change. Values below 2 (the
-	// default) keep the single-engine serial kernel; the parallel kernel
-	// also requires at least two channels and DisableGC (background GC
-	// commits cross-channel flash traffic with zero lookahead), falling
-	// back to the serial kernel otherwise.
+	// this is a speed knob, not a model change — and background GC is
+	// fully supported: GC flash traffic is chip-local, so a channel whose
+	// completion can trigger collection parks at that instant until the
+	// epoch coordinator hands it the resulting commits. Values below 2
+	// (the default) keep the single-engine serial kernel; the parallel
+	// kernel also requires at least two channels and a nonzero compose
+	// latency, falling back to the serial kernel otherwise
+	// (UsesParallelKernel reports the resolution).
 	ParallelChannels int
 
 	// Faults configures deterministic flash fault injection (read-retry
@@ -289,6 +292,20 @@ func DefaultConfig() Config {
 	}
 }
 
+// UsesParallelKernel reports whether this configuration resolves to the
+// partitioned per-channel kernel: ParallelChannels >= 2, at least two
+// channels, and a nonzero compose latency. When it returns false a device
+// built from the config silently runs the single-engine serial kernel
+// (the results are byte-identical either way). Invalid configurations
+// report false.
+func (c Config) UsesParallelKernel() bool {
+	cfg, err := c.internalConfig()
+	if err != nil || cfg.Validate() != nil {
+		return false
+	}
+	return cfg.Partitioned()
+}
+
 // toInternal converts the public config and builds its scheduler.
 func (c Config) toInternal() (ssd.Config, sched.Scheduler, error) {
 	cfg, err := c.internalConfig()
@@ -415,6 +432,9 @@ func newWithMeta(cfg Config, meta *ftl.BlockMeta) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every public path (Run, Drain, Snapshot) flattens the internal
+	// result immediately, so rendering may borrow live metric storage.
+	inner.SetTransientResults(true)
 	return &Device{
 		inner:  inner,
 		cfg:    cfg,
@@ -506,6 +526,13 @@ func (d *Device) Precondition(fillFrac, churnFrac float64, seed uint64) {
 // On context cancellation Run returns the measurements accumulated so
 // far together with ctx's error, so a cancelled run is still observable.
 func (d *Device) Run(ctx context.Context, src Source) (*Result, error) {
+	return d.runInto(ctx, src, new(Result))
+}
+
+// runInto is Run rendering the measurements into a caller-supplied
+// Result object — the ResultArena path. Every field of out is
+// overwritten before it is returned.
+func (d *Device) runInto(ctx context.Context, src Source, out *Result) (*Result, error) {
 	// The adapter is the device's own, reused across runs: completed
 	// request objects recycle into its free list during the run, and the
 	// warmed list carries over to the device's next run (through a
@@ -522,14 +549,14 @@ func (d *Device) Run(ctx context.Context, src Source) (*Result, error) {
 	res, err := d.inner.RunContext(ctx, a)
 	if err != nil {
 		if res != nil {
-			return publicResult(res), err
+			return publicResultInto(out, res), err
 		}
 		return nil, err
 	}
 	if a.err != nil {
 		return nil, a.err
 	}
-	return publicResult(res), nil
+	return publicResultInto(out, res), nil
 }
 
 // RunRequests replays a fully materialized request list — the original
